@@ -1,0 +1,156 @@
+// Ablation study for the design choices DESIGN.md calls out:
+//
+//  A1 — predicate analysis (§3.3): re-infer projectors with every step
+//       condition neutralized (a self::node() disjunct is added, so the
+//       condition keeps its data but can no longer restrict the type).
+//       This models a pruner that cannot use predicates — one of the
+//       paper's headline improvements over Marian & Siméon.
+//  A2 — the §5 for/if heuristic: extraction with the heuristic disabled.
+//       Queries binding Q//node() degenerate to keeping everything.
+//  A3 — backward-axis support (§4, the new type system): queries using
+//       parent/ancestor cannot be analyzed at all by path-based pruners;
+//       the baseline is "no pruning" (100%).
+//
+// Each section prints pruned-size percentages with and without the
+// feature.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_util.h"
+#include "projection/projection.h"
+#include "projection/projector_inference.h"
+#include "xpath/approximate.h"
+#include "xpath/parser.h"
+#include "xquery/parser.h"
+#include "xquery/path_extraction.h"
+
+namespace xmlproj {
+namespace bench {
+namespace {
+
+// Adds a self::node() disjunct to every condition, recursively: the
+// condition can no longer restrict the inferred type.
+void NeutralizeConditions(LPath* path) {
+  for (LStep& step : path->steps) {
+    if (step.cond.empty()) continue;
+    for (LPath& c : step.cond) NeutralizeConditions(&c);
+    step.cond.push_back(
+        MakeLPath({MakeLStep(Axis::kSelf, TestKind::kNode)}));
+  }
+}
+
+double PrunedPercent(const Workload& w, const NameSet& projector) {
+  auto pruned = PruneDocument(w.doc, w.interp, projector);
+  if (!pruned.ok()) return -1;
+  return 100.0 * static_cast<double>(SerializedBytes(*pruned)) /
+         static_cast<double>(w.text_bytes);
+}
+
+int Main() {
+  double scale = ScaleFromEnv();
+  Workload w = LoadWorkload(scale);
+  std::printf("=== Ablations (document: %.2f MB) ===\n\n",
+              Mb(w.text_bytes));
+
+  // --- A1: predicate analysis -------------------------------------------
+  // The restriction matters most when a predicate narrows a descendant
+  // step (the paper's descendant::node[cond] discussion in §1.1/§5):
+  // without it, the whole descendant spine stays.
+  std::printf("A1: predicate analysis (pruned size %% of original)\n");
+  std::printf("%-34s %14s %14s\n", "query", "with-preds", "without");
+  struct A1Case {
+    const char* label;
+    const char* text;
+  };
+  const A1Case a1_cases[] = {
+      {"QP09 item[parent::namerica|..]",
+       "/site/regions/*/item[parent::namerica or parent::samerica]/name"},
+      {"//node()[emailaddress]",
+       "/site/descendant-or-self::node()[emailaddress]/emailaddress"},
+      {"//node()[reserve]/initial", "//*[reserve]/initial"},
+      {"//node()[zipcode]", "/site//node()[zipcode]"},
+      {"QP06 person[gender and age]",
+       "/site/people/person[profile/gender and profile/age]/name"},
+  };
+  for (const A1Case& c : a1_cases) {
+    auto path = ParseXPath(c.text);
+    if (!path.ok()) continue;
+    auto full = AnalyzeXPath(w.dtd, *path, /*materialize_result=*/true);
+    if (!full.ok()) continue;
+
+    auto approx = ApproximateQuery(*path);
+    if (!approx.ok()) continue;
+    NeutralizeConditions(&approx->main);
+    ProjectorInference inference(w.dtd);
+    auto neutered = inference.InferForPath(approx->main, true,
+                                           approx->from_document_node);
+    if (!neutered.ok()) continue;
+    NameSet without = *neutered | full->projector;  // data needs preserved
+
+    std::printf("%-34s %13.1f%% %13.1f%%\n", c.label,
+                PrunedPercent(w, full->projector),
+                PrunedPercent(w, without));
+  }
+
+  // --- A2: the §5 for/if heuristic ---------------------------------------
+  std::printf("\nA2: for/if heuristic (pruned size %% of original)\n");
+  std::printf("%-28s %10s %10s\n", "query", "with", "without");
+  struct HeuristicCase {
+    const char* label;
+    const char* text;
+  };
+  const HeuristicCase cases[] = {
+      {"dos-binding + if",
+       "for $y in /site/regions/descendant-or-self::node() "
+       "return if ($y/keyword) then $y/keyword else ()"},
+      {"dos-binding + where",
+       "for $y in /site//node() where $y/zipcode "
+       "return $y/zipcode/text()"},
+      {"QM14-like contains",
+       "for $i in /site//item "
+       "where contains(string($i/description), 'gold') "
+       "return $i/name/text()"},
+  };
+  for (const HeuristicCase& c : cases) {
+    auto parsed = ParseXQuery(c.text);
+    if (!parsed.ok()) continue;
+    ExtractOptions on;
+    ExtractOptions off;
+    off.enable_for_if_heuristic = false;
+    ProjectorInference inference(w.dtd);
+    auto run = [&](const ExtractOptions& options) -> double {
+      auto paths = ExtractPaths(**parsed, options);
+      if (!paths.ok()) return -1;
+      auto projector = inference.InferForPaths(*paths, false, true);
+      if (!projector.ok()) return -1;
+      return PrunedPercent(w, *projector);
+    };
+    std::printf("%-28s %9.1f%% %9.1f%%\n", c.label, run(on), run(off));
+  }
+
+  // --- A3: backward axes --------------------------------------------------
+  std::printf(
+      "\nA3: backward axes (path-based pruners keep 100%%; the type "
+      "system analyzes them)\n");
+  std::printf("%-6s %16s %16s\n", "query", "type-projector",
+              "path-based");
+  for (const char* id : {"QP09", "QP10", "QP11", "QP12", "QP16"}) {
+    const BenchmarkQuery* query = nullptr;
+    for (const BenchmarkQuery& q : XPathMarkQueries()) {
+      if (q.id == id) query = &q;
+    }
+    if (query == nullptr) continue;
+    auto projector = AnalyzeBenchmarkQuery(*query, w.dtd);
+    if (!projector.ok()) continue;
+    std::printf("%-6s %15.1f%% %15.1f%%\n", query->id.c_str(),
+                PrunedPercent(w, *projector), 100.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xmlproj
+
+int main() { return xmlproj::bench::Main(); }

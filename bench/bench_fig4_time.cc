@@ -1,0 +1,54 @@
+// Reproduces Figure 4: query processing time on the original vs the
+// pruned document, per benchmark query (the paper plots both bars for a
+// 56MB document; XMLPROJ_SCALE=0.5 matches that size).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace xmlproj {
+namespace bench {
+namespace {
+
+int Main() {
+  double scale = ScaleFromEnv();
+  std::printf("=== Figure 4: processing time, original vs pruned ===\n");
+  Workload w = LoadWorkload(scale);
+  std::printf("document: %.2f MB on disk\n\n", Mb(w.text_bytes));
+  std::printf("%-6s %14s %14s %9s\n", "query", "original(ms)",
+              "pruned(ms)", "speedup");
+
+  for (const BenchmarkQuery& query : AllBenchmarkQueries()) {
+    auto projector = AnalyzeBenchmarkQuery(query, w.dtd);
+    if (!projector.ok()) continue;
+    auto pruned = PruneDocument(w.doc, w.interp, *projector);
+    if (!pruned.ok()) continue;
+
+    auto best_of = [&](const Document& doc) -> double {
+      double best = 1e30;
+      for (int i = 0; i < 3; ++i) {
+        auto run = RunBenchmarkQuery(query, doc);
+        if (!run.ok()) return -1;
+        best = std::min(best, run->seconds);
+      }
+      return best;
+    };
+    double t_orig = best_of(w.doc);
+    double t_pruned = best_of(*pruned);
+    if (t_orig < 0 || t_pruned < 0) {
+      std::printf("%-6s evaluation failed\n", query.id.c_str());
+      continue;
+    }
+    std::printf("%-6s %14.3f %14.3f %8.1fx\n", query.id.c_str(),
+                t_orig * 1000, t_pruned * 1000,
+                t_pruned > 0 ? t_orig / t_pruned : 1.0);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace xmlproj
+
+int main() { return xmlproj::bench::Main(); }

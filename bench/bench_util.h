@@ -1,0 +1,78 @@
+// Shared setup for the paper-reproduction benchmark binaries.
+//
+// Scale control: the XMLPROJ_SCALE environment variable sets the xmlgen
+// scale factor (default 0.01 ≈ 1MB so that `for b in build/bench/*; do $b;
+// done` completes quickly; the paper's 56MB document corresponds to
+// XMLPROJ_SCALE=0.5).
+
+#ifndef XMLPROJ_BENCH_BENCH_UTIL_H_
+#define XMLPROJ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "dtd/validator.h"
+#include "projection/pruner.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xmark/workbench.h"
+#include "xmark/xmark_dtd.h"
+#include "xml/serializer.h"
+
+namespace xmlproj {
+namespace bench {
+
+inline double ScaleFromEnv(double default_scale = 0.01) {
+  const char* env = std::getenv("XMLPROJ_SCALE");
+  if (env == nullptr) return default_scale;
+  double scale = std::atof(env);
+  return scale > 0 ? scale : default_scale;
+}
+
+struct Workload {
+  Dtd dtd;
+  Document doc;
+  Interpretation interp;
+  size_t text_bytes = 0;  // serialized (on-disk) size of the document
+};
+
+// Generates and validates the benchmark document; exits on failure.
+inline Workload LoadWorkload(double scale) {
+  auto dtd = LoadXMarkDtd();
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "DTD: %s\n", dtd.status().ToString().c_str());
+    std::exit(1);
+  }
+  XMarkOptions options;
+  options.scale = scale;
+  auto doc = GenerateXMark(options);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "generator: %s\n",
+                 doc.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto interp = Interpret(*doc, *dtd);
+  if (!interp.ok()) {
+    std::fprintf(stderr, "interpretation: %s\n",
+                 interp.status().ToString().c_str());
+    std::exit(1);
+  }
+  Workload w{std::move(*dtd), std::move(*doc), std::move(*interp), 0};
+  w.text_bytes = SerializeDocument(w.doc).size();
+  return w;
+}
+
+// Serialized size of a document (the paper reports on-disk MB).
+inline size_t SerializedBytes(const Document& doc) {
+  return SerializeDocument(doc).size();
+}
+
+inline double Mb(size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace bench
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,87 @@
+// Workload pruning: one pruned document serving a *bunch* of queries.
+//
+// One of the paper's advantages over Bressan et al. [9] is that type
+// projectors are closed under union (§1.2): the union of the projectors of
+// several queries is a projector that preserves all of them. This example
+// prunes an XMark document once for a mixed XPath + XQuery workload and
+// runs every query on the shared pruned document.
+//
+// Run: ./build/examples/multi_query_workload
+
+#include <cstdio>
+#include <vector>
+
+#include "dtd/validator.h"
+#include "projection/pruner.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xmark/workbench.h"
+#include "xmark/xmark_dtd.h"
+#include "xml/serializer.h"
+
+int main() {
+  using namespace xmlproj;
+
+  auto dtd = LoadXMarkDtd();
+  XMarkOptions options;
+  options.scale = 0.005;
+  auto doc = GenerateXMark(options);
+  auto interp = Interpret(*doc, *dtd);
+  size_t original_bytes = SerializeDocument(*doc).size();
+  std::printf("XMark document: %.2f KB\n", original_bytes / 1024.0);
+
+  // The workload: a few queries an auction dashboard might run together.
+  std::vector<BenchmarkQuery> workload = {
+      {"bids", QueryLanguage::kXQuery,
+       "for $a in /site/open_auctions/open_auction "
+       "return <bids>{count($a/bidder)}</bids>",
+       ""},
+      {"sellers", QueryLanguage::kXPath,
+       "/site/open_auctions/open_auction/seller", ""},
+      {"cheap", QueryLanguage::kXQuery,
+       "for $a in /site/closed_auctions/closed_auction "
+       "where $a/price < 40 return $a/price/text()",
+       ""},
+      {"gold", QueryLanguage::kXPath,
+       "//item[contains(description, 'gold')]/name", ""},
+  };
+
+  // Union of the per-query projectors.
+  NameSet projector(dtd->name_count());
+  projector.Add(dtd->root());
+  for (const BenchmarkQuery& query : workload) {
+    auto one = AnalyzeBenchmarkQuery(query, *dtd);
+    if (!one.ok()) {
+      std::fprintf(stderr, "%s: %s\n", query.id.c_str(),
+                   one.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-8s alone keeps %zu/%zu grammar names\n",
+                query.id.c_str(), one->Count(), dtd->name_count());
+    projector |= *one;
+  }
+  std::printf("workload projector keeps %zu/%zu grammar names\n",
+              projector.Count(), dtd->name_count());
+
+  auto pruned = PruneDocument(*doc, *interp, projector);
+  size_t pruned_bytes = SerializeDocument(*pruned).size();
+  std::printf("pruned once for the whole workload: %.2f KB (%.1f%%)\n",
+              pruned_bytes / 1024.0,
+              100.0 * pruned_bytes / original_bytes);
+
+  // Every query must behave identically on the shared pruned document.
+  for (const BenchmarkQuery& query : workload) {
+    auto run_orig = RunBenchmarkQuery(query, *doc);
+    auto run_pruned = RunBenchmarkQuery(query, *pruned);
+    if (!run_orig.ok() || !run_pruned.ok()) {
+      std::fprintf(stderr, "%s: evaluation failed\n", query.id.c_str());
+      return 1;
+    }
+    bool same = run_orig->serialized == run_pruned->serialized;
+    std::printf("  %-8s %4zu items, %s\n", query.id.c_str(),
+                run_orig->result_items,
+                same ? "identical on pruned document" : "MISMATCH");
+    if (!same) return 1;
+  }
+  return 0;
+}

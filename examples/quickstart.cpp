@@ -1,0 +1,115 @@
+// Quickstart: the whole pipeline on a small document.
+//
+//   1. parse a DTD and an XML document, validate;
+//   2. infer the type projector for an XPath query (static analysis);
+//   3. prune the document with the projector;
+//   4. run the query on both documents and check the results agree.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/validator.h"
+#include "projection/projection.h"
+#include "projection/pruner.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace {
+
+constexpr char kDtd[] = R"(
+  <!ELEMENT library (book*)>
+  <!ELEMENT book (title, author+, year?)>
+  <!ELEMENT title (#PCDATA)>
+  <!ELEMENT author (#PCDATA)>
+  <!ELEMENT year (#PCDATA)>
+)";
+
+constexpr char kXml[] =
+    "<library>"
+    "<book><title>Inferno</title><author>Dante</author>"
+    "<year>1313</year></book>"
+    "<book><title>Decameron</title><author>Boccaccio</author>"
+    "<year>1353</year></book>"
+    "<book><title>Canzoniere</title><author>Petrarca</author></book>"
+    "</library>";
+
+constexpr char kQuery[] = "/library/book[author = 'Dante']/title";
+
+}  // namespace
+
+int main() {
+  using namespace xmlproj;
+
+  // 1. Parse DTD + document, validate (this also yields the
+  //    interpretation ℑ mapping nodes to grammar names).
+  auto dtd = ParseDtd(kDtd, "library");
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "%s\n", dtd.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = ParseXml(kXml);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+  auto interp = Validate(*doc, *dtd);
+  if (!interp.ok()) {
+    std::fprintf(stderr, "%s\n", interp.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("document:  %s\n", SerializeDocument(*doc).c_str());
+
+  // 2. Static analysis: query text -> XPath^l approximation -> projector.
+  auto analysis = AnalyzeXPathQuery(*dtd, kQuery);
+  if (!analysis.ok()) {
+    std::fprintf(stderr, "%s\n", analysis.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query:     %s\n", kQuery);
+  std::printf("approx:    %s\n", ToString(analysis->approximated).c_str());
+  std::printf("projector: {");
+  bool first = true;
+  analysis->projector.ForEach([&](NameId n) {
+    std::printf("%s%s", first ? "" : ", ",
+                dtd->production(n).name.c_str());
+    first = false;
+  });
+  std::printf("}\n");
+
+  // 3. Prune. (Year elements and non-author books vanish.)
+  auto pruned = PruneDocument(*doc, *interp, analysis->projector);
+  if (!pruned.ok()) {
+    std::fprintf(stderr, "%s\n", pruned.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("pruned:    %s\n", SerializeDocument(*pruned).c_str());
+
+  // 4. Evaluate the original query on both documents.
+  auto path = ParseXPath(kQuery);
+  XPathEvaluator eval_orig(*doc);
+  XPathEvaluator eval_pruned(*pruned);
+  auto on_orig = eval_orig.EvaluateFromRoot(*path);
+  auto on_pruned = eval_pruned.EvaluateFromRoot(*path);
+  if (!on_orig.ok() || !on_pruned.ok()) {
+    std::fprintf(stderr, "evaluation failed\n");
+    return 1;
+  }
+  std::string orig_text;
+  for (const XNode& n : *on_orig) {
+    orig_text += SerializeSubtree(*doc, n.node);
+  }
+  std::string pruned_text;
+  for (const XNode& n : *on_pruned) {
+    pruned_text += SerializeSubtree(*pruned, n.node);
+  }
+  std::printf("result (original): %s\n", orig_text.c_str());
+  std::printf("result (pruned):   %s\n", pruned_text.c_str());
+  std::printf(orig_text == pruned_text
+                  ? "results agree: pruning is transparent to the query\n"
+                  : "BUG: results differ!\n");
+  return orig_text == pruned_text ? 0 : 1;
+}

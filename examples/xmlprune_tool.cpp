@@ -1,0 +1,188 @@
+// xmlprune: a command-line projection tool over real files.
+//
+// Usage:
+//   xmlprune --dtd auction.dtd --root site --xml doc.xml
+//       [--xquery] [--out pruned.xml] [--explain] QUERY [QUERY...]
+//
+// Reads the DTD and document, infers the union projector for the given
+// queries (XPath by default, XQuery with --xquery), prunes in one
+// streaming pass, and writes the projected document (stdout by default).
+// With --explain it also prints the inferred projector and the XPath^l
+// approximations.
+//
+// Demo without arguments: generates a small XMark file and prunes it for
+// an example query.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dtd/dtd_parser.h"
+#include "projection/projection.h"
+#include "projection/pruner.h"
+#include "xmark/generator.h"
+#include "xmark/xmark_dtd.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/parser.h"
+#include "xquery/path_extraction.h"
+
+namespace {
+
+using namespace xmlproj;
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "xmlprune: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int PruneWith(const Dtd& dtd, const std::string& xml_text,
+              const std::vector<std::string>& queries, bool xquery,
+              bool explain, const std::string& out_path) {
+  NameSet projector(dtd.name_count());
+  projector.Add(dtd.root());
+  for (const std::string& query : queries) {
+    if (xquery) {
+      auto parsed = ParseXQuery(query);
+      if (!parsed.ok()) return Fail(parsed.status());
+      auto one = InferProjectorForQuery(dtd, **parsed);
+      if (!one.ok()) return Fail(one.status());
+      projector |= *one;
+    } else {
+      auto analysis = AnalyzeXPathQuery(dtd, query);
+      if (!analysis.ok()) return Fail(analysis.status());
+      if (explain) {
+        std::fprintf(stderr, "approx(%s) = %s\n", query.c_str(),
+                     ToString(analysis->approximated).c_str());
+      }
+      projector |= analysis->projector;
+    }
+  }
+  if (explain) {
+    std::fprintf(stderr, "projector (%zu/%zu names): ", projector.Count(),
+                 dtd.name_count());
+    projector.ForEach([&dtd](NameId n) {
+      std::fprintf(stderr, "%s ", dtd.production(n).name.c_str());
+    });
+    std::fprintf(stderr, "\n");
+  }
+
+  std::string pruned_text;
+  SerializingHandler serializer(&pruned_text);
+  StreamingPruner pruner(dtd, projector, &serializer);
+  Status status = ParseXmlStream(xml_text, &pruner);
+  if (!status.ok()) return Fail(status);
+
+  std::fprintf(stderr,
+               "xmlprune: %zu -> %zu bytes (%.1f%%), %zu -> %zu nodes\n",
+               xml_text.size(), pruned_text.size(),
+               xml_text.empty()
+                   ? 0.0
+                   : 100.0 * pruned_text.size() / xml_text.size(),
+               pruner.stats().input_nodes, pruner.stats().kept_nodes);
+  if (out_path.empty()) {
+    std::fwrite(pruned_text.data(), 1, pruned_text.size(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary);
+    out << pruned_text;
+    if (!out) {
+      std::fprintf(stderr, "xmlprune: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int Demo() {
+  std::fprintf(stderr,
+               "xmlprune: no arguments; running the built-in demo "
+               "(--help for usage)\n");
+  auto dtd = LoadXMarkDtd();
+  if (!dtd.ok()) return Fail(dtd.status());
+  XMarkOptions options;
+  options.scale = 0.002;
+  std::string xml_text = GenerateXMarkText(options);
+  return PruneWith(*dtd, xml_text,
+                   {"/site/people/person[address/city = 'Rome']/name"},
+                   /*xquery=*/false, /*explain=*/true, "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dtd_path;
+  std::string root = "site";
+  std::string xml_path;
+  std::string out_path;
+  bool xquery = false;
+  bool explain = false;
+  std::vector<std::string> queries;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "xmlprune: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--dtd") {
+      dtd_path = next("--dtd");
+    } else if (arg == "--root") {
+      root = next("--root");
+    } else if (arg == "--xml") {
+      xml_path = next("--xml");
+    } else if (arg == "--out") {
+      out_path = next("--out");
+    } else if (arg == "--xquery") {
+      xquery = true;
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: xmlprune --dtd FILE --root NAME --xml FILE "
+                   "[--xquery] [--out FILE] [--explain] QUERY...\n");
+      return 0;
+    } else {
+      queries.push_back(arg);
+    }
+  }
+
+  if (dtd_path.empty() && xml_path.empty() && queries.empty()) {
+    return Demo();
+  }
+  if (dtd_path.empty() || xml_path.empty() || queries.empty()) {
+    std::fprintf(stderr,
+                 "xmlprune: need --dtd, --xml and at least one query "
+                 "(--help for usage)\n");
+    return 1;
+  }
+
+  std::string dtd_text;
+  std::string xml_text;
+  if (!ReadFile(dtd_path, &dtd_text)) {
+    std::fprintf(stderr, "xmlprune: cannot read %s\n", dtd_path.c_str());
+    return 1;
+  }
+  if (!ReadFile(xml_path, &xml_text)) {
+    std::fprintf(stderr, "xmlprune: cannot read %s\n", xml_path.c_str());
+    return 1;
+  }
+  auto dtd = ParseDtd(dtd_text, root);
+  if (!dtd.ok()) return Fail(dtd.status());
+  return PruneWith(*dtd, xml_text, queries, xquery, explain, out_path);
+}

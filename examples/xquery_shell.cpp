@@ -1,0 +1,173 @@
+// xquery_shell: run XPath/XQuery queries against an XML file — the
+// "main-memory query engine" the paper optimizes, exposed as a tool.
+// With --dtd it also demonstrates the paper end to end: it prints the
+// inferred projector, prunes, runs the query on both versions, and
+// reports the observed time/memory gains.
+//
+// Usage:
+//   xquery_shell --xml FILE [--dtd FILE --root NAME] [--xpath] QUERY...
+//
+// Without arguments it runs a demo against a generated XMark document.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/validator.h"
+#include "projection/pruner.h"
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xmark/workbench.h"
+#include "xmark/xmark_dtd.h"
+#include "xml/parser.h"
+
+namespace {
+
+using namespace xmlproj;
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int RunQueries(const Document& doc, const Dtd* dtd,
+               const Interpretation* interp,
+               const std::vector<std::string>& queries,
+               QueryLanguage language) {
+  for (const std::string& text : queries) {
+    BenchmarkQuery query{"cli", language, text, ""};
+    auto run = RunBenchmarkQuery(query, doc);
+    if (!run.ok()) {
+      std::fprintf(stderr, "query error: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", run->serialized.c_str());
+    std::fprintf(stderr,
+                 "-- %zu item(s), %.2f ms, %.2f MB engine memory\n",
+                 run->result_items, run->seconds * 1000,
+                 run->memory_bytes / (1024.0 * 1024.0));
+
+    if (dtd != nullptr && interp != nullptr) {
+      auto projector = AnalyzeBenchmarkQuery(query, *dtd);
+      if (!projector.ok()) {
+        std::fprintf(stderr, "analysis error: %s\n",
+                     projector.status().ToString().c_str());
+        return 1;
+      }
+      auto pruned = PruneDocument(doc, *interp, *projector);
+      if (!pruned.ok()) return 1;
+      auto run_pruned = RunBenchmarkQuery(query, *pruned);
+      if (!run_pruned.ok()) return 1;
+      bool same = run_pruned->serialized == run->serialized;
+      std::fprintf(
+          stderr,
+          "-- with projection: %zu/%zu grammar names kept, %.2f ms, "
+          "%.2f MB, results %s\n",
+          projector->Count(), dtd->name_count(),
+          run_pruned->seconds * 1000,
+          run_pruned->memory_bytes / (1024.0 * 1024.0),
+          same ? "identical" : "DIFFER (bug!)");
+      if (!same) return 1;
+    }
+  }
+  return 0;
+}
+
+int Demo() {
+  std::fprintf(stderr, "xquery_shell: running the built-in demo "
+                       "(--help for usage)\n");
+  Dtd dtd = std::move(LoadXMarkDtd()).value();
+  XMarkOptions options;
+  options.scale = 0.002;
+  Document doc = std::move(GenerateXMark(options)).value();
+  Interpretation interp = std::move(Interpret(doc, dtd)).value();
+  return RunQueries(
+      doc, &dtd, &interp,
+      {"for $p in /site/people/person[address] "
+       "return <who city=\"{$p/address/city/text()}\">"
+       "{$p/name/text()}</who>"},
+      QueryLanguage::kXQuery);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string xml_path;
+  std::string dtd_path;
+  std::string root = "site";
+  bool xpath = false;
+  std::vector<std::string> queries;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "xquery_shell: %s needs a value\n", flag);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--xml") {
+      xml_path = next("--xml");
+    } else if (arg == "--dtd") {
+      dtd_path = next("--dtd");
+    } else if (arg == "--root") {
+      root = next("--root");
+    } else if (arg == "--xpath") {
+      xpath = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: xquery_shell --xml FILE [--dtd FILE --root "
+                   "NAME] [--xpath] QUERY...\n");
+      return 0;
+    } else {
+      queries.push_back(arg);
+    }
+  }
+  if (xml_path.empty() && queries.empty()) return Demo();
+  if (xml_path.empty() || queries.empty()) {
+    std::fprintf(stderr,
+                 "xquery_shell: need --xml and at least one query\n");
+    return 1;
+  }
+
+  std::string xml_text;
+  if (!ReadFile(xml_path, &xml_text)) {
+    std::fprintf(stderr, "cannot read %s\n", xml_path.c_str());
+    return 1;
+  }
+  auto doc = ParseXml(xml_text);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+
+  QueryLanguage language =
+      xpath ? QueryLanguage::kXPath : QueryLanguage::kXQuery;
+  if (dtd_path.empty()) {
+    return RunQueries(*doc, nullptr, nullptr, queries, language);
+  }
+  std::string dtd_text;
+  if (!ReadFile(dtd_path, &dtd_text)) {
+    std::fprintf(stderr, "cannot read %s\n", dtd_path.c_str());
+    return 1;
+  }
+  auto dtd = ParseDtd(dtd_text, root);
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "%s\n", dtd.status().ToString().c_str());
+    return 1;
+  }
+  auto interp = Validate(*doc, *dtd);
+  if (!interp.ok()) {
+    std::fprintf(stderr, "%s\n", interp.status().ToString().c_str());
+    return 1;
+  }
+  return RunQueries(*doc, &*dtd, &*interp, queries, language);
+}

@@ -1,0 +1,67 @@
+// Peak-memory accounting for the query engines.
+//
+// The paper's Figure 5 reports the memory a query engine needs to process a
+// query on the original vs the pruned document. We reproduce that with a
+// deterministic engine-internal meter instead of process RSS: the evaluators
+// report every materialized node list / item sequence / constructed node to
+// a MemoryMeter, and benchmarks add the document arena size. Ratios between
+// original and pruned runs — the quantity the paper plots — are preserved.
+
+#ifndef XMLPROJ_COMMON_MEMORY_METER_H_
+#define XMLPROJ_COMMON_MEMORY_METER_H_
+
+#include <algorithm>
+#include <cstddef>
+
+namespace xmlproj {
+
+class MemoryMeter {
+ public:
+  void Add(size_t bytes) {
+    current_ += bytes;
+    peak_ = std::max(peak_, current_);
+  }
+  void Sub(size_t bytes) { current_ -= std::min(bytes, current_); }
+
+  // Sets a floor (e.g. the loaded document size) contributing to the peak.
+  void AddBaseline(size_t bytes) {
+    baseline_ += bytes;
+    peak_ = std::max(peak_, current_ + baseline_);
+  }
+
+  size_t current() const { return current_ + baseline_; }
+  size_t peak() const { return std::max(peak_, current_ + baseline_); }
+
+  void Reset() {
+    current_ = 0;
+    peak_ = 0;
+    baseline_ = 0;
+  }
+
+ private:
+  size_t current_ = 0;
+  size_t peak_ = 0;
+  size_t baseline_ = 0;
+};
+
+// RAII guard: meters a transient allocation for the guard's lifetime.
+class MeteredBytes {
+ public:
+  MeteredBytes(MemoryMeter* meter, size_t bytes)
+      : meter_(meter), bytes_(bytes) {
+    if (meter_ != nullptr) meter_->Add(bytes_);
+  }
+  ~MeteredBytes() {
+    if (meter_ != nullptr) meter_->Sub(bytes_);
+  }
+  MeteredBytes(const MeteredBytes&) = delete;
+  MeteredBytes& operator=(const MeteredBytes&) = delete;
+
+ private:
+  MemoryMeter* meter_;
+  size_t bytes_;
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_COMMON_MEMORY_METER_H_

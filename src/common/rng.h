@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation for document generators and
+// property tests. SplitMix64 is tiny, fast, and reproducible across
+// platforms, which matters because the XMark generator and the randomized
+// soundness tests must produce identical inputs on every run.
+
+#ifndef XMLPROJ_COMMON_RNG_H_
+#define XMLPROJ_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace xmlproj {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int IntIn(int lo, int hi) {
+    return lo + static_cast<int>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+  double Double01() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_COMMON_RNG_H_

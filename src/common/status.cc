@@ -1,0 +1,31 @@
+#include "common/status.h"
+
+namespace xmlproj {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "PARSE_ERROR";
+    case StatusCode::kInvalid:
+      return "INVALID";
+    case StatusCode::kUnsupported:
+      return "UNSUPPORTED";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,341 @@
+#include "dtd/content_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xmlproj {
+
+int32_t ContentModel::Add(RegexNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+int32_t ContentModel::Epsilon() {
+  RegexNode n;
+  n.kind = RegexKind::kEpsilon;
+  return Add(std::move(n));
+}
+
+int32_t ContentModel::Name(NameId name) {
+  RegexNode n;
+  n.kind = RegexKind::kName;
+  n.name = name;
+  return Add(std::move(n));
+}
+
+int32_t ContentModel::Seq(std::vector<int32_t> children) {
+  RegexNode n;
+  n.kind = RegexKind::kSeq;
+  n.children = std::move(children);
+  return Add(std::move(n));
+}
+
+int32_t ContentModel::Choice(std::vector<int32_t> children) {
+  RegexNode n;
+  n.kind = RegexKind::kChoice;
+  n.children = std::move(children);
+  return Add(std::move(n));
+}
+
+int32_t ContentModel::Star(int32_t child) {
+  RegexNode n;
+  n.kind = RegexKind::kStar;
+  n.children = {child};
+  return Add(std::move(n));
+}
+
+int32_t ContentModel::Plus(int32_t child) {
+  RegexNode n;
+  n.kind = RegexKind::kPlus;
+  n.children = {child};
+  return Add(std::move(n));
+}
+
+int32_t ContentModel::Opt(int32_t child) {
+  RegexNode n;
+  n.kind = RegexKind::kOpt;
+  n.children = {child};
+  return Add(std::move(n));
+}
+
+int32_t ContentModel::Any() {
+  RegexNode n;
+  n.kind = RegexKind::kAny;
+  return Add(std::move(n));
+}
+
+NameSet ContentModel::CollectNames(size_t universe_size,
+                                   const NameSet* any_names) const {
+  NameSet out(universe_size);
+  for (const RegexNode& n : nodes_) {
+    if (n.kind == RegexKind::kName) {
+      out.Add(n.name);
+    } else if (n.kind == RegexKind::kAny && any_names != nullptr) {
+      out |= *any_names;
+    }
+  }
+  return out;
+}
+
+bool ContentModel::ContainsAny() const {
+  for (const RegexNode& n : nodes_) {
+    if (n.kind == RegexKind::kAny) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool ContainsChoice(const ContentModel& model, int32_t index) {
+  const RegexNode& n = model.node(index);
+  if (n.kind == RegexKind::kChoice) return true;
+  for (int32_t c : n.children) {
+    if (ContainsChoice(model, c)) return true;
+  }
+  return false;
+}
+
+// A factor is *-guarded if it is starred (the union, if any, is under the
+// star) or contains no union at all.
+bool FactorIsStarGuarded(const ContentModel& model, int32_t index) {
+  const RegexNode& n = model.node(index);
+  if (n.kind == RegexKind::kStar || n.kind == RegexKind::kPlus) return true;
+  return !ContainsChoice(model, index);
+}
+
+}  // namespace
+
+bool ContentModel::IsStarGuarded() const {
+  if (root_ < 0) return true;
+  const RegexNode& top = node(root_);
+  if (top.kind == RegexKind::kSeq) {
+    return std::all_of(top.children.begin(), top.children.end(),
+                       [this](int32_t c) {
+                         return FactorIsStarGuarded(*this, c);
+                       });
+  }
+  return FactorIsStarGuarded(*this, root_);
+}
+
+std::string ContentModel::ToString(
+    const std::vector<std::string>& name_strings) const {
+  if (root_ < 0) return "EMPTY";
+  std::string out;
+  // Local recursive lambda via explicit stack-free recursion helper.
+  struct Printer {
+    const ContentModel& model;
+    const std::vector<std::string>& names;
+    std::string* out;
+    void Print(int32_t index) {
+      const RegexNode& n = model.node(index);
+      switch (n.kind) {
+        case RegexKind::kEpsilon:
+          out->append("()");
+          break;
+        case RegexKind::kAny:
+          out->append("ANY");
+          break;
+        case RegexKind::kName:
+          out->append(names[static_cast<size_t>(n.name)]);
+          break;
+        case RegexKind::kSeq:
+        case RegexKind::kChoice: {
+          const char* sep = n.kind == RegexKind::kSeq ? ", " : " | ";
+          out->push_back('(');
+          for (size_t i = 0; i < n.children.size(); ++i) {
+            if (i > 0) out->append(sep);
+            Print(n.children[i]);
+          }
+          out->push_back(')');
+          break;
+        }
+        case RegexKind::kStar:
+          Print(n.children[0]);
+          out->push_back('*');
+          break;
+        case RegexKind::kPlus:
+          Print(n.children[0]);
+          out->push_back('+');
+          break;
+        case RegexKind::kOpt:
+          Print(n.children[0]);
+          out->push_back('?');
+          break;
+      }
+    }
+  };
+  Printer{*this, name_strings, &out}.Print(root_);
+  return out;
+}
+
+ContentMatcher::BuildResult ContentMatcher::Build(const ContentModel& model,
+                                                  int32_t index) {
+  const RegexNode& n = model.node(index);
+  BuildResult r;
+  switch (n.kind) {
+    case RegexKind::kEpsilon:
+      r.nullable = true;
+      break;
+    case RegexKind::kName:
+    case RegexKind::kAny: {
+      int32_t pos = static_cast<int32_t>(positions_.size());
+      positions_.push_back(
+          Position{n.kind == RegexKind::kAny ? kNoName : n.name});
+      follow_.emplace_back();
+      r.nullable = false;
+      r.first = {pos};
+      r.last = {pos};
+      if (n.kind == RegexKind::kAny) {
+        // ANY repeats: position follows itself.
+        follow_[static_cast<size_t>(pos)].push_back(pos);
+        r.nullable = true;
+      }
+      break;
+    }
+    case RegexKind::kSeq: {
+      r.nullable = true;
+      for (int32_t c : n.children) {
+        BuildResult cr = Build(model, c);
+        // follow(last of prefix) += first(cr)
+        for (int32_t l : r.last) {
+          auto& f = follow_[static_cast<size_t>(l)];
+          f.insert(f.end(), cr.first.begin(), cr.first.end());
+        }
+        if (r.nullable) {
+          r.first.insert(r.first.end(), cr.first.begin(), cr.first.end());
+        }
+        if (cr.nullable) {
+          r.last.insert(r.last.end(), cr.last.begin(), cr.last.end());
+        } else {
+          r.last = std::move(cr.last);
+        }
+        r.nullable = r.nullable && cr.nullable;
+      }
+      break;
+    }
+    case RegexKind::kChoice: {
+      r.nullable = false;
+      for (int32_t c : n.children) {
+        BuildResult cr = Build(model, c);
+        r.nullable = r.nullable || cr.nullable;
+        r.first.insert(r.first.end(), cr.first.begin(), cr.first.end());
+        r.last.insert(r.last.end(), cr.last.begin(), cr.last.end());
+      }
+      break;
+    }
+    case RegexKind::kStar:
+    case RegexKind::kPlus:
+    case RegexKind::kOpt: {
+      BuildResult cr = Build(model, n.children[0]);
+      if (n.kind != RegexKind::kOpt) {
+        for (int32_t l : cr.last) {
+          auto& f = follow_[static_cast<size_t>(l)];
+          f.insert(f.end(), cr.first.begin(), cr.first.end());
+        }
+      }
+      r.nullable = cr.nullable || n.kind != RegexKind::kPlus;
+      r.first = std::move(cr.first);
+      r.last = std::move(cr.last);
+      break;
+    }
+  }
+  return r;
+}
+
+ContentMatcher::ContentMatcher(const ContentModel& model,
+                               size_t universe_size)
+    : universe_size_(universe_size) {
+  if (model.empty_model()) {
+    nullable_ = true;
+    return;
+  }
+  BuildResult r = Build(model, model.root());
+  nullable_ = r.nullable;
+  first_ = std::move(r.first);
+  accepting_ = std::move(r.last);
+  // Deduplicate follow sets (insertions may repeat positions).
+  for (auto& f : follow_) {
+    std::sort(f.begin(), f.end());
+    f.erase(std::unique(f.begin(), f.end()), f.end());
+  }
+  std::sort(first_.begin(), first_.end());
+  first_.erase(std::unique(first_.begin(), first_.end()), first_.end());
+  std::sort(accepting_.begin(), accepting_.end());
+  accepting_.erase(std::unique(accepting_.begin(), accepting_.end()),
+                   accepting_.end());
+}
+
+ContentMatcher::MatchState ContentMatcher::StartState() const {
+  MatchState state;
+  state.positions.assign(positions_.size(), false);
+  return state;
+}
+
+void ContentMatcher::Advance(MatchState* state, NameId child) const {
+  if (state->dead) return;
+  std::vector<bool> next(positions_.size(), false);
+  bool any = false;
+  auto try_enter = [this, child, &next, &any](int32_t p) {
+    const Position& pos = positions_[static_cast<size_t>(p)];
+    if (pos.name == kNoName || pos.name == child) {
+      next[static_cast<size_t>(p)] = true;
+      any = true;
+    }
+  };
+  if (state->at_start) {
+    for (int32_t p : first_) try_enter(p);
+    state->at_start = false;
+  } else {
+    for (size_t p = 0; p < state->positions.size(); ++p) {
+      if (!state->positions[p]) continue;
+      for (int32_t q : follow_[p]) try_enter(q);
+    }
+  }
+  state->positions = std::move(next);
+  if (!any) state->dead = true;
+}
+
+bool ContentMatcher::Accepts(const MatchState& state) const {
+  if (state.dead) return false;
+  if (state.at_start) return nullable_;
+  for (int32_t p : accepting_) {
+    if (state.positions[static_cast<size_t>(p)]) return true;
+  }
+  return false;
+}
+
+bool ContentMatcher::Matches(std::span<const NameId> children) const {
+  if (children.empty()) return nullable_;
+  // Subset simulation over positions.
+  std::vector<bool> current(positions_.size(), false);
+  bool any_current = false;
+  for (int32_t p : first_) {
+    const Position& pos = positions_[static_cast<size_t>(p)];
+    if (pos.name == kNoName || pos.name == children[0]) {
+      current[static_cast<size_t>(p)] = true;
+      any_current = true;
+    }
+  }
+  for (size_t i = 1; i < children.size(); ++i) {
+    if (!any_current) return false;
+    std::vector<bool> next(positions_.size(), false);
+    any_current = false;
+    for (size_t p = 0; p < current.size(); ++p) {
+      if (!current[p]) continue;
+      for (int32_t q : follow_[p]) {
+        const Position& pos = positions_[static_cast<size_t>(q)];
+        if (pos.name == kNoName || pos.name == children[i]) {
+          next[static_cast<size_t>(q)] = true;
+          any_current = true;
+        }
+      }
+    }
+    current = std::move(next);
+  }
+  for (int32_t p : accepting_) {
+    if (current[static_cast<size_t>(p)]) return true;
+  }
+  return false;
+}
+
+}  // namespace xmlproj

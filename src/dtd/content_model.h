@@ -1,0 +1,135 @@
+// Content models: regular expressions over DTD names (paper §2.2).
+//
+// Each production X -> a[r] carries one ContentModel describing r. The
+// model is an arena of RegexNode records; matching of a child-name sequence
+// uses a Glushkov (position) automaton compiled once per production, which
+// is the standard construction for DTD content models.
+
+#ifndef XMLPROJ_DTD_CONTENT_MODEL_H_
+#define XMLPROJ_DTD_CONTENT_MODEL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dtd/name_set.h"
+
+namespace xmlproj {
+
+enum class RegexKind : uint8_t {
+  kEpsilon,  // empty sequence (EMPTY content)
+  kName,     // one name occurrence
+  kSeq,      // r1, r2, ..., rn
+  kChoice,   // r1 | r2 | ... | rn
+  kStar,     // r*
+  kPlus,     // r+
+  kOpt,      // r?
+  kAny,      // ANY content: any sequence over the whole DTD
+};
+
+struct RegexNode {
+  RegexKind kind = RegexKind::kEpsilon;
+  NameId name = kNoName;           // kName only
+  std::vector<int32_t> children;   // node indices within the ContentModel
+};
+
+class ContentModel {
+ public:
+  ContentModel() = default;
+
+  // --- Construction (returns node index) -------------------------------
+  int32_t Epsilon();
+  int32_t Name(NameId name);
+  int32_t Seq(std::vector<int32_t> children);
+  int32_t Choice(std::vector<int32_t> children);
+  int32_t Star(int32_t child);
+  int32_t Plus(int32_t child);
+  int32_t Opt(int32_t child);
+  int32_t Any();
+
+  void set_root(int32_t root) { root_ = root; }
+  int32_t root() const { return root_; }
+  bool empty_model() const { return root_ < 0; }
+
+  const RegexNode& node(int32_t index) const {
+    return nodes_[static_cast<size_t>(index)];
+  }
+  size_t node_count() const { return nodes_.size(); }
+
+  // All names occurring in the model — Names(r) in the paper. For kAny this
+  // must be supplied by the caller (the whole DTD); pass universe_size and
+  // the full set via `any_names`.
+  NameSet CollectNames(size_t universe_size, const NameSet* any_names) const;
+
+  // True if r contains a kAny node.
+  bool ContainsAny() const;
+
+  // *-guardedness of this model (Def 4.3(1)): the model is a product of
+  // factors, and every factor containing a union is starred (* or +).
+  bool IsStarGuarded() const;
+
+  // Human-readable form, e.g. "(a, (b | c)*, d?)". For diagnostics.
+  std::string ToString(
+      const std::vector<std::string>& name_strings) const;
+
+ private:
+  int32_t Add(RegexNode node);
+
+  std::vector<RegexNode> nodes_;
+  int32_t root_ = -1;
+};
+
+// Glushkov automaton for one content model; answers "does this sequence of
+// child names match r?".
+class ContentMatcher {
+ public:
+  // `universe_size` is the number of names in the DTD; kAny nodes accept
+  // any name.
+  ContentMatcher(const ContentModel& model, size_t universe_size);
+
+  bool Matches(std::span<const NameId> children) const;
+
+  // True if the empty sequence matches.
+  bool AcceptsEmpty() const { return nullable_; }
+
+  // --- Incremental matching (streaming validation) ----------------------
+  // State after consuming a (possibly empty) prefix of a child sequence.
+  // Memory is O(positions), independent of how many children were fed:
+  // this is what lets validation run in one bufferless pass alongside
+  // pruning (§6).
+  struct MatchState {
+    std::vector<bool> positions;
+    bool at_start = true;
+    bool dead = false;  // no continuation can ever match
+  };
+
+  MatchState StartState() const;
+  // Consumes one child name.
+  void Advance(MatchState* state, NameId child) const;
+  // True if the sequence consumed so far is a complete match.
+  bool Accepts(const MatchState& state) const;
+
+ private:
+  struct Position {
+    NameId name;   // kNoName means "any name" (from kAny)
+  };
+  struct BuildResult {
+    bool nullable;
+    std::vector<int32_t> first;
+    std::vector<int32_t> last;
+  };
+
+  BuildResult Build(const ContentModel& model, int32_t index);
+
+  std::vector<Position> positions_;
+  std::vector<std::vector<int32_t>> follow_;
+  std::vector<int32_t> first_;
+  bool nullable_ = true;
+  std::vector<int32_t> accepting_;  // positions that can end a match
+  size_t universe_size_ = 0;
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_DTD_CONTENT_MODEL_H_

@@ -1,0 +1,73 @@
+#include "dtd/dataguide.h"
+
+#include <vector>
+
+namespace xmlproj {
+
+Status DataGuideBuilder::AddDocument(const Document& doc) {
+  NodeId root = doc.root();
+  if (root == kNullNode) {
+    return InvalidError("cannot summarize a document with no root element");
+  }
+  const std::string& root_tag = doc.tag_name(root);
+  if (root_tag_.empty()) {
+    root_tag_ = root_tag;
+  } else if (root_tag_ != root_tag) {
+    return InvalidError("documents disagree on the root tag: '" +
+                        root_tag_ + "' vs '" + root_tag + "'");
+  }
+  const NodeId total = static_cast<NodeId>(doc.size());
+  for (NodeId id = 1; id < total; ++id) {
+    if (doc.kind(id) != NodeKind::kElement) continue;
+    TagSummary& summary = tags_[doc.tag_name(id)];
+    for (NodeId c = doc.node(id).first_child; c != kNullNode;
+         c = doc.node(c).next_sibling) {
+      if (doc.kind(c) == NodeKind::kText) {
+        summary.has_text = true;
+      } else {
+        summary.child_tags.insert(doc.tag_name(c));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Dtd> DataGuideBuilder::Build() const {
+  if (root_tag_.empty()) {
+    return InvalidError("no documents were added to the dataguide");
+  }
+  DtdBuilder builder;
+  // Declare all tags first so content models can reference them freely.
+  for (const auto& [tag, summary] : tags_) {
+    (void)summary;
+    XMLPROJ_RETURN_IF_ERROR(builder.DeclareElement(tag).status());
+  }
+  for (const auto& [tag, summary] : tags_) {
+    NameId id = builder.FindElement(tag);
+    std::vector<int32_t> alternatives;
+    ContentModel model;
+    if (summary.has_text) {
+      alternatives.push_back(model.Name(builder.StringNameFor(id)));
+    }
+    for (const std::string& child : summary.child_tags) {
+      alternatives.push_back(model.Name(builder.FindElement(child)));
+    }
+    if (!alternatives.empty()) {
+      int32_t body = alternatives.size() == 1
+                         ? alternatives[0]
+                         : model.Choice(std::move(alternatives));
+      model.set_root(model.Star(body));
+    }
+    // No children ever observed: EMPTY content (default model).
+    *builder.MutableContent(id) = std::move(model);
+  }
+  return builder.Build(root_tag_);
+}
+
+Result<Dtd> InferDataGuide(const Document& doc) {
+  DataGuideBuilder builder;
+  XMLPROJ_RETURN_IF_ERROR(builder.AddDocument(doc));
+  return builder.Build();
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,26 @@
+// Parser for DTD text (the ELEMENT/ATTLIST declaration language) into a
+// local tree grammar (dtd.h).
+//
+// Accepts standalone DTD files and DOCTYPE internal subsets. ENTITY and
+// NOTATION declarations, comments, and processing instructions are
+// skipped; parameter entities are not supported (none of the benchmark
+// DTDs use them).
+
+#ifndef XMLPROJ_DTD_DTD_PARSER_H_
+#define XMLPROJ_DTD_DTD_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+
+namespace xmlproj {
+
+// Parses the declarations in `dtd_text` and fixes `root_tag` as the
+// distinguished root name X of the grammar (DTD syntax itself does not name
+// the root; it comes from the DOCTYPE declaration or from the caller).
+Result<Dtd> ParseDtd(std::string_view dtd_text, std::string_view root_tag);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_DTD_DTD_PARSER_H_

@@ -1,0 +1,143 @@
+// Dense bitset over the names of one DTD.
+//
+// The static analysis (paper §4) manipulates types τ, contexts κ and
+// projectors π, all of which are subsets of DN(E). A DTD has at most a few
+// hundred names, so a flat bitset makes every A_E / T_E operation a handful
+// of word operations.
+
+#ifndef XMLPROJ_DTD_NAME_SET_H_
+#define XMLPROJ_DTD_NAME_SET_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace xmlproj {
+
+// Index of a name in a Dtd. Dense, starting at 0.
+using NameId = int32_t;
+inline constexpr NameId kNoName = -1;
+
+class NameSet {
+ public:
+  NameSet() = default;
+  explicit NameSet(size_t universe_size)
+      : size_(universe_size), words_((universe_size + 63) / 64, 0) {}
+
+  static NameSet Of(size_t universe_size,
+                    std::initializer_list<NameId> names) {
+    NameSet s(universe_size);
+    for (NameId n : names) s.Add(n);
+    return s;
+  }
+
+  size_t universe_size() const { return size_; }
+
+  void Add(NameId n) {
+    assert(n >= 0 && static_cast<size_t>(n) < size_);
+    words_[static_cast<size_t>(n) >> 6] |= 1ull << (n & 63);
+  }
+  void Remove(NameId n) {
+    assert(n >= 0 && static_cast<size_t>(n) < size_);
+    words_[static_cast<size_t>(n) >> 6] &= ~(1ull << (n & 63));
+  }
+  bool Contains(NameId n) const {
+    if (n < 0 || static_cast<size_t>(n) >= size_) return false;
+    return (words_[static_cast<size_t>(n) >> 6] >> (n & 63)) & 1;
+  }
+
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+  bool Any() const { return !Empty(); }
+
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  NameSet& operator|=(const NameSet& other) {
+    assert(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+    return *this;
+  }
+  NameSet& operator&=(const NameSet& other) {
+    assert(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+  // Set difference.
+  NameSet& operator-=(const NameSet& other) {
+    assert(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  friend NameSet operator|(NameSet a, const NameSet& b) { return a |= b; }
+  friend NameSet operator&(NameSet a, const NameSet& b) { return a &= b; }
+  friend NameSet operator-(NameSet a, const NameSet& b) { return a -= b; }
+
+  bool operator==(const NameSet& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+
+  bool Intersects(const NameSet& other) const {
+    assert(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
+  bool IsSubsetOf(const NameSet& other) const {
+    assert(size_ == other.size_);
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if (words_[i] & ~other.words_[i]) return false;
+    }
+    return true;
+  }
+
+  // Calls fn(NameId) for each member, in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+      uint64_t w = words_[wi];
+      while (w != 0) {
+        int bit = __builtin_ctzll(w);
+        fn(static_cast<NameId>(wi * 64 + static_cast<size_t>(bit)));
+        w &= w - 1;
+      }
+    }
+  }
+
+  // FNV-style hash over the words (used by the projector-inference memo).
+  size_t Hash() const {
+    size_t h = 1469598103934665603ull;
+    for (uint64_t w : words_) {
+      h ^= static_cast<size_t>(w);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  std::vector<NameId> ToVector() const {
+    std::vector<NameId> out;
+    out.reserve(Count());
+    ForEach([&out](NameId n) { out.push_back(n); });
+    return out;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_DTD_NAME_SET_H_

@@ -1,0 +1,109 @@
+#include "dtd/validator.h"
+
+#include <string>
+
+#include "common/strings.h"
+
+namespace xmlproj {
+namespace {
+
+Result<Interpretation> ValidateImpl(const Document& doc, const Dtd& dtd,
+                                    const ValidationOptions& options) {
+  Interpretation interp;
+  interp.name_of_node.assign(doc.size(), kNoName);
+  interp.name_of_node[doc.document_node()] = dtd.document_name();
+
+  // Tag symbol -> name id, resolved once per distinct tag.
+  std::vector<NameId> name_of_tag(doc.symbols().size(), kNoName);
+  std::vector<bool> tag_resolved(doc.symbols().size(), false);
+
+  NodeId root = doc.root();
+  if (root == kNullNode) return InvalidError("document has no root element");
+
+  std::vector<NameId> child_names;  // reused per element
+  const NodeId total = static_cast<NodeId>(doc.size());
+  for (NodeId id = 1; id < total; ++id) {
+    const Node& n = doc.node(id);
+    if (n.kind == NodeKind::kText) {
+      NameId parent_name = interp.name_of_node[n.parent];
+      if (parent_name == kNoName) {
+        return InvalidError("text node at top level");
+      }
+      NameId string_name = dtd.StringNameOf(parent_name);
+      if (string_name == kNoName) {
+        return InvalidError(
+            "text content not allowed inside element '" +
+            dtd.production(parent_name).tag + "'");
+      }
+      interp.name_of_node[id] = string_name;
+      continue;
+    }
+    if (n.kind != NodeKind::kElement) continue;
+    TagId tag = n.tag;
+    if (!tag_resolved[static_cast<size_t>(tag)]) {
+      name_of_tag[static_cast<size_t>(tag)] =
+          dtd.NameOfTag(doc.symbols().NameOf(tag));
+      tag_resolved[static_cast<size_t>(tag)] = true;
+    }
+    NameId name = name_of_tag[static_cast<size_t>(tag)];
+    if (name == kNoName) {
+      return InvalidError("undeclared element '" + doc.tag_name(id) + "'");
+    }
+    interp.name_of_node[id] = name;
+  }
+
+  if (interp.name_of_node[root] != dtd.root()) {
+    return InvalidError("root element '" + doc.tag_name(root) +
+                        "' does not match DTD root '" +
+                        dtd.production(dtd.root()).tag + "'");
+  }
+
+  if (!options.check_content && !options.check_attributes) return interp;
+
+  for (NodeId id = 1; id < total; ++id) {
+    const Node& n = doc.node(id);
+    if (n.kind != NodeKind::kElement) continue;
+    NameId name = interp.name_of_node[id];
+    if (options.check_attributes) {
+      for (const AttributeDecl& decl : dtd.production(name).attributes) {
+        if (decl.required && doc.FindAttribute(id, decl.name) == nullptr) {
+          return InvalidError("element '" + doc.tag_name(id) +
+                              "' is missing required attribute '" +
+                              decl.name + "'");
+        }
+      }
+    }
+    if (options.check_content) {
+      child_names.clear();
+      for (NodeId c = n.first_child; c != kNullNode;
+           c = doc.node(c).next_sibling) {
+        child_names.push_back(interp.name_of_node[c]);
+      }
+      if (!dtd.MatcherOf(name).Matches(child_names)) {
+        return InvalidError(StringPrintf(
+            "children of element '%s' (node %u) do not match its content "
+            "model %s",
+            doc.tag_name(id).c_str(), id,
+            dtd.production(name).content.ToString(dtd.NameStrings())
+                .c_str()));
+      }
+    }
+  }
+  return interp;
+}
+
+}  // namespace
+
+Result<Interpretation> Validate(const Document& doc, const Dtd& dtd,
+                                const ValidationOptions& options) {
+  return ValidateImpl(doc, dtd, options);
+}
+
+Result<Interpretation> Interpret(const Document& doc, const Dtd& dtd) {
+  ValidationOptions options;
+  options.check_content = false;
+  options.check_attributes = false;
+  return ValidateImpl(doc, dtd, options);
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,46 @@
+// Validation (paper Def 2.4): checks that a Document conforms to a Dtd and
+// produces the interpretation ℑ mapping every node id to the grammar name
+// generating it. Because DTDs are local tree grammars the interpretation is
+// unique: an element's name is determined by its tag, and a text node's
+// name is the String name attached to its parent element.
+
+#ifndef XMLPROJ_DTD_VALIDATOR_H_
+#define XMLPROJ_DTD_VALIDATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "xml/document.h"
+
+namespace xmlproj {
+
+// ℑ: node id -> name id. kNoName for the document node.
+struct Interpretation {
+  std::vector<NameId> name_of_node;
+
+  NameId operator[](NodeId id) const {
+    return name_of_node[static_cast<size_t>(id)];
+  }
+};
+
+struct ValidationOptions {
+  // Check content models (child sequences). When false only the
+  // tag->name mapping is computed — used when a document is known valid
+  // and only ℑ is needed (e.g. generated XMark documents).
+  bool check_content = true;
+  // Check #REQUIRED attributes are present.
+  bool check_attributes = true;
+};
+
+// Validates `doc` against `dtd`; on success returns the interpretation.
+Result<Interpretation> Validate(const Document& doc, const Dtd& dtd,
+                                const ValidationOptions& options = {});
+
+// Computes ℑ without validating (fails only if a tag is undeclared or a
+// text node occurs under an element with no PCDATA in its content model).
+Result<Interpretation> Interpret(const Document& doc, const Dtd& dtd);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_DTD_VALIDATOR_H_

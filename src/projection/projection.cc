@@ -1,0 +1,68 @@
+#include "projection/projection.h"
+
+#include "projection/projector_inference.h"
+#include "xpath/approximate.h"
+#include "xpath/parser.h"
+
+namespace xmlproj {
+
+Result<ProjectionAnalysis> AnalyzeXPath(const Dtd& dtd,
+                                        const LocationPath& query,
+                                        bool materialize_result) {
+  XMLPROJ_ASSIGN_OR_RETURN(ApproximatedQuery approx,
+                           ApproximateQuery(query));
+  if (!approx.var_conditions.empty()) {
+    return InvalidError(
+        "query contains variable-rooted predicates; analyze it as part of "
+        "an XQuery workload");
+  }
+  ProjectorInference inference(dtd);
+  XMLPROJ_ASSIGN_OR_RETURN(
+      NameSet projector,
+      inference.InferForPath(approx.main, materialize_result,
+                             approx.from_document_node));
+  for (const LPath& extra : approx.extra_paths) {
+    // Extra paths carry predicate data needs: they are absolute (they are
+    // promoted from absolute predicates), and their results are consumed
+    // by the predicate, so they are materialized only through their own
+    // explicit descendant-or-self suffixes.
+    XMLPROJ_ASSIGN_OR_RETURN(
+        NameSet extra_projector,
+        inference.InferForPath(extra, /*materialize_result=*/false,
+                               /*start_at_document_node=*/true));
+    projector |= extra_projector;
+  }
+  ProjectionAnalysis out;
+  out.projector = inference.CloseToValidProjector(projector);
+  out.approximated = std::move(approx.main);
+  return out;
+}
+
+Result<ProjectionAnalysis> AnalyzeXPathQuery(const Dtd& dtd,
+                                             std::string_view query_text,
+                                             bool materialize_result) {
+  XMLPROJ_ASSIGN_OR_RETURN(LocationPath path, ParseXPath(query_text));
+  return AnalyzeXPath(dtd, path, materialize_result);
+}
+
+Result<NameSet> AnalyzeXPathQueries(const Dtd& dtd,
+                                    std::span<const std::string> queries,
+                                    bool materialize_result) {
+  NameSet out(dtd.name_count());
+  out.Add(dtd.root());
+  for (const std::string& q : queries) {
+    XMLPROJ_ASSIGN_OR_RETURN(ProjectionAnalysis one,
+                             AnalyzeXPathQuery(dtd, q, materialize_result));
+    out |= one.projector;
+  }
+  ProjectorInference inference(dtd);
+  return inference.CloseToValidProjector(out);
+}
+
+double ProjectorSelectivity(const Dtd& dtd, const NameSet& projector) {
+  if (dtd.name_count() == 0) return 0;
+  return 100.0 * static_cast<double>(projector.Count()) /
+         static_cast<double>(dtd.name_count());
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,53 @@
+// One-call API: from XPath query text to a type projector.
+//
+// Pipeline (paper §1.2 "three steps"): parse the query, approximate it
+// into XPath^ℓ (xpath/approximate.h), run projector inference (Fig. 2),
+// union the extra root-level paths promoted from absolute predicates, and
+// close the result to a valid projector. XQuery workloads go through
+// xquery/path_extraction.h instead, which ends in the same inference.
+
+#ifndef XMLPROJ_PROJECTION_PROJECTION_H_
+#define XMLPROJ_PROJECTION_PROJECTION_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "dtd/name_set.h"
+#include "xpath/ast.h"
+#include "xpath/xpathl.h"
+
+namespace xmlproj {
+
+struct ProjectionAnalysis {
+  NameSet projector;
+  // The XPath^ℓ approximation of the query (diagnostics / tests).
+  LPath approximated;
+};
+
+// Infers the projector for one XPath query. `materialize_result` keeps
+// the subtrees of result nodes (needed when answers are serialized; see
+// the remark under Theorem 4.5).
+Result<ProjectionAnalysis> AnalyzeXPathQuery(const Dtd& dtd,
+                                             std::string_view query_text,
+                                             bool materialize_result = true);
+
+Result<ProjectionAnalysis> AnalyzeXPath(const Dtd& dtd,
+                                        const LocationPath& query,
+                                        bool materialize_result = true);
+
+// Workload projector: union over all queries (projectors are closed under
+// union, so one pruned document serves the whole bunch, §1.2).
+Result<NameSet> AnalyzeXPathQueries(const Dtd& dtd,
+                                    std::span<const std::string> queries,
+                                    bool materialize_result = true);
+
+// Percentage [0,100] of DTD names retained by the projector (a static
+// selectivity indicator used by the benchmarks).
+double ProjectorSelectivity(const Dtd& dtd, const NameSet& projector);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_PROJECTION_PROJECTION_H_

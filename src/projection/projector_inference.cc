@@ -1,0 +1,309 @@
+#include "projection/projector_inference.h"
+
+#include <cassert>
+
+namespace xmlproj {
+
+size_t ProjectorInference::Normalize(const LPath& path,
+                                     bool materialize_result) {
+  std::vector<MicroStep> out;
+  for (const LStep& step : path.steps) {
+    // Encoded rules of Fig. 2:
+    //   Axis::Test[Cond] == Axis::node / self::Test / self::node[Cond].
+    if (step.axis != Axis::kSelf) {
+      MicroStep a;
+      a.kind = MicroStep::Kind::kAxisNode;
+      a.axis = step.axis;
+      out.push_back(std::move(a));
+    }
+    if (step.test != TestKind::kNode) {
+      MicroStep b;
+      b.kind = MicroStep::Kind::kSelfTest;
+      b.test = step.test;
+      b.tag = step.tag;
+      out.push_back(std::move(b));
+    }
+    if (!step.cond.empty()) {
+      MicroStep c;
+      c.kind = MicroStep::Kind::kSelfCond;
+      c.cond = step.cond;
+      out.push_back(std::move(c));
+    }
+    if (step.axis == Axis::kSelf && step.test == TestKind::kNode &&
+        step.cond.empty()) {
+      // Identity step: keep it (it still contributes {Y} to the projector).
+      MicroStep b;
+      b.kind = MicroStep::Kind::kSelfTest;
+      b.test = TestKind::kNode;
+      out.push_back(std::move(b));
+    }
+  }
+  if (materialize_result) {
+    MicroStep dos;
+    dos.kind = MicroStep::Kind::kAxisNode;
+    dos.axis = Axis::kDescendantOrSelf;
+    out.push_back(std::move(dos));
+  }
+  if (out.empty()) {
+    MicroStep b;
+    b.kind = MicroStep::Kind::kSelfTest;
+    b.test = TestKind::kNode;
+    out.push_back(std::move(b));
+  }
+  steps_arena_.push_back(std::move(out));
+  return steps_arena_.size() - 1;
+}
+
+TypeEnv ProjectorInference::EnvFor(NameId y, const NameSet& context) const {
+  NameSet singleton(dtd_.name_count());
+  singleton.Add(y);
+  NameSet bound = singleton | dtd_.Ancestors(singleton);
+  TypeEnv env;
+  env.type = singleton;
+  env.context = (context & bound) | singleton;
+  return env;
+}
+
+TypeEnv ProjectorInference::TypeOfSuffix(
+    const TypeEnv& env, size_t slot, size_t idx,
+    std::optional<Axis> override_axis) const {
+  const std::vector<MicroStep>& steps = StepsOf(slot);
+  TypeEnv current = env;
+  for (size_t i = idx; i < steps.size(); ++i) {
+    if (current.Empty()) {
+      return TypeEnv{NameSet(dtd_.name_count()),
+                     NameSet(dtd_.name_count())};
+    }
+    const MicroStep& step = steps[i];
+    switch (step.kind) {
+      case MicroStep::Kind::kAxisNode: {
+        Axis axis = (i == idx && override_axis.has_value())
+                        ? *override_axis
+                        : step.axis;
+        current = types_.ApplyAxis(current, axis);
+        break;
+      }
+      case MicroStep::Kind::kSelfTest:
+        current = types_.ApplySelfTest(current, step.test, step.tag);
+        break;
+      case MicroStep::Kind::kSelfCond:
+        current = types_.ApplyCondition(current, step.cond);
+        break;
+    }
+  }
+  return current;
+}
+
+NameSet ProjectorInference::InferMany(const TypeEnv& env, size_t slot,
+                                      size_t idx,
+                                      std::optional<Axis> override_axis) {
+  NameSet out(dtd_.name_count());
+  env.type.ForEach([this, &env, slot, idx, override_axis, &out](NameId x) {
+    out |= InferFrom(x, env.context, slot, idx, override_axis);
+  });
+  return out;
+}
+
+NameSet ProjectorInference::InferConditionPaths(const TypeEnv& env,
+                                                size_t slot, size_t idx) {
+  NameSet out(dtd_.name_count());
+  // Take the conditions by reference from the arena: the vector is stable.
+  const std::vector<LPath>& condition = StepsOf(slot)[idx].cond;
+  for (const LPath& p : condition) {
+    size_t cond_slot;
+    auto it = cond_slots_.find(&p);
+    if (it != cond_slots_.end()) {
+      cond_slot = it->second;
+    } else {
+      cond_slot = Normalize(p, /*materialize_result=*/false);
+      cond_slots_.emplace(&p, cond_slot);
+    }
+    out |= InferMany(env, cond_slot, 0, std::nullopt);
+  }
+  return out;
+}
+
+NameSet ProjectorInference::InferFrom(NameId y, const NameSet& context,
+                                      size_t slot, size_t idx,
+                                      std::optional<Axis> override_axis) {
+  TypeEnv env = EnvFor(y, context);
+  MemoKey key{y, slot, idx,
+              override_axis.has_value() ? static_cast<int>(*override_axis)
+                                        : -1,
+              env.context};
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  const MicroStep& step = StepsOf(slot)[idx];
+  const bool last = idx + 1 == StepsOf(slot).size();
+  NameSet result(dtd_.name_count());
+
+  switch (step.kind) {
+    case MicroStep::Kind::kSelfTest: {
+      TypeEnv after = types_.ApplySelfTest(env, step.test, step.tag);
+      if (last) {
+        // Base rule: Σ ⊢ Step : (τ,κ)  ⟹  Σ ⊩ Step : τ ∪ κ.
+        result = after.type | after.context;
+      } else {
+        // Primitive rule 1: {Y} ∪ τ where Σ' ⊩ P : τ.
+        result = InferMany(after, slot, idx + 1, std::nullopt);
+        result.Add(y);
+      }
+      break;
+    }
+    case MicroStep::Kind::kSelfCond: {
+      TypeEnv after = types_.ApplyCondition(env, step.cond);
+      // Primitive rule 2: {Y} ∪ τ ∪ τ_1 ∪ ... ∪ τ_n. When the conditional
+      // step is last, P is the identity self::node (encoded rule), whose
+      // projector is the base rule's τ ∪ κ.
+      NameSet continuation(dtd_.name_count());
+      if (last) {
+        continuation = after.type | after.context;
+      } else {
+        continuation = InferMany(after, slot, idx + 1, std::nullopt);
+      }
+      result = continuation | InferConditionPaths(after, slot, idx);
+      result.Add(y);
+      break;
+    }
+    case MicroStep::Kind::kAxisNode: {
+      Axis axis = override_axis.value_or(step.axis);
+      switch (axis) {
+        case Axis::kChild:
+        case Axis::kParent: {
+          TypeEnv after = types_.ApplyAxis(env, axis);
+          if (last) {
+            result = after.type | after.context;
+            break;
+          }
+          // Keep only step results whose continuation may be non-empty.
+          TypeEnv filtered = after;
+          filtered.type = NameSet(dtd_.name_count());
+          after.type.ForEach(
+              [this, &after, slot, idx, &filtered](NameId x) {
+                TypeEnv start = EnvFor(x, after.context);
+                if (TypeOfSuffix(start, slot, idx + 1, std::nullopt)
+                        .type.Any()) {
+                  filtered.type.Add(x);
+                }
+              });
+          result = filtered.type |
+                   InferMany(filtered, slot, idx + 1, std::nullopt);
+          result.Add(y);
+          break;
+        }
+        case Axis::kDescendant:
+        case Axis::kAncestor: {
+          TypeEnv after = types_.ApplyAxis(env, axis);
+          if (last) {
+            result = after.type | after.context;
+            break;
+          }
+          // τ = {X_i | (X_i, κ') ⊢ Axis::node/P ≠ ∅} ∪ {Y}: the names on
+          // the way to (or at) a useful continuation point.
+          TypeEnv spine = after;
+          spine.type = NameSet(dtd_.name_count());
+          after.type.ForEach(
+              [this, &after, slot, idx, axis, &spine](NameId x) {
+                TypeEnv start = EnvFor(x, after.context);
+                if (TypeOfSuffix(start, slot, idx, axis).type.Any()) {
+                  spine.type.Add(x);
+                }
+              });
+          spine.type.Add(y);
+          // (τ, κ') ⊩ step'::node/P with step' = child (resp. parent).
+          Axis single =
+              axis == Axis::kDescendant ? Axis::kChild : Axis::kParent;
+          result = spine.type |
+                   InferMany(spine, slot, idx, std::optional<Axis>(single));
+          break;
+        }
+        case Axis::kDescendantOrSelf:
+        case Axis::kAncestorOrSelf: {
+          if (last) {
+            TypeEnv after = types_.ApplyAxis(env, axis);
+            result = after.type | after.context;
+            break;
+          }
+          // dos::node/P == self::node/P  ∪  descendant::node/P.
+          Axis strict = axis == Axis::kDescendantOrSelf ? Axis::kDescendant
+                                                        : Axis::kAncestor;
+          result = InferFrom(y, context, slot, idx + 1, std::nullopt) |
+                   InferFrom(y, context, slot, idx,
+                             std::optional<Axis>(strict));
+          result.Add(y);
+          break;
+        }
+        default:
+          assert(false && "axis outside XPath^l in projector inference");
+          break;
+      }
+      break;
+    }
+  }
+
+  memo_.emplace(std::move(key), result);
+  return result;
+}
+
+Result<NameSet> ProjectorInference::InferForPath(
+    const LPath& path, bool materialize_result,
+    bool start_at_document_node) {
+  XMLPROJ_RETURN_IF_ERROR(ValidateLPath(path));
+  memo_.clear();
+  cond_slots_.clear();
+  steps_arena_.clear();
+  size_t slot = Normalize(path, materialize_result);
+  NameId start =
+      start_at_document_node ? dtd_.document_name() : dtd_.root();
+  NameSet start_ctx(dtd_.name_count());
+  start_ctx.Add(start);
+  if (!start_at_document_node) {
+    // ({X}, {X, #document}): the document name counts as visited.
+    start_ctx.Add(dtd_.document_name());
+  }
+  NameSet projector = InferFrom(start, start_ctx, slot, 0, std::nullopt);
+  memo_.clear();
+  cond_slots_.clear();
+  steps_arena_.clear();
+  projector.Add(dtd_.root());
+  return CloseToValidProjector(projector);
+}
+
+Result<NameSet> ProjectorInference::InferForPaths(
+    std::span<const LPath> paths, bool materialize_result,
+    bool start_at_document_node) {
+  NameSet out(dtd_.name_count());
+  out.Add(dtd_.root());
+  for (const LPath& p : paths) {
+    XMLPROJ_ASSIGN_OR_RETURN(
+        NameSet one,
+        InferForPath(p, materialize_result, start_at_document_node));
+    out |= one;
+  }
+  return CloseToValidProjector(out);
+}
+
+NameSet ProjectorInference::CloseToValidProjector(
+    const NameSet& projector) const {
+  // Keep the names reachable from the root through projector-internal
+  // edges; anything else can never survive pruning anyway. The synthetic
+  // document name is dropped: the document node is always kept.
+  NameSet kept(dtd_.name_count());
+  if (!projector.Contains(dtd_.root())) return kept;
+  kept.Add(dtd_.root());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    NameSet frontier = dtd_.Children(kept) & projector;
+    frontier -= kept;
+    if (frontier.Any()) {
+      kept |= frontier;
+      changed = true;
+    }
+  }
+  if (dtd_.document_name() != kNoName) kept.Remove(dtd_.document_name());
+  return kept;
+}
+
+}  // namespace xmlproj

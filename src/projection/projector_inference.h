@@ -1,0 +1,140 @@
+// Type-projector inference (paper §4.2, Figure 2).
+//
+// Given a DTD (X, E) and a XPath^ℓ path P, computes π with
+// ({X}, {X}) ⊩_E P : π — a set of names such that pruning any valid
+// document down to π preserves the result of P (Theorem 4.5).
+//
+// Implementation notes:
+//  - Each LStep is normalized into "micro-steps" following the encoded
+//    rules of Fig. 2: Axis::Test[Cond] ≡ Axis::node / self::Test /
+//    self::node[Cond]. The primitive rules then only handle the three
+//    micro-step shapes.
+//  - The union rule ((τ,κ) ⊩ P = ⋃ ({X},κ) ⊩ P) processes one name at a
+//    time; results are memoized on (name, step index, axis override,
+//    context) so chains of descendant steps stay polynomial.
+//  - The descendant/ancestor rules recurse with the step's axis overridden
+//    by child/parent exactly as in the figure.
+//  - Materialization (the remark under Theorem 4.5): when the caller needs
+//    result *subtrees* (serializing query answers), a trailing
+//    descendant-or-self::node micro-step is appended, which realizes
+//    τ' ∪ A_E(τ'', descendant).
+
+#ifndef XMLPROJ_PROJECTION_PROJECTOR_INFERENCE_H_
+#define XMLPROJ_PROJECTION_PROJECTOR_INFERENCE_H_
+
+#include <deque>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "dtd/name_set.h"
+#include "projection/type_inference.h"
+#include "xpath/xpathl.h"
+
+namespace xmlproj {
+
+class ProjectorInference {
+ public:
+  explicit ProjectorInference(const Dtd& dtd) : dtd_(dtd), types_(dtd) {}
+
+  // ({X},{X}) ⊩ path : π. With `materialize_result`, subtrees of result
+  // nodes are retained as well. With `start_at_document_node` the
+  // judgement starts at the synthetic #document name instead of the root
+  // element (for absolute paths). The returned projector never contains
+  // the document name: the document node is unconditionally kept.
+  Result<NameSet> InferForPath(const LPath& path, bool materialize_result,
+                               bool start_at_document_node = false);
+
+  // Projector for a workload: projectors are closed under union, so a set
+  // of queries is covered by the union of their projectors (§1.2, §5).
+  Result<NameSet> InferForPaths(std::span<const LPath> paths,
+                                bool materialize_result,
+                                bool start_at_document_node = false);
+
+  // Restricts π to the names reachable from the root *within* π. Pruning
+  // is insensitive to unreachable names (their ancestors are already
+  // gone), and the result is a valid type projector per Def 2.6.
+  NameSet CloseToValidProjector(const NameSet& projector) const;
+
+  const TypeInference& types() const { return types_; }
+
+ private:
+  struct MicroStep {
+    enum class Kind : uint8_t { kAxisNode, kSelfTest, kSelfCond };
+    Kind kind = Kind::kAxisNode;
+    Axis axis = Axis::kChild;           // kAxisNode
+    TestKind test = TestKind::kNode;    // kSelfTest
+    std::string tag;                    // kSelfTest
+    std::vector<LPath> cond;            // kSelfCond
+  };
+
+  // Normalizes `path` into a micro-step vector stored in steps_arena_ and
+  // returns its arena slot. Slots identify the vector in memo keys: the
+  // same (name, slot, idx, context) always denotes the same judgement.
+  size_t Normalize(const LPath& path, bool materialize_result);
+
+  const std::vector<MicroStep>& StepsOf(size_t slot) const {
+    return steps_arena_[slot];
+  }
+
+  // Per-name environment: context restricted to y and its ancestors.
+  TypeEnv EnvFor(NameId y, const NameSet& context) const;
+
+  // Σ ⊢ (micro-steps from idx, with optional axis override on steps[idx]).
+  TypeEnv TypeOfSuffix(const TypeEnv& env, size_t slot, size_t idx,
+                       std::optional<Axis> override_axis) const;
+
+  // ({y}, κ) ⊩ steps[idx..] with optional override on steps[idx].
+  NameSet InferFrom(NameId y, const NameSet& context, size_t slot,
+                    size_t idx, std::optional<Axis> override_axis);
+
+  // Union rule over Σ.type.
+  NameSet InferMany(const TypeEnv& env, size_t slot, size_t idx,
+                    std::optional<Axis> override_axis);
+
+  // Projector of the condition paths of micro-step `idx` (kind kSelfCond)
+  // evaluated from Σ.
+  NameSet InferConditionPaths(const TypeEnv& env, size_t slot, size_t idx);
+
+  struct MemoKey {
+    NameId name;
+    size_t slot;
+    size_t idx;
+    int override_axis;  // -1 = none
+    NameSet context;
+    bool operator==(const MemoKey& other) const {
+      return name == other.name && slot == other.slot &&
+             idx == other.idx && override_axis == other.override_axis &&
+             context == other.context;
+    }
+  };
+  struct MemoKeyHash {
+    size_t operator()(const MemoKey& k) const {
+      size_t h = static_cast<size_t>(k.name) * 0x9e3779b97f4a7c15ull;
+      h ^= k.idx + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= (k.slot + 1) * 0x2545f4914f6cdd1dull;
+      h ^= static_cast<size_t>(k.override_axis + 1) * 1099511628211ull;
+      h ^= k.context.Hash();
+      return h;
+    }
+  };
+
+  const Dtd& dtd_;
+  TypeInference types_;
+  // Normalized micro-step vectors for the current InferForPath invocation:
+  // slot 0 is the query, further slots hold condition paths. A deque keeps
+  // references stable while new slots are appended mid-recursion.
+  std::deque<std::vector<MicroStep>> steps_arena_;
+  // Condition-path normalization cache: LPath address -> arena slot
+  // (cond vectors live in steps_arena_ MicroSteps, so addresses are
+  // stable for the invocation).
+  std::unordered_map<const LPath*, size_t> cond_slots_;
+  std::unordered_map<MemoKey, NameSet, MemoKeyHash> memo_;
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_PROJECTION_PROJECTOR_INFERENCE_H_

@@ -1,0 +1,131 @@
+// Type-driven projection — pruning (paper Def 2.7 and §6).
+//
+// A node survives iff its grammar name is in the projector π. Because π is
+// chain-closed, discarding a node discards its whole subtree, so pruning
+// is a single pass:
+//
+//  - StreamingPruner is a SaxHandler filter: it tracks the current element
+//    name with a stack (O(depth) state, the paper's "single bufferless
+//    one-pass traversal") and forwards or drops events. Compose it with
+//    the XML parser to prune *while parsing* — pruning then costs nothing
+//    beyond parsing itself — or behind ReplayAsSax for in-memory pruning.
+//
+//  - PruneDocument is the DOM-level equivalent given a validated
+//    document's interpretation ℑ (Def 2.7 verbatim); used by tests to
+//    cross-check the streaming path.
+
+#ifndef XMLPROJ_PROJECTION_PRUNER_H_
+#define XMLPROJ_PROJECTION_PRUNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "dtd/name_set.h"
+#include "dtd/validator.h"
+#include "xml/document.h"
+#include "xml/sax.h"
+
+namespace xmlproj {
+
+struct PruneStats {
+  size_t input_nodes = 0;   // elements + text nodes seen
+  size_t kept_nodes = 0;
+  size_t input_text_bytes = 0;
+  size_t kept_text_bytes = 0;
+};
+
+// t \_ℑ π (Def 2.7): nodes whose name is outside π become the empty
+// forest. When `new_to_old` is non-null it receives, for every node id of
+// the pruned document, the id of the originating node in `doc` — the
+// identity map of the formal model, used by tests to state Theorem 4.5
+// ("the query returns the same *nodes* on t and t\π") literally.
+Result<Document> PruneDocument(const Document& doc,
+                               const Interpretation& interp,
+                               const NameSet& projector,
+                               PruneStats* stats = nullptr,
+                               std::vector<NodeId>* new_to_old = nullptr);
+
+// SAX filter implementing the same projection in one streaming pass.
+// Elements with undeclared tags are rejected (the input must be valid
+// with respect to the DTD for type-driven projection to apply).
+class StreamingPruner : public SaxHandler {
+ public:
+  StreamingPruner(const Dtd& dtd, const NameSet& projector,
+                  SaxHandler* downstream);
+
+  Status StartDocument() override;
+  Status EndDocument() override;
+  Status StartElement(std::string_view tag,
+                      const std::vector<SaxAttribute>& attributes) override;
+  Status EndElement(std::string_view tag) override;
+  Status Characters(std::string_view text) override;
+
+  const PruneStats& stats() const { return stats_; }
+
+ private:
+  const Dtd& dtd_;
+  const NameSet& projector_;
+  SaxHandler* downstream_;
+  // Names of currently open (kept) elements.
+  std::vector<NameId> open_names_;
+  // Number of start tags seen since entering a pruned subtree.
+  size_t skip_depth_ = 0;
+  PruneStats stats_;
+};
+
+// Prune-while-validating (§6: "an optional validation option, that makes
+// it possible to prune the document while validating it"): one streaming
+// pass that checks the *input* document against the DTD — content models
+// via incremental Glushkov states, required attributes, root element —
+// while forwarding the projected events downstream. O(depth) state.
+class ValidatingPruner : public SaxHandler {
+ public:
+  ValidatingPruner(const Dtd& dtd, const NameSet& projector,
+                   SaxHandler* downstream);
+
+  Status StartDocument() override;
+  Status EndDocument() override;
+  Status StartElement(std::string_view tag,
+                      const std::vector<SaxAttribute>& attributes) override;
+  Status EndElement(std::string_view tag) override;
+  Status Characters(std::string_view text) override;
+
+  const PruneStats& stats() const { return stats_; }
+
+ private:
+  struct OpenElement {
+    NameId name;
+    ContentMatcher::MatchState state;
+    bool kept;
+  };
+
+  const Dtd& dtd_;
+  const NameSet& projector_;
+  SaxHandler* downstream_;
+  std::vector<OpenElement> open_;
+  bool saw_root_ = false;
+  PruneStats stats_;
+};
+
+// Convenience: validate-and-prune `xml_text` in one pass (fails on
+// invalid input), producing the projected DOM.
+Result<Document> ParseValidateAndPrune(std::string_view xml_text,
+                                       const Dtd& dtd,
+                                       const NameSet& projector,
+                                       PruneStats* stats = nullptr);
+
+// Convenience: parse-and-prune `xml_text` in one pass, producing the
+// projected DOM without materializing the unprojected document.
+Result<Document> ParseAndPrune(std::string_view xml_text, const Dtd& dtd,
+                               const NameSet& projector,
+                               PruneStats* stats = nullptr);
+
+// Convenience: prune an in-memory document via the streaming pruner.
+Result<Document> PruneViaStreaming(const Document& doc, const Dtd& dtd,
+                                   const NameSet& projector,
+                                   PruneStats* stats = nullptr);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_PROJECTION_PRUNER_H_

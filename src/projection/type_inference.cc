@@ -1,0 +1,151 @@
+#include "projection/type_inference.h"
+
+#include <cassert>
+
+namespace xmlproj {
+
+TypeEnv TypeInference::InitialEnv() const {
+  NameSet root(dtd_.name_count());
+  root.Add(dtd_.root());
+  NameSet context = root;
+  // The document name is "already visited" above the root element, so
+  // upward steps that climb past the root stay sound and precise.
+  if (dtd_.document_name() != kNoName) context.Add(dtd_.document_name());
+  return TypeEnv{root, context};
+}
+
+TypeEnv TypeInference::DocumentEnv() const {
+  NameSet doc(dtd_.name_count());
+  doc.Add(dtd_.document_name());
+  return TypeEnv{doc, doc};
+}
+
+NameSet TypeInference::NormalizeContext(const NameSet& context,
+                                        const NameSet& type) const {
+  NameSet bound = type | dtd_.Ancestors(type);
+  return context & bound;
+}
+
+NameSet TypeInference::AxisSet(const NameSet& type, Axis axis) const {
+  switch (axis) {
+    case Axis::kChild:
+      return dtd_.Children(type);
+    case Axis::kDescendant:
+      return dtd_.Descendants(type);
+    case Axis::kDescendantOrSelf:
+      return type | dtd_.Descendants(type);
+    case Axis::kParent:
+      return dtd_.Parents(type);
+    case Axis::kAncestor:
+      return dtd_.Ancestors(type);
+    case Axis::kAncestorOrSelf:
+      return type | dtd_.Ancestors(type);
+    case Axis::kSelf:
+      return type;
+    default:
+      assert(false && "axis outside XPath^l");
+      return NameSet(dtd_.name_count());
+  }
+}
+
+NameSet TypeInference::TestSet(const NameSet& type, TestKind test,
+                               const std::string& tag) const {
+  switch (test) {
+    case TestKind::kNode:
+      return type;
+    case TestKind::kText:
+      return type & dtd_.StringNames();
+    case TestKind::kAnyElement: {
+      NameSet out = type - dtd_.StringNames();
+      if (dtd_.document_name() != kNoName) {
+        out.Remove(dtd_.document_name());
+      }
+      return out;
+    }
+    case TestKind::kName:
+      return type & dtd_.NamesWithTag(tag);
+  }
+  return NameSet(dtd_.name_count());
+}
+
+TypeEnv TypeInference::ApplyAxis(const TypeEnv& env, Axis axis) const {
+  NameSet selected = AxisSet(env.type, axis);
+  TypeEnv out;
+  if (IsUpwardAxis(axis)) {
+    // Upward: intersect with the context, for the type and context alike.
+    out.type = selected & env.context;
+    out.context = NormalizeContext(env.context, out.type);
+  } else {
+    out.type = std::move(selected);
+    out.context = NormalizeContext(env.context | out.type, out.type);
+  }
+  return out;
+}
+
+TypeEnv TypeInference::ApplySelfTest(const TypeEnv& env, TestKind test,
+                                     const std::string& tag) const {
+  TypeEnv out;
+  out.type = TestSet(env.type, test, tag);
+  out.context = NormalizeContext(env.context, out.type);
+  return out;
+}
+
+TypeEnv TypeInference::ApplyCondition(
+    const TypeEnv& env, std::span<const LPath> condition) const {
+  TypeEnv out;
+  out.type = NameSet(dtd_.name_count());
+  env.type.ForEach([this, &env, condition, &out](NameId x) {
+    NameSet singleton(dtd_.name_count());
+    singleton.Add(x);
+    TypeEnv start;
+    start.type = singleton;
+    start.context = NormalizeContext(env.context, singleton);
+    // Make sure x itself is in its context (env well-formedness gives
+    // x ∈ κ only if it was visited; the condition is evaluated at x).
+    start.context.Add(x);
+    for (const LPath& p : condition) {
+      if (InferPath(start, p).type.Any()) {
+        out.type.Add(x);
+        break;
+      }
+    }
+  });
+  out.context = NormalizeContext(env.context, out.type);
+  return out;
+}
+
+TypeEnv TypeInference::InferStep(const TypeEnv& env,
+                                 const LStep& step) const {
+  TypeEnv current = env;
+  if (step.axis != Axis::kSelf) {
+    current = ApplyAxis(current, step.axis);
+  }
+  if (step.test != TestKind::kNode) {
+    current = ApplySelfTest(current, step.test, step.tag);
+  }
+  if (!step.cond.empty()) {
+    current = ApplyCondition(current, step.cond);
+  }
+  return current;
+}
+
+TypeEnv TypeInference::InferSteps(const TypeEnv& env,
+                                  std::span<const LStep> steps) const {
+  TypeEnv current = env;
+  for (const LStep& step : steps) {
+    if (current.Empty()) {
+      // Nothing can be selected further; the empty environment is a
+      // fixpoint of every rule.
+      return TypeEnv{NameSet(dtd_.name_count()), NameSet(dtd_.name_count())};
+    }
+    current = InferStep(current, step);
+  }
+  return current;
+}
+
+TypeEnv TypeInference::InferPath(const TypeEnv& env,
+                                 const LPath& path) const {
+  return InferSteps(env, path.steps);
+}
+
+}  // namespace xmlproj

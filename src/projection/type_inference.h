@@ -1,0 +1,83 @@
+// The XPath^ℓ type system (paper §4.1, Figure 1).
+//
+// Judgements have the form (τ_c, κ_c) ⊢_E Path : (τ_r, κ_r): starting from
+// the names τ_c under context κ_c, Path produces names τ_r with updated
+// context κ_r. The context κ records names already visited on the way down
+// and is what makes upward axes precise: following an upward axis
+// intersects A_E(τ, Axis) with κ (the motivating example in §4.1 shows why
+// plain A_E over-approximates parent steps when a name occurs in several
+// element contents).
+//
+// Environments are kept well-formed: κ ⊆ τ ∪ A_E(τ, ancestor).
+
+#ifndef XMLPROJ_PROJECTION_TYPE_INFERENCE_H_
+#define XMLPROJ_PROJECTION_TYPE_INFERENCE_H_
+
+#include <span>
+#include <string>
+
+#include "dtd/dtd.h"
+#include "dtd/name_set.h"
+#include "xpath/xpathl.h"
+
+namespace xmlproj {
+
+// Σ = (τ, κ).
+struct TypeEnv {
+  NameSet type;
+  NameSet context;
+
+  bool Empty() const { return type.Empty(); }
+};
+
+class TypeInference {
+ public:
+  explicit TypeInference(const Dtd& dtd) : dtd_(dtd) {}
+
+  // ({X}, {X, #document}) — the judgement's starting environment for paths
+  // evaluated from the root element (the paper's ({X},{X}), extended with
+  // the synthetic document name so upward overshoot stays sound).
+  TypeEnv InitialEnv() const;
+
+  // ({#document}, {#document}) — starting environment for absolute paths,
+  // which the XPath data model evaluates from the document node.
+  TypeEnv DocumentEnv() const;
+
+  // Σ ⊢ Path : Σ' (composition rule: a step at a time).
+  TypeEnv InferPath(const TypeEnv& env, const LPath& path) const;
+  TypeEnv InferSteps(const TypeEnv& env,
+                     std::span<const LStep> steps) const;
+  TypeEnv InferStep(const TypeEnv& env, const LStep& step) const;
+
+  // --- Figure 1 building blocks (exposed for the projector rules) -------
+
+  // A_E(τ, Axis) (Def 4.1). `axis` must be an XPath^ℓ axis.
+  NameSet AxisSet(const NameSet& type, Axis axis) const;
+  // T_E(τ, Test) (Def 4.1).
+  NameSet TestSet(const NameSet& type, TestKind test,
+                  const std::string& tag) const;
+
+  // Rules 1-2: Axis::node. Downward axes extend the context; upward axes
+  // intersect with it.
+  TypeEnv ApplyAxis(const TypeEnv& env, Axis axis) const;
+  // Rule 3: self::Test.
+  TypeEnv ApplySelfTest(const TypeEnv& env, TestKind test,
+                        const std::string& tag) const;
+  // Rule 4: self::node[P1 or ... or Pn]. Keeps the names for which at
+  // least one disjunct may select something.
+  TypeEnv ApplyCondition(const TypeEnv& env,
+                         std::span<const LPath> condition) const;
+
+  const Dtd& dtd() const { return dtd_; }
+
+ private:
+  // Restores well-formedness: κ ∩ (τ ∪ A_E(τ, ancestor)).
+  NameSet NormalizeContext(const NameSet& context,
+                           const NameSet& type) const;
+
+  const Dtd& dtd_;
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_PROJECTION_TYPE_INFERENCE_H_

@@ -1,0 +1,404 @@
+#include "xmark/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "xml/serializer.h"
+
+namespace xmlproj {
+namespace {
+
+constexpr const char* kWords[] = {
+    "gold",      "silver",    "shakespeare", "honour",   "duteous",
+    "amber",     "villainy",  "sovereign",   "embrace",  "reproof",
+    "attire",    "glimmer",   "fortune",     "garment",  "penance",
+    "merchant",  "bargain",   "vessel",      "harvest",  "lantern",
+    "counsel",   "herald",    "quarrel",     "ransom",   "scepter",
+    "tapestry",  "vintage",   "wager",       "zephyr",   "mirth",
+    "labour",    "kindred",   "jewel",       "ivory",    "homage",
+    "gallant",   "fathom",    "ember",       "dagger",   "chalice",
+    "banquet",   "anvil",     "beacon",      "cipher",   "dominion",
+    "effigy",    "falcon",    "grove",       "hamlet",   "incense",
+};
+constexpr size_t kWordCount = sizeof(kWords) / sizeof(kWords[0]);
+
+constexpr const char* kCities[] = {"Rome",  "Kyoto",  "Oslo",
+                                   "Cairo", "Lima",   "Dakar",
+                                   "Perth", "Quito",  "Minsk"};
+constexpr const char* kCountries[] = {"Italy", "Japan", "Norway",
+                                      "Egypt", "Peru",  "Senegal"};
+constexpr const char* kEducation[] = {"High School", "College",
+                                      "Graduate School", "Other"};
+constexpr const char* kRegions[] = {"africa",   "asia",     "australia",
+                                    "europe",   "namerica", "samerica"};
+
+class Generator {
+ public:
+  explicit Generator(const XMarkOptions& options)
+      : rng_(options.seed), counts_(CountsForScale(options.scale)) {}
+
+  Result<Document> Run() {
+    builder_.StartElement("site");
+    GenerateRegions();
+    GenerateCategories();
+    GenerateCatgraph();
+    GeneratePeople();
+    GenerateOpenAuctions();
+    GenerateClosedAuctions();
+    builder_.EndElement();
+    return builder_.Finish();
+  }
+
+ private:
+  // --- Small helpers ------------------------------------------------------
+  std::string Word() { return kWords[rng_.Below(kWordCount)]; }
+  std::string Sentence(int min_words, int max_words) {
+    int n = rng_.IntIn(min_words, max_words);
+    std::string out;
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) out += ' ';
+      out += Word();
+    }
+    return out;
+  }
+  void Leaf(const char* tag, const std::string& content) {
+    builder_.StartElement(tag);
+    if (!content.empty()) builder_.AddText(content);
+    builder_.EndElement();
+  }
+  std::string PersonId(int i) { return StringPrintf("person%d", i); }
+  std::string ItemId(int i) { return StringPrintf("item%d", i); }
+  std::string CategoryId(int i) { return StringPrintf("category%d", i); }
+  std::string RandomPersonRef() {
+    return PersonId(rng_.IntIn(0, counts_.persons - 1));
+  }
+  std::string RandomItemRef() {
+    return ItemId(rng_.IntIn(0, counts_.items - 1));
+  }
+  std::string RandomCategoryRef() {
+    return CategoryId(rng_.IntIn(0, counts_.categories - 1));
+  }
+  std::string Date() {
+    return StringPrintf("%02d/%02d/%d", rng_.IntIn(1, 12),
+                        rng_.IntIn(1, 28), rng_.IntIn(1998, 2001));
+  }
+  std::string Money() {
+    return StringPrintf("%d.%02d", rng_.IntIn(1, 300),
+                        static_cast<int>(rng_.Below(100)));
+  }
+
+  // --- Mixed content (the byte-dominant part) ----------------------------
+  // text ::= (#PCDATA | bold | keyword | emph)*. `rich` text models the
+  // long item descriptions that dominate real XMark files.
+  void MixedText(int depth, bool rich) {
+    builder_.StartElement("text");
+    int pieces = rich ? rng_.IntIn(7, 12) : rng_.IntIn(1, 2);
+    int min_words = rich ? 10 : 4;
+    int max_words = rich ? 20 : 8;
+    for (int i = 0; i < pieces; ++i) {
+      builder_.AddText(Sentence(min_words, max_words) + " ");
+      if (depth < 3 && rng_.Chance(2, 5)) {
+        const char* tag = rng_.Chance(1, 3)   ? "keyword"
+                          : rng_.Chance(1, 2) ? "bold"
+                                              : "emph";
+        builder_.StartElement(tag);
+        builder_.AddText(Sentence(1, 3));
+        // Markup nests (mixed content is recursive): emph/bold sometimes
+        // hold a keyword, which queries like XMark Q15 navigate.
+        if (depth < 3 && rng_.Chance(1, 2)) {
+          builder_.StartElement("keyword");
+          builder_.AddText(Sentence(1, 2));
+          builder_.EndElement();
+        }
+        builder_.EndElement();
+      }
+    }
+    builder_.AddText(Sentence(min_words / 2, max_words / 2));
+    builder_.EndElement();
+  }
+
+  // description ::= (text | parlist). Item descriptions (`rich`) carry the
+  // ~2/3 byte share the paper's §6 relies on.
+  void Description(bool rich, int depth = 0) {
+    builder_.StartElement("description");
+    if (depth < 2 && rng_.Chance(1, 4)) {
+      builder_.StartElement("parlist");
+      int items = rich ? rng_.IntIn(2, 4) : rng_.IntIn(1, 2);
+      for (int i = 0; i < items; ++i) {
+        builder_.StartElement("listitem");
+        if (depth < 1 && rng_.Chance(1, 4)) {
+          builder_.StartElement("parlist");
+          builder_.StartElement("listitem");
+          MixedText(depth + 2, rich);
+          builder_.EndElement();
+          builder_.EndElement();
+        } else {
+          MixedText(depth + 1, rich);
+        }
+        builder_.EndElement();
+      }
+      builder_.EndElement();
+    } else {
+      MixedText(depth, rich);
+    }
+    builder_.EndElement();
+  }
+
+  // --- Sections -----------------------------------------------------------
+  void GenerateRegions() {
+    builder_.StartElement("regions");
+    int next_item = 0;
+    for (int r = 0; r < 6; ++r) {
+      builder_.StartElement(kRegions[r]);
+      // Europe and North America carry a double share, as in xmlgen.
+      int share = counts_.items / 8;
+      int count = (r == 3 || r == 4) ? 2 * share : share;
+      if (r == 5) count = counts_.items - next_item;  // remainder
+      count = std::min(count, counts_.items - next_item);
+      for (int i = 0; i < count; ++i) {
+        GenerateItem(next_item++);
+      }
+      builder_.EndElement();
+    }
+    builder_.EndElement();
+  }
+
+  void GenerateItem(int id) {
+    builder_.StartElement("item");
+    builder_.AddAttribute("id", ItemId(id));
+    if (rng_.Chance(1, 10)) builder_.AddAttribute("featured", "yes");
+    Leaf("location", kCountries[rng_.Below(6)]);
+    Leaf("quantity", StringPrintf("%d", rng_.IntIn(1, 5)));
+    Leaf("name", Sentence(1, 3));
+    Leaf("payment", "Creditcard");
+    Description(/*rich=*/true);
+    Leaf("shipping", "Will ship internationally");
+    int cats = rng_.IntIn(1, 3);
+    for (int c = 0; c < cats; ++c) {
+      builder_.StartElement("incategory");
+      builder_.AddAttribute("category", RandomCategoryRef());
+      builder_.EndElement();
+    }
+    builder_.StartElement("mailbox");
+    int mails = rng_.IntIn(0, 1);
+    for (int m = 0; m < mails; ++m) {
+      builder_.StartElement("mail");
+      Leaf("from", Sentence(1, 2));
+      Leaf("to", Sentence(1, 2));
+      Leaf("date", Date());
+      MixedText(0, /*rich=*/false);
+      builder_.EndElement();
+    }
+    builder_.EndElement();
+    builder_.EndElement();
+  }
+
+  void GenerateCategories() {
+    builder_.StartElement("categories");
+    for (int i = 0; i < counts_.categories; ++i) {
+      builder_.StartElement("category");
+      builder_.AddAttribute("id", CategoryId(i));
+      Leaf("name", Sentence(1, 2));
+      Description(/*rich=*/false);
+      builder_.EndElement();
+    }
+    builder_.EndElement();
+  }
+
+  void GenerateCatgraph() {
+    builder_.StartElement("catgraph");
+    int edges = counts_.categories;
+    for (int i = 0; i < edges; ++i) {
+      builder_.StartElement("edge");
+      builder_.AddAttribute("from", RandomCategoryRef());
+      builder_.AddAttribute("to", RandomCategoryRef());
+      builder_.EndElement();
+    }
+    builder_.EndElement();
+  }
+
+  void GeneratePeople() {
+    builder_.StartElement("people");
+    for (int i = 0; i < counts_.persons; ++i) {
+      builder_.StartElement("person");
+      builder_.AddAttribute("id", PersonId(i));
+      Leaf("name", Sentence(2, 2));
+      Leaf("emailaddress",
+           StringPrintf("mailto:%s@%s.example", Word().c_str(),
+                        Word().c_str()));
+      if (rng_.Chance(1, 2)) {
+        Leaf("phone", StringPrintf("+%d (%d) %d", rng_.IntIn(1, 99),
+                                   rng_.IntIn(100, 999),
+                                   rng_.IntIn(1000000, 9999999)));
+      }
+      if (rng_.Chance(1, 2)) {
+        builder_.StartElement("address");
+        Leaf("street", StringPrintf("%d %s St", rng_.IntIn(1, 99),
+                                    Word().c_str()));
+        Leaf("city", kCities[rng_.Below(9)]);
+        Leaf("country", kCountries[rng_.Below(6)]);
+        if (rng_.Chance(1, 3)) Leaf("province", Word());
+        Leaf("zipcode", StringPrintf("%d", rng_.IntIn(10000, 99999)));
+        builder_.EndElement();
+      }
+      if (rng_.Chance(1, 2)) {
+        Leaf("homepage",
+             StringPrintf("http://www.%s.example/~%s", Word().c_str(),
+                          Word().c_str()));
+      }
+      if (rng_.Chance(1, 4)) {
+        Leaf("creditcard", StringPrintf("%04d %04d %04d %04d",
+                                        rng_.IntIn(0, 9999),
+                                        rng_.IntIn(0, 9999),
+                                        rng_.IntIn(0, 9999),
+                                        rng_.IntIn(0, 9999)));
+      }
+      if (rng_.Chance(3, 4)) {
+        builder_.StartElement("profile");
+        builder_.AddAttribute(
+            "income", StringPrintf("%d.%02d", rng_.IntIn(9000, 200000),
+                                   static_cast<int>(rng_.Below(100))));
+        int interests = rng_.IntIn(0, 3);
+        for (int k = 0; k < interests; ++k) {
+          builder_.StartElement("interest");
+          builder_.AddAttribute("category", RandomCategoryRef());
+          builder_.EndElement();
+        }
+        if (rng_.Chance(1, 2)) Leaf("education", kEducation[rng_.Below(4)]);
+        if (rng_.Chance(1, 2)) {
+          Leaf("gender", rng_.Chance(1, 2) ? "male" : "female");
+        }
+        Leaf("business", rng_.Chance(1, 2) ? "Yes" : "No");
+        if (rng_.Chance(1, 2)) {
+          Leaf("age", StringPrintf("%d", rng_.IntIn(18, 90)));
+        }
+        builder_.EndElement();
+      }
+      if (rng_.Chance(1, 5) && counts_.open_auctions > 0) {
+        builder_.StartElement("watches");
+        int watches = rng_.IntIn(1, 3);
+        for (int w = 0; w < watches; ++w) {
+          builder_.StartElement("watch");
+          builder_.AddAttribute(
+              "open_auction",
+              StringPrintf("open_auction%d",
+                           rng_.IntIn(0, counts_.open_auctions - 1)));
+          builder_.EndElement();
+        }
+        builder_.EndElement();
+      }
+      builder_.EndElement();
+    }
+    builder_.EndElement();
+  }
+
+  void GenerateOpenAuctions() {
+    builder_.StartElement("open_auctions");
+    for (int i = 0; i < counts_.open_auctions; ++i) {
+      builder_.StartElement("open_auction");
+      builder_.AddAttribute("id", StringPrintf("open_auction%d", i));
+      Leaf("initial", Money());
+      if (rng_.Chance(1, 2)) Leaf("reserve", Money());
+      int bidders = rng_.IntIn(0, 5);
+      double increase = 1.5;
+      for (int b = 0; b < bidders; ++b) {
+        builder_.StartElement("bidder");
+        Leaf("date", Date());
+        Leaf("time", StringPrintf("%02d:%02d:%02d", rng_.IntIn(0, 23),
+                                  rng_.IntIn(0, 59), rng_.IntIn(0, 59)));
+        builder_.StartElement("personref");
+        builder_.AddAttribute("person", RandomPersonRef());
+        builder_.EndElement();
+        increase *= rng_.Chance(1, 2) ? 2.0 : 1.0;
+        Leaf("increase", StringPrintf("%.2f", increase));
+        builder_.EndElement();
+      }
+      Leaf("current", Money());
+      if (rng_.Chance(1, 3)) Leaf("privacy", "Yes");
+      builder_.StartElement("itemref");
+      builder_.AddAttribute("item", RandomItemRef());
+      builder_.EndElement();
+      builder_.StartElement("seller");
+      builder_.AddAttribute("person", RandomPersonRef());
+      builder_.EndElement();
+      Annotation();
+      Leaf("quantity", StringPrintf("%d", rng_.IntIn(1, 5)));
+      Leaf("type", rng_.Chance(1, 2) ? "Regular" : "Featured");
+      builder_.StartElement("interval");
+      Leaf("start", Date());
+      Leaf("end", Date());
+      builder_.EndElement();
+      builder_.EndElement();
+    }
+    builder_.EndElement();
+  }
+
+  void Annotation() {
+    builder_.StartElement("annotation");
+    builder_.StartElement("author");
+    builder_.AddAttribute("person", RandomPersonRef());
+    builder_.EndElement();
+    if (rng_.Chance(4, 5)) Description(/*rich=*/false);
+    Leaf("happiness", StringPrintf("%d", rng_.IntIn(1, 10)));
+    builder_.EndElement();
+  }
+
+  void GenerateClosedAuctions() {
+    builder_.StartElement("closed_auctions");
+    for (int i = 0; i < counts_.closed_auctions; ++i) {
+      builder_.StartElement("closed_auction");
+      builder_.StartElement("seller");
+      builder_.AddAttribute("person", RandomPersonRef());
+      builder_.EndElement();
+      builder_.StartElement("buyer");
+      builder_.AddAttribute("person", RandomPersonRef());
+      builder_.EndElement();
+      builder_.StartElement("itemref");
+      builder_.AddAttribute("item", RandomItemRef());
+      builder_.EndElement();
+      Leaf("price", Money());
+      Leaf("date", Date());
+      Leaf("quantity", StringPrintf("%d", rng_.IntIn(1, 5)));
+      Leaf("type", rng_.Chance(1, 2) ? "Regular" : "Featured");
+      if (rng_.Chance(4, 5)) Annotation();
+      builder_.EndElement();
+    }
+    builder_.EndElement();
+  }
+
+  Rng rng_;
+  XMarkCounts counts_;
+  DocumentBuilder builder_;
+};
+
+}  // namespace
+
+XMarkCounts CountsForScale(double scale) {
+  auto scaled = [scale](int base) {
+    return std::max(1, static_cast<int>(base * scale + 0.5));
+  };
+  XMarkCounts counts;
+  counts.categories = scaled(1000);
+  counts.items = scaled(21750);
+  counts.persons = scaled(25500);
+  counts.open_auctions = scaled(12000);
+  counts.closed_auctions = scaled(9750);
+  return counts;
+}
+
+Result<Document> GenerateXMark(const XMarkOptions& options) {
+  Generator generator(options);
+  return generator.Run();
+}
+
+std::string GenerateXMarkText(const XMarkOptions& options) {
+  Generator generator(options);
+  auto doc = generator.Run();
+  if (!doc.ok()) return "";
+  return SerializeDocument(*doc);
+}
+
+}  // namespace xmlproj

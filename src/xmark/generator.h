@@ -1,0 +1,47 @@
+// Deterministic XMark-style document generator (the reproduction's
+// substitute for xmlgen; see DESIGN.md "Substitutions").
+//
+// Produces auction-site documents valid against the embedded XMark DTD.
+// As with the original generator, mixed-content <description> elements
+// account for the dominant share of the document bytes (the paper's §6
+// explanation for why weakly selective queries keep ~70-80% of the file),
+// and all id/idref joins (items, persons, categories, auctions) are
+// populated so the XMark join queries return non-empty results.
+//
+// `scale` follows the xmlgen convention: scale 1.0 is roughly a 100MB
+// document; the element counts scale linearly.
+
+#ifndef XMLPROJ_XMARK_GENERATOR_H_
+#define XMLPROJ_XMARK_GENERATOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "xml/document.h"
+
+namespace xmlproj {
+
+struct XMarkOptions {
+  double scale = 0.001;  // ~0.1MB
+  uint64_t seed = 20060912;  // VLDB'06 conference date
+};
+
+// Generates the document as a DOM.
+Result<Document> GenerateXMark(const XMarkOptions& options);
+
+// Generates directly to XML text (what a file on disk would contain).
+std::string GenerateXMarkText(const XMarkOptions& options);
+
+// Derived element counts for a given scale (exposed for tests/benches).
+struct XMarkCounts {
+  int categories = 0;
+  int items = 0;    // total, split across the six regions
+  int persons = 0;
+  int open_auctions = 0;
+  int closed_auctions = 0;
+};
+XMarkCounts CountsForScale(double scale);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XMARK_GENERATOR_H_

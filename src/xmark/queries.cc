@@ -1,0 +1,235 @@
+#include "xmark/queries.h"
+
+namespace xmlproj {
+
+const std::vector<BenchmarkQuery>& XMarkQueries() {
+  static const std::vector<BenchmarkQuery>* kQueries =
+      new std::vector<BenchmarkQuery>{
+          {"QM01", QueryLanguage::kXQuery,
+           "for $b in /site/people/person[@id = 'person0'] "
+           "return $b/name/text()",
+           "highly selective: one person's name"},
+          {"QM02", QueryLanguage::kXQuery,
+           "for $b in /site/open_auctions/open_auction "
+           "return <increase>{$b/bidder[1]/increase/text()}</increase>",
+           "open auctions only; first bidder increase"},
+          {"QM03", QueryLanguage::kXQuery,
+           "for $b in /site/open_auctions/open_auction "
+           "where $b/bidder[1]/increase/text() * 2 "
+           "      <= $b/bidder[last()]/increase/text() "
+           "return <increase first=\"{$b/bidder[1]/increase/text()}\" "
+           "last=\"{$b/bidder[last()]/increase/text()}\"/>",
+           "open auctions; position predicates"},
+          {"QM04", QueryLanguage::kXQuery,
+           "for $b in /site/open_auctions/open_auction "
+           "where some $pr in $b/bidder/personref "
+           "      satisfies $pr/@person = 'person3' "
+           "return <history>{$b/reserve/text()}</history>",
+           "open auctions; existential quantifier over bidders"},
+          {"QM05", QueryLanguage::kXQuery,
+           "let $list := for $i in /site/closed_auctions/closed_auction "
+           "             where $i/price/text() >= 40 return $i/price "
+           "return count($list)",
+           "closed auction prices only"},
+          {"QM06", QueryLanguage::kXQuery,
+           "for $b in /site/regions return count($b//item)",
+           "very selective: item structure only (99.7% pruned in the "
+           "paper)"},
+          {"QM07", QueryLanguage::kXQuery,
+           "for $p in /site "
+           "return count($p//description) + count($p//annotation) + "
+           "count($p//emailaddress)",
+           "three // counts; node structure only"},
+          {"QM08", QueryLanguage::kXQuery,
+           "for $p in /site/people/person "
+           "let $a := for $t in /site/closed_auctions/closed_auction "
+           "          where $t/buyer/@person = $p/@id return $t "
+           "return <item person=\"{$p/name/text()}\">{count($a)}</item>",
+           "person/closed-auction join"},
+          {"QM09", QueryLanguage::kXQuery,
+           "for $p in /site/people/person "
+           "let $a := for $t in /site/closed_auctions/closed_auction "
+           "          let $n := for $t2 in /site/regions/europe/item "
+           "                    where $t/itemref/@item = $t2/@id "
+           "                    return $t2 "
+           "          where $p/@id = $t/buyer/@person "
+           "          return <item>{$n/name/text()}</item> "
+           "return <person name=\"{$p/name/text()}\">{$a}</person>",
+           "three-way join (persons, closed auctions, europe items)"},
+          {"QM10", QueryLanguage::kXQuery,
+           "for $i in /site/categories/category "
+           "let $p := for $t in /site/people/person "
+           "          where $t/profile/interest/@category = $i/@id "
+           "          return <personne>"
+           "<statistiques><sexe>{$t/profile/gender/text()}</sexe>"
+           "<age>{$t/profile/age/text()}</age>"
+           "<education>{$t/profile/education/text()}</education>"
+           "<revenu>{$t/profile/@income}</revenu></statistiques>"
+           "<coordonnees><nom>{$t/name/text()}</nom>"
+           "<rue>{$t/address/street/text()}</rue>"
+           "<ville>{$t/address/city/text()}</ville>"
+           "<pays>{$t/address/country/text()}</pays>"
+           "<courrier>{$t/emailaddress/text()}</courrier>"
+           "</coordonnees></personne> "
+           "return <categorie>{<id>{$i/name/text()}</id>}{$p}</categorie>",
+           "grouping query touching most of the person structure"},
+          {"QM11", QueryLanguage::kXQuery,
+           "for $p in /site/people/person "
+           "let $l := for $i in /site/open_auctions/open_auction/initial "
+           "          where $p/profile/@income > 5000 * $i/text() "
+           "          return $i "
+           "return <items name=\"{$p/name/text()}\">{count($l)}</items>",
+           "value join on income vs initial"},
+          {"QM12", QueryLanguage::kXQuery,
+           "for $p in /site/people/person "
+           "let $l := for $i in /site/open_auctions/open_auction/initial "
+           "          where $p/profile/@income > 5000 * $i/text() "
+           "          return $i "
+           "where $p/profile/@income > 50000 "
+           "return <items person=\"{$p/name/text()}\">{count($l)}</items>",
+           "QM11 with an income filter"},
+          {"QM13", QueryLanguage::kXQuery,
+           "for $i in /site/regions/australia/item "
+           "return <item name=\"{$i/name/text()}\">{$i/description}</item>",
+           "australia items with whole descriptions materialized"},
+          {"QM14", QueryLanguage::kXQuery,
+           "for $i in /site//item "
+           "where contains(string($i/description), 'gold') "
+           "return $i/name/text()",
+           "the paper's weak-pruning outlier: whole descriptions needed"},
+          {"QM15", QueryLanguage::kXQuery,
+           "for $a in /site/closed_auctions/closed_auction/annotation/"
+           "description/parlist/listitem/parlist/listitem/text/emph/"
+           "keyword/text() "
+           "return <text>{$a}</text>",
+           "long child path deep into annotations"},
+          {"QM16", QueryLanguage::kXQuery,
+           "for $a in /site/closed_auctions/closed_auction "
+           "where $a/annotation/description/parlist/listitem/parlist/"
+           "listitem/text/emph/keyword/text() "
+           "return <person id=\"{$a/seller/@person}\"/>",
+           "QM15's path as a predicate (rephrased from not(empty(..)))"},
+          {"QM17", QueryLanguage::kXQuery,
+           "for $p in /site/people/person "
+           "where empty($p/homepage/text()) "
+           "return <person name=\"{$p/name/text()}\"/>",
+           "negative structural condition (empty)"},
+          {"QM18", QueryLanguage::kXQuery,
+           "for $i in /site/open_auctions/open_auction "
+           "return $i/reserve/text() * 2.20371",
+           "arithmetic over reserves (rephrased from a user function)"},
+          {"QM19", QueryLanguage::kXQuery,
+           "for $b in /site/regions//item "
+           "let $k := $b/name/text() "
+           "order by $b/location/text() "
+           "return <item name=\"{$k}\">{$b/location/text()}</item>",
+           "order by over all items"},
+          {"QM20", QueryLanguage::kXQuery,
+           "<result>"
+           "<preferred>{count(/site/people/person/profile["
+           "@income >= 100000])}</preferred>"
+           "<standard>{count(/site/people/person/profile["
+           "@income < 100000 and @income >= 30000])}</standard>"
+           "<challenge>{count(/site/people/person/profile["
+           "@income < 30000])}</challenge>"
+           "<na>{count(/site/people/person[not(profile/@income)])}</na>"
+           "</result>",
+           "income histogram over profiles"},
+      };
+  return *kQueries;
+}
+
+const std::vector<BenchmarkQuery>& XPathMarkQueries() {
+  static const std::vector<BenchmarkQuery>* kQueries =
+      new std::vector<BenchmarkQuery>{
+          // --- Child/descendant paths (XPathMark A group) ----------------
+          {"QP01", QueryLanguage::kXPath,
+           "/site/closed_auctions/closed_auction/annotation/description/"
+           "text/keyword",
+           "long child path"},
+          {"QP02", QueryLanguage::kXPath, "//closed_auction//keyword",
+           "double descendant"},
+          {"QP03", QueryLanguage::kXPath,
+           "/site/closed_auctions/closed_auction//keyword",
+           "child prefix + descendant"},
+          {"QP04", QueryLanguage::kXPath,
+           "/site/closed_auctions/closed_auction[annotation/description/"
+           "text/keyword]/date",
+           "structural predicate, precise"},
+          {"QP05", QueryLanguage::kXPath,
+           "/site/closed_auctions/closed_auction[descendant::keyword]/"
+           "date",
+           "descendant predicate"},
+          {"QP06", QueryLanguage::kXPath,
+           "/site/people/person[profile/gender and profile/age]/name",
+           "conjunctive predicate (kept as disjunction by the "
+           "approximation)"},
+          {"QP07", QueryLanguage::kXPath,
+           "/site/people/person[phone or homepage]/name",
+           "disjunctive predicate"},
+          {"QP08", QueryLanguage::kXPath,
+           "/site/people/person[address and (phone or homepage) and "
+           "(creditcard or profile)]/name",
+           "nested boolean predicate"},
+          // --- Backward and horizontal axes (B group) --------------------
+          {"QP09", QueryLanguage::kXPath,
+           "/site/regions/*/item[parent::namerica or parent::samerica]/"
+           "name",
+           "parent axis in predicates (§4.3: prunes to ~7.5%)"},
+          {"QP10", QueryLanguage::kXPath,
+           "//keyword/ancestor::listitem/text/keyword",
+           "ancestor axis mid-path"},
+          {"QP11", QueryLanguage::kXPath,
+           "/site/open_auctions/open_auction/bidder[following-sibling::"
+           "bidder]/increase",
+           "following-sibling predicate (§4.3: prunes to ~7.5%)"},
+          {"QP12", QueryLanguage::kXPath,
+           "/site/open_auctions/open_auction/bidder[preceding-sibling::"
+           "bidder]/increase",
+           "preceding-sibling predicate"},
+          {"QP13", QueryLanguage::kXPath, "//*",
+           "the paper's unselective query: the whole document is kept"},
+          {"QP14", QueryLanguage::kXPath,
+           "/site/regions/*/item[following::item][preceding::item]/name",
+           "following and preceding axes in predicates"},
+          {"QP15", QueryLanguage::kXPath,
+           "//person[profile/@income]/name", "attribute existence"},
+          {"QP16", QueryLanguage::kXPath,
+           "/site/open_auctions/open_auction[bidder and not(bidder/"
+           "preceding-sibling::bidder)]/interval",
+           "negation with horizontal axis"},
+          // --- Functions, values, positions (C/D groups) -----------------
+          {"QP17", QueryLanguage::kXPath,
+           "/site/people/person[profile/@income = 99.96]/name",
+           "value comparison on an attribute"},
+          {"QP18", QueryLanguage::kXPath,
+           "/site/open_auctions/open_auction[bidder[1]/increase = "
+           "bidder[last()]/increase]/itemref",
+           "position predicates"},
+          {"QP19", QueryLanguage::kXPath,
+           "//person[contains(emailaddress, 'example')]/name",
+           "string function over values"},
+          {"QP20", QueryLanguage::kXPath,
+           "/site/open_auctions/open_auction[count(bidder) > 3]/reserve",
+           "count in predicate"},
+          {"QP21", QueryLanguage::kXPath,
+           "//item[quantity > 1][contains(description, 'gold')]/name",
+           "value + string predicates: whole descriptions needed"},
+          {"QP22", QueryLanguage::kXPath,
+           "/site/people/person[not(homepage)]/name",
+           "negation of structure"},
+          {"QP23", QueryLanguage::kXPath,
+           "/site/regions/*/item[1]/name",
+           "positional selection per region"},
+      };
+  return *kQueries;
+}
+
+std::vector<BenchmarkQuery> AllBenchmarkQueries() {
+  std::vector<BenchmarkQuery> out = XMarkQueries();
+  const std::vector<BenchmarkQuery>& qp = XPathMarkQueries();
+  out.insert(out.end(), qp.begin(), qp.end());
+  return out;
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,162 @@
+#include "xmark/usecases.h"
+
+#include "dtd/dtd_parser.h"
+
+namespace xmlproj {
+
+const std::vector<UseCaseDtd>& UseCaseDtds() {
+  static const std::vector<UseCaseDtd>* kDtds = new std::vector<UseCaseDtd>{
+      // XMP: the bibliography running example.
+      {"XMP", "bib", R"(
+        <!ELEMENT bib (book*)>
+        <!ELEMENT book (title, (author+ | editor+), publisher, price)>
+        <!ATTLIST book year CDATA #REQUIRED>
+        <!ELEMENT author (last, first)>
+        <!ELEMENT editor (last, first, affiliation)>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT last (#PCDATA)>
+        <!ELEMENT first (#PCDATA)>
+        <!ELEMENT affiliation (#PCDATA)>
+        <!ELEMENT publisher (#PCDATA)>
+        <!ELEMENT price (#PCDATA)>
+      )"},
+      // TREE: a book whose sections nest recursively.
+      {"TREE", "book", R"(
+        <!ELEMENT book (title, author+, section*)>
+        <!ELEMENT section (title, (p | figure | section)*)>
+        <!ELEMENT figure (title, image)>
+        <!ATTLIST figure width CDATA #IMPLIED height CDATA #IMPLIED>
+        <!ELEMENT image EMPTY>
+        <!ATTLIST image source CDATA #REQUIRED>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT author (#PCDATA)>
+        <!ELEMENT p (#PCDATA)>
+      )"},
+      // SEQ: a surgical report whose section order matters.
+      {"SEQ", "report", R"(
+        <!ELEMENT report (section*)>
+        <!ELEMENT report.title (#PCDATA)>
+        <!ELEMENT section (section.title, section.content)>
+        <!ELEMENT section.title (#PCDATA)>
+        <!ELEMENT section.content (#PCDATA | anesthesia | prep
+                                    | incision | action | observation)*>
+        <!ELEMENT anesthesia (#PCDATA)>
+        <!ELEMENT prep (#PCDATA | action)*>
+        <!ELEMENT incision (#PCDATA | geography | instrument)*>
+        <!ELEMENT action (#PCDATA | instrument)*>
+        <!ELEMENT observation (#PCDATA)>
+        <!ELEMENT geography (#PCDATA)>
+        <!ELEMENT instrument (#PCDATA)>
+      )"},
+      // R: relational auction data (users / items / bids).
+      {"R", "auction-db", R"(
+        <!ELEMENT auction-db (users, items, bids)>
+        <!ELEMENT users (user_tuple*)>
+        <!ELEMENT user_tuple (userid, name, rating?)>
+        <!ELEMENT items (item_tuple*)>
+        <!ELEMENT item_tuple (itemno, description, offered_by,
+                              start_date?, end_date?, reserve_price?)>
+        <!ELEMENT bids (bid_tuple*)>
+        <!ELEMENT bid_tuple (userid, itemno, bid, bid_date)>
+        <!ELEMENT userid (#PCDATA)>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT rating (#PCDATA)>
+        <!ELEMENT itemno (#PCDATA)>
+        <!ELEMENT description (#PCDATA)>
+        <!ELEMENT offered_by (#PCDATA)>
+        <!ELEMENT start_date (#PCDATA)>
+        <!ELEMENT end_date (#PCDATA)>
+        <!ELEMENT reserve_price (#PCDATA)>
+        <!ELEMENT bid (#PCDATA)>
+        <!ELEMENT bid_date (#PCDATA)>
+      )"},
+      // SGML: the classic recursive report markup.
+      {"SGML", "report", R"(
+        <!ELEMENT report (title, chapter+)>
+        <!ELEMENT chapter (title, intro?, section*)>
+        <!ELEMENT section (title, intro?, (section | topic)*)>
+        <!ELEMENT topic (title, intro?)>
+        <!ELEMENT intro (para+)>
+        <!ELEMENT para (#PCDATA | graphic)*>
+        <!ELEMENT graphic EMPTY>
+        <!ATTLIST graphic graphname CDATA #REQUIRED>
+        <!ELEMENT title (#PCDATA)>
+      )"},
+      // STRING: news items searched by string content.
+      {"STRING", "news", R"(
+        <!ELEMENT news (news_item*)>
+        <!ELEMENT news_item (title, content, date, author?, news_agent)>
+        <!ELEMENT content (par | figure)*>
+        <!ELEMENT par (#PCDATA | quote | footnote)*>
+        <!ELEMENT quote (#PCDATA)>
+        <!ELEMENT footnote (#PCDATA)>
+        <!ELEMENT figure (title, image)>
+        <!ELEMENT image EMPTY>
+        <!ATTLIST image source CDATA #REQUIRED>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT date (#PCDATA)>
+        <!ELEMENT author (#PCDATA)>
+        <!ELEMENT news_agent (#PCDATA)>
+      )"},
+      // NS: heterogeneous records gathered from several vocabularies.
+      {"NS", "records", R"(
+        <!ELEMENT records (record*)>
+        <!ELEMENT record (customer, bib_entry?, music_entry?)>
+        <!ELEMENT customer (name, address)>
+        <!ELEMENT bib_entry (title, authors)>
+        <!ELEMENT authors (author+)>
+        <!ELEMENT music_entry (title, artist, duration)>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT address (#PCDATA)>
+        <!ELEMENT title (#PCDATA)>
+        <!ELEMENT author (#PCDATA)>
+        <!ELEMENT artist (#PCDATA)>
+        <!ELEMENT duration (#PCDATA)>
+      )"},
+      // PARTS: the recursive part-explosion hierarchy.
+      {"PARTS", "partlist", R"(
+        <!ELEMENT partlist (part*)>
+        <!ELEMENT part (part*)>
+        <!ATTLIST part partid CDATA #REQUIRED name CDATA #REQUIRED>
+      )"},
+      // STRONG: strongly-typed order data.
+      {"STRONG", "orders", R"(
+        <!ELEMENT orders (order*)>
+        <!ELEMENT order (date, shipaddress, billaddress?, lineitem+)>
+        <!ATTLIST order orderid CDATA #REQUIRED>
+        <!ELEMENT lineitem (product, quantity, price)>
+        <!ELEMENT shipaddress (name, street, city, country)>
+        <!ELEMENT billaddress (name, street, city, country)>
+        <!ELEMENT date (#PCDATA)>
+        <!ELEMENT product (#PCDATA)>
+        <!ELEMENT quantity (#PCDATA)>
+        <!ELEMENT price (#PCDATA)>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT street (#PCDATA)>
+        <!ELEMENT city (#PCDATA)>
+        <!ELEMENT country (#PCDATA)>
+      )"},
+      // TEXT: company profiles and press mixed-markup articles.
+      {"TEXT", "company-db", R"(
+        <!ELEMENT company-db (company*, article*)>
+        <!ELEMENT company (name, ticker_symbol, description)>
+        <!ELEMENT article (headline, dateline?, body)>
+        <!ELEMENT body (par+)>
+        <!ELEMENT par (#PCDATA | emph | cite)*>
+        <!ELEMENT emph (#PCDATA)>
+        <!ELEMENT cite (#PCDATA)>
+        <!ELEMENT name (#PCDATA)>
+        <!ELEMENT ticker_symbol (#PCDATA)>
+        <!ELEMENT description (#PCDATA)>
+        <!ELEMENT headline (#PCDATA)>
+        <!ELEMENT dateline (#PCDATA)>
+      )"},
+  };
+  return *kDtds;
+}
+
+Result<Dtd> LoadUseCaseDtd(const UseCaseDtd& entry) {
+  return ParseDtd(entry.dtd_text, entry.root);
+}
+
+}  // namespace xmlproj

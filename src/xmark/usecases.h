@@ -1,0 +1,38 @@
+// The DTD corpus of the W3C "XML Query Use Cases" [3], which §4.1 uses to
+// argue that the Def 4.3 properties are common in practice ("among the ten
+// DTDs defined in the Use Cases, seven are both non-recursive and
+// *-guarded, one is only *-guarded, one is only non-recursive, and just
+// one does not satisfy either property"; five of ten parent-unambiguous).
+//
+// The DTDs below are good-faith reconstructions from the use-case
+// documents (the originals shipped as prose + schemas); each entry records
+// the use-case name and root. usecases_test.cc classifies the corpus with
+// the library's property detectors and EXPERIMENTS.md compares the tallies
+// with the paper's.
+
+#ifndef XMLPROJ_XMARK_USECASES_H_
+#define XMLPROJ_XMARK_USECASES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+
+namespace xmlproj {
+
+struct UseCaseDtd {
+  std::string name;  // the use case's name in [3], e.g. "XMP"
+  std::string root;
+  std::string dtd_text;
+};
+
+// The ten reconstructed use-case DTDs.
+const std::vector<UseCaseDtd>& UseCaseDtds();
+
+// Parses one entry.
+Result<Dtd> LoadUseCaseDtd(const UseCaseDtd& entry);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XMARK_USECASES_H_

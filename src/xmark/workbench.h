@@ -1,0 +1,39 @@
+// Shared harness for running and analyzing benchmark queries (used by the
+// bench/ binaries, the examples, and the integration tests).
+
+#ifndef XMLPROJ_XMARK_WORKBENCH_H_
+#define XMLPROJ_XMARK_WORKBENCH_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "dtd/name_set.h"
+#include "xml/document.h"
+#include "xmark/queries.h"
+
+namespace xmlproj {
+
+struct QueryRun {
+  std::string serialized;  // serialized query result
+  double seconds = 0;      // wall-clock evaluation time
+  size_t result_items = 0;
+  // Peak engine memory: document arena + evaluator materializations.
+  size_t memory_bytes = 0;
+};
+
+// Evaluates the query (XPath or XQuery) on `doc` and measures it.
+Result<QueryRun> RunBenchmarkQuery(const BenchmarkQuery& query,
+                                   const Document& doc);
+
+// Infers the type projector for the query against `dtd` (XPath queries are
+// materialized — benchmark results are serialized).
+Result<NameSet> AnalyzeBenchmarkQuery(const BenchmarkQuery& query,
+                                      const Dtd& dtd);
+
+// Monotonic wall clock in seconds.
+double NowSeconds();
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XMARK_WORKBENCH_H_

@@ -1,0 +1,23 @@
+// The XMark auction DTD (Schmidt et al., VLDB'02), embedded so benchmarks
+// and examples need no external files, plus a helper to parse it into the
+// local tree grammar.
+
+#ifndef XMLPROJ_XMARK_XMARK_DTD_H_
+#define XMLPROJ_XMARK_XMARK_DTD_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+
+namespace xmlproj {
+
+// The DTD text (root element: site).
+std::string_view XMarkDtdText();
+
+// Parses the embedded DTD.
+Result<Dtd> LoadXMarkDtd();
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XMARK_XMARK_DTD_H_

@@ -1,0 +1,144 @@
+#include "xml/document.h"
+
+#include <cassert>
+
+namespace xmlproj {
+
+TagId SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+TagId SymbolTable::Lookup(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kNoTag : it->second;
+}
+
+size_t SymbolTable::MemoryBytes() const {
+  size_t bytes = names_.capacity() * sizeof(std::string);
+  for (const std::string& s : names_) bytes += s.capacity();
+  // Rough per-entry hash map cost.
+  bytes += index_.size() * (sizeof(std::string) + sizeof(TagId) + 16);
+  return bytes;
+}
+
+Document::Document() {
+  Node doc_node;
+  doc_node.kind = NodeKind::kDocument;
+  nodes_.push_back(doc_node);
+}
+
+NodeId Document::root() const {
+  for (NodeId child = nodes_[0].first_child; child != kNullNode;
+       child = nodes_[child].next_sibling) {
+    if (nodes_[child].kind == NodeKind::kElement) return child;
+  }
+  return kNullNode;
+}
+
+const std::string* Document::FindAttribute(NodeId id,
+                                           std::string_view name) const {
+  TagId sym = symbols_.Lookup(name);
+  if (sym == kNoTag) return nullptr;
+  const Node& n = nodes_[id];
+  for (uint32_t k = n.attr_begin; k < n.attr_end; ++k) {
+    if (attributes_[k].name == sym) return &attributes_[k].value;
+  }
+  return nullptr;
+}
+
+size_t Document::MemoryBytes() const {
+  size_t bytes = nodes_.capacity() * sizeof(Node);
+  bytes += texts_.capacity() * sizeof(std::string);
+  for (const std::string& s : texts_) bytes += s.capacity();
+  bytes += attributes_.capacity() * sizeof(Attribute);
+  for (const Attribute& a : attributes_) bytes += a.value.capacity();
+  bytes += symbols_.MemoryBytes();
+  return bytes;
+}
+
+std::string Document::StringValue(NodeId id) const {
+  if (nodes_[id].kind == NodeKind::kText) return text(id);
+  std::string out;
+  NodeId end = nodes_[id].subtree_end;
+  for (NodeId i = id + 1; i < end; ++i) {
+    if (nodes_[i].kind == NodeKind::kText) out += text(i);
+  }
+  return out;
+}
+
+DocumentBuilder::DocumentBuilder() { stack_.push_back(0); }
+
+NodeId DocumentBuilder::Append(NodeKind kind) {
+  NodeId id = static_cast<NodeId>(doc_.nodes_.size());
+  Node n;
+  n.kind = kind;
+  n.parent = stack_.back();
+  Node& parent = doc_.nodes_[stack_.back()];
+  if (parent.last_child == kNullNode) {
+    parent.first_child = id;
+  } else {
+    doc_.nodes_[parent.last_child].next_sibling = id;
+    n.prev_sibling = parent.last_child;
+  }
+  parent.last_child = id;
+  doc_.nodes_.push_back(n);
+  return id;
+}
+
+NodeId DocumentBuilder::StartElement(std::string_view tag) {
+  NodeId id = Append(NodeKind::kElement);
+  Node& n = doc_.nodes_[id];
+  n.tag = doc_.symbols_.Intern(tag);
+  n.attr_begin = n.attr_end = static_cast<uint32_t>(doc_.attributes_.size());
+  stack_.push_back(id);
+  return id;
+}
+
+void DocumentBuilder::AddAttribute(std::string_view name,
+                                   std::string_view value) {
+  assert(stack_.size() > 1);
+  Node& n = doc_.nodes_[stack_.back()];
+  // Attributes are contiguous per element; they must be added before any
+  // child content so the [attr_begin, attr_end) range stays valid.
+  assert(n.attr_end == doc_.attributes_.size());
+  Attribute attr;
+  attr.name = doc_.symbols_.Intern(name);
+  attr.value = std::string(value);
+  doc_.attributes_.push_back(std::move(attr));
+  n.attr_end = static_cast<uint32_t>(doc_.attributes_.size());
+}
+
+NodeId DocumentBuilder::AddText(std::string_view text) {
+  NodeId id = Append(NodeKind::kText);
+  doc_.nodes_[id].text_index = static_cast<uint32_t>(doc_.texts_.size());
+  doc_.nodes_[id].subtree_end = id + 1;
+  doc_.texts_.emplace_back(text);
+  return id;
+}
+
+void DocumentBuilder::EndElement() {
+  assert(stack_.size() > 1);
+  NodeId id = stack_.back();
+  stack_.pop_back();
+  doc_.nodes_[id].subtree_end = static_cast<NodeId>(doc_.nodes_.size());
+}
+
+void DocumentBuilder::SetDoctype(std::string name,
+                                 std::string internal_subset) {
+  doc_.set_doctype(std::move(name), std::move(internal_subset));
+}
+
+Result<Document> DocumentBuilder::Finish() {
+  if (stack_.size() != 1) {
+    return InvalidError("DocumentBuilder::Finish with unclosed elements");
+  }
+  doc_.nodes_[0].subtree_end = static_cast<NodeId>(doc_.nodes_.size());
+  return std::move(doc_);
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,187 @@
+// In-memory XML data model (paper §2.1).
+//
+// A Document is an arena of nodes stored in *pre-order*: node ids are
+// indices into the arena and therefore (a) stable identifiers in the sense
+// of Def. 2.2 ("good formation": each id occurs once), and (b) ordered by
+// document order, which makes document-order sorting and the
+// following/preceding axes integer-range operations.
+//
+// Node 0 is a synthetic document node that owns the root element, matching
+// the XPath data model (absolute paths start there). Element and text nodes
+// below it are exactly the paper's trees: l_i[f] and s_i.
+//
+// Attributes are stored inline on their element. The paper treats the
+// attribute extension as straightforward; keeping attributes with their
+// element is the sound variant we implement (a kept element keeps its
+// attributes, a pruned element loses them with the subtree).
+
+#ifndef XMLPROJ_XML_DOCUMENT_H_
+#define XMLPROJ_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlproj {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kNullNode = 0xffffffffu;
+
+// Interned element/attribute name. -1 means "no tag" (text/document nodes).
+using TagId = int32_t;
+inline constexpr TagId kNoTag = -1;
+
+enum class NodeKind : uint8_t {
+  kDocument,  // synthetic root owning the document element
+  kElement,
+  kText,
+};
+
+struct Attribute {
+  TagId name = kNoTag;
+  std::string value;
+};
+
+struct Node {
+  NodeKind kind = NodeKind::kElement;
+  TagId tag = kNoTag;       // element tag (kElement only)
+  NodeId parent = kNullNode;
+  NodeId first_child = kNullNode;
+  NodeId last_child = kNullNode;
+  NodeId next_sibling = kNullNode;
+  NodeId prev_sibling = kNullNode;
+  // One past the last node of this subtree in pre-order. Descendants of
+  // node i are exactly the ids in (i, subtree_end).
+  NodeId subtree_end = kNullNode;
+  // Index into Document texts (kText only).
+  uint32_t text_index = 0;
+  // [attr_begin, attr_end) into Document attributes (kElement only).
+  uint32_t attr_begin = 0;
+  uint32_t attr_end = 0;
+};
+
+// Interns tag/attribute names to dense integer ids.
+class SymbolTable {
+ public:
+  TagId Intern(std::string_view name);
+  // Returns kNoTag when the name was never interned.
+  TagId Lookup(std::string_view name) const;
+  const std::string& NameOf(TagId id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, TagId> index_;
+};
+
+class Document {
+ public:
+  Document();
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  // --- Structure access -----------------------------------------------
+  size_t size() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_[id]; }
+  NodeId document_node() const { return 0; }
+  // Root element (first element child of the document node), or kNullNode
+  // for an empty document.
+  NodeId root() const;
+
+  NodeKind kind(NodeId id) const { return nodes_[id].kind; }
+  TagId tag(NodeId id) const { return nodes_[id].tag; }
+  const std::string& tag_name(NodeId id) const {
+    return symbols_.NameOf(nodes_[id].tag);
+  }
+  const std::string& text(NodeId id) const {
+    return texts_[nodes_[id].text_index];
+  }
+
+  // Attributes of an element, in document order.
+  uint32_t attr_count(NodeId id) const {
+    return nodes_[id].attr_end - nodes_[id].attr_begin;
+  }
+  const Attribute& attr(NodeId id, uint32_t k) const {
+    return attributes_[nodes_[id].attr_begin + k];
+  }
+  // Value of the named attribute, or nullptr if absent.
+  const std::string* FindAttribute(NodeId id, std::string_view name) const;
+
+  const SymbolTable& symbols() const { return symbols_; }
+  SymbolTable& symbols() { return symbols_; }
+
+  // Number of element + text nodes (excludes the document node).
+  size_t content_node_count() const { return nodes_.size() - 1; }
+
+  // Total bytes held by the arena: node records, text payloads, attribute
+  // payloads, symbol table. This is the document-side "memory usage"
+  // metric reported by the benchmarks (Fig. 5 proxy).
+  size_t MemoryBytes() const;
+
+  // String value of a node per XPath: concatenation of all descendant
+  // text nodes (identity for text nodes).
+  std::string StringValue(NodeId id) const;
+
+  // DOCTYPE information captured by the parser, if any.
+  const std::string& doctype_name() const { return doctype_name_; }
+  const std::string& doctype_internal_subset() const {
+    return doctype_internal_subset_;
+  }
+  void set_doctype(std::string name, std::string internal_subset) {
+    doctype_name_ = std::move(name);
+    doctype_internal_subset_ = std::move(internal_subset);
+  }
+
+ private:
+  friend class DocumentBuilder;
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> texts_;
+  std::vector<Attribute> attributes_;
+  SymbolTable symbols_;
+  std::string doctype_name_;
+  std::string doctype_internal_subset_;
+};
+
+// Incremental pre-order construction of a Document. Used by the XML parser,
+// the XMark generator, and the pruner.
+class DocumentBuilder {
+ public:
+  DocumentBuilder();
+
+  // Starts an element as the next child of the current open node.
+  NodeId StartElement(std::string_view tag);
+  // Adds an attribute to the most recently started element. Must be called
+  // before any child content is added.
+  void AddAttribute(std::string_view name, std::string_view value);
+  // Adds a text node as the next child of the current open node.
+  NodeId AddText(std::string_view text);
+  void EndElement();
+
+  void SetDoctype(std::string name, std::string internal_subset);
+
+  // Finishes construction. All elements must be closed. The builder must
+  // not be reused afterwards.
+  Result<Document> Finish();
+
+  // Depth of currently open elements (document node excluded).
+  size_t open_depth() const { return stack_.size() - 1; }
+
+ private:
+  NodeId Append(NodeKind kind);
+
+  Document doc_;
+  std::vector<NodeId> stack_;  // open nodes; stack_[0] is the document node
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XML_DOCUMENT_H_

@@ -1,0 +1,421 @@
+#include "xml/parser.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace xmlproj {
+namespace {
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+// Appends the UTF-8 encoding of `cp` to `out`.
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  }
+}
+
+class Parser {
+ public:
+  Parser(std::string_view input, SaxHandler* handler,
+         const XmlParseOptions& options)
+      : input_(input), handler_(handler), options_(options) {}
+
+  Status Run();
+
+ private:
+  Status Error(const std::string& message) const {
+    size_t line = 1;
+    for (size_t i = 0; i < pos_ && i < input_.size(); ++i) {
+      if (input_[i] == '\n') ++line;
+    }
+    return ParseError(StringPrintf("line %zu: %s", line, message.c_str()));
+  }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool LookingAt(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && IsSpace(Peek())) ++pos_;
+  }
+
+  Status ParseProlog();
+  Status ParseDoctype();
+  // Parses the element starting at pos_ and all of its content,
+  // iteratively (no recursion: document depth must not bound the stack).
+  Status ParseTree();
+  // Parses one start tag, emitting StartElement. Sets *closed when the
+  // element was self-closing (EndElement already emitted).
+  Status ParseStartTag(bool* closed);
+  Status ParseName(std::string_view* name);
+  Status ParseAttributes(std::vector<SaxAttribute>* attributes,
+                         std::vector<std::string>* storage);
+  Status SkipComment();
+  Status SkipProcessingInstruction();
+  Status AppendReference(std::string* out);
+  Status FlushText();
+
+  std::string_view input_;
+  SaxHandler* handler_;
+  XmlParseOptions options_;
+  size_t pos_ = 0;
+  std::string pending_text_;
+  bool pending_text_nonempty_ = false;
+  std::vector<std::string> open_tags_;
+};
+
+Status Parser::ParseName(std::string_view* name) {
+  size_t start = pos_;
+  if (AtEnd() || !IsNameStartChar(Peek())) {
+    return Error("expected a name");
+  }
+  ++pos_;
+  while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+  *name = input_.substr(start, pos_ - start);
+  return Status::Ok();
+}
+
+Status Parser::AppendReference(std::string* out) {
+  // pos_ is at '&'.
+  size_t end = input_.find(';', pos_);
+  if (end == std::string_view::npos || end - pos_ > 12) {
+    return Error("unterminated entity reference");
+  }
+  std::string_view body = input_.substr(pos_ + 1, end - pos_ - 1);
+  pos_ = end + 1;
+  if (body == "lt") {
+    out->push_back('<');
+  } else if (body == "gt") {
+    out->push_back('>');
+  } else if (body == "amp") {
+    out->push_back('&');
+  } else if (body == "apos") {
+    out->push_back('\'');
+  } else if (body == "quot") {
+    out->push_back('"');
+  } else if (!body.empty() && body[0] == '#') {
+    uint32_t cp = 0;
+    bool ok = body.size() > 1;
+    if (body.size() > 2 && (body[1] == 'x' || body[1] == 'X')) {
+      for (size_t i = 2; i < body.size() && ok; ++i) {
+        char c = body[i];
+        uint32_t digit;
+        if (c >= '0' && c <= '9') {
+          digit = static_cast<uint32_t>(c - '0');
+        } else if (c >= 'a' && c <= 'f') {
+          digit = static_cast<uint32_t>(c - 'a' + 10);
+        } else if (c >= 'A' && c <= 'F') {
+          digit = static_cast<uint32_t>(c - 'A' + 10);
+        } else {
+          ok = false;
+          break;
+        }
+        cp = cp * 16 + digit;
+      }
+    } else {
+      for (size_t i = 1; i < body.size() && ok; ++i) {
+        if (body[i] < '0' || body[i] > '9') {
+          ok = false;
+          break;
+        }
+        cp = cp * 10 + static_cast<uint32_t>(body[i] - '0');
+      }
+    }
+    if (!ok || cp == 0 || cp > 0x10ffff) {
+      return Error("malformed character reference");
+    }
+    AppendUtf8(cp, out);
+  } else {
+    return Error("unknown entity '&" + std::string(body) + ";'");
+  }
+  return Status::Ok();
+}
+
+Status Parser::FlushText() {
+  if (pending_text_.empty()) return Status::Ok();
+  bool emit = pending_text_nonempty_ || options_.keep_whitespace_text;
+  std::string text = std::move(pending_text_);
+  pending_text_.clear();
+  pending_text_nonempty_ = false;
+  if (emit) return handler_->Characters(text);
+  return Status::Ok();
+}
+
+Status Parser::SkipComment() {
+  // pos_ is at "<!--".
+  size_t end = input_.find("-->", pos_ + 4);
+  if (end == std::string_view::npos) return Error("unterminated comment");
+  pos_ = end + 3;
+  return Status::Ok();
+}
+
+Status Parser::SkipProcessingInstruction() {
+  // pos_ is at "<?".
+  size_t end = input_.find("?>", pos_ + 2);
+  if (end == std::string_view::npos) {
+    return Error("unterminated processing instruction");
+  }
+  pos_ = end + 2;
+  return Status::Ok();
+}
+
+Status Parser::ParseDoctype() {
+  // pos_ is at "<!DOCTYPE".
+  pos_ += 9;
+  SkipSpace();
+  std::string_view name;
+  XMLPROJ_RETURN_IF_ERROR(ParseName(&name));
+  std::string_view internal_subset;
+  // Scan to the closing '>', capturing an internal subset if present.
+  while (!AtEnd() && Peek() != '>' && Peek() != '[') ++pos_;
+  if (!AtEnd() && Peek() == '[') {
+    size_t subset_start = pos_ + 1;
+    size_t end = input_.find(']', subset_start);
+    if (end == std::string_view::npos) {
+      return Error("unterminated DOCTYPE internal subset");
+    }
+    internal_subset = input_.substr(subset_start, end - subset_start);
+    pos_ = end + 1;
+    while (!AtEnd() && Peek() != '>') ++pos_;
+  }
+  if (AtEnd()) return Error("unterminated DOCTYPE");
+  ++pos_;  // '>'
+  return handler_->Doctype(name, internal_subset);
+}
+
+Status Parser::ParseAttributes(std::vector<SaxAttribute>* attributes,
+                               std::vector<std::string>* storage) {
+  while (true) {
+    SkipSpace();
+    if (AtEnd()) return Error("unterminated start tag");
+    if (Peek() == '>' || Peek() == '/') return Status::Ok();
+    std::string_view name;
+    XMLPROJ_RETURN_IF_ERROR(ParseName(&name));
+    SkipSpace();
+    if (AtEnd() || Peek() != '=') return Error("expected '=' in attribute");
+    ++pos_;
+    SkipSpace();
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    ++pos_;
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      if (Peek() == '&') {
+        XMLPROJ_RETURN_IF_ERROR(AppendReference(&value));
+      } else if (Peek() == '<') {
+        return Error("'<' in attribute value");
+      } else {
+        value.push_back(Peek());
+        ++pos_;
+      }
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    ++pos_;  // closing quote
+    storage->push_back(std::move(value));
+    attributes->push_back(SaxAttribute{name, storage->back()});
+  }
+}
+
+Status Parser::ParseStartTag(bool* closed) {
+  // pos_ is at '<' of a start tag.
+  ++pos_;
+  std::string_view tag;
+  XMLPROJ_RETURN_IF_ERROR(ParseName(&tag));
+  std::vector<SaxAttribute> attributes;
+  std::vector<std::string> storage;
+  XMLPROJ_RETURN_IF_ERROR(ParseAttributes(&attributes, &storage));
+  // Re-point views: storage may have reallocated while growing.
+  {
+    size_t i = 0;
+    for (SaxAttribute& a : attributes) a.value = storage[i++];
+  }
+  bool self_closing = false;
+  if (Peek() == '/') {
+    self_closing = true;
+    ++pos_;
+    if (AtEnd() || Peek() != '>') return Error("expected '>' after '/'");
+  }
+  ++pos_;  // '>'
+  XMLPROJ_RETURN_IF_ERROR(handler_->StartElement(tag, attributes));
+  if (self_closing) {
+    *closed = true;
+    return handler_->EndElement(tag);
+  }
+  *closed = false;
+  open_tags_.emplace_back(tag);
+  return Status::Ok();
+}
+
+Status Parser::ParseTree() {
+  bool closed = false;
+  XMLPROJ_RETURN_IF_ERROR(ParseStartTag(&closed));
+  while (!open_tags_.empty()) {
+    if (AtEnd()) return Error("unexpected end of input inside element");
+    char c = Peek();
+    if (c == '<') {
+      if (LookingAt("<!--")) {
+        XMLPROJ_RETURN_IF_ERROR(SkipComment());
+      } else if (LookingAt("<![CDATA[")) {
+        size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) {
+          return Error("unterminated CDATA section");
+        }
+        std::string_view data = input_.substr(pos_ + 9, end - pos_ - 9);
+        pending_text_.append(data);
+        if (!IsAllXmlWhitespace(data)) pending_text_nonempty_ = true;
+        pos_ = end + 3;
+      } else if (LookingAt("<?")) {
+        XMLPROJ_RETURN_IF_ERROR(SkipProcessingInstruction());
+      } else if (LookingAt("</")) {
+        XMLPROJ_RETURN_IF_ERROR(FlushText());
+        pos_ += 2;
+        std::string_view name;
+        XMLPROJ_RETURN_IF_ERROR(ParseName(&name));
+        if (open_tags_.empty() || name != open_tags_.back()) {
+          return Error("mismatched end tag </" + std::string(name) + ">");
+        }
+        SkipSpace();
+        if (AtEnd() || Peek() != '>') return Error("malformed end tag");
+        ++pos_;
+        std::string closed_tag = std::move(open_tags_.back());
+        open_tags_.pop_back();
+        XMLPROJ_RETURN_IF_ERROR(handler_->EndElement(closed_tag));
+      } else {
+        XMLPROJ_RETURN_IF_ERROR(FlushText());
+        XMLPROJ_RETURN_IF_ERROR(ParseStartTag(&closed));
+      }
+    } else if (c == '&') {
+      size_t before = pending_text_.size();
+      XMLPROJ_RETURN_IF_ERROR(AppendReference(&pending_text_));
+      if (!IsAllXmlWhitespace(
+              std::string_view(pending_text_).substr(before))) {
+        pending_text_nonempty_ = true;
+      }
+    } else {
+      size_t run_start = pos_;
+      while (!AtEnd() && Peek() != '<' && Peek() != '&') ++pos_;
+      std::string_view run = input_.substr(run_start, pos_ - run_start);
+      pending_text_.append(run);
+      if (!IsAllXmlWhitespace(run)) pending_text_nonempty_ = true;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseProlog() {
+  while (true) {
+    SkipSpace();
+    if (AtEnd()) return Error("no root element");
+    if (LookingAt("<?")) {
+      XMLPROJ_RETURN_IF_ERROR(SkipProcessingInstruction());
+    } else if (LookingAt("<!--")) {
+      XMLPROJ_RETURN_IF_ERROR(SkipComment());
+    } else if (LookingAt("<!DOCTYPE")) {
+      XMLPROJ_RETURN_IF_ERROR(ParseDoctype());
+    } else if (Peek() == '<') {
+      return Status::Ok();
+    } else {
+      return Error("text before root element");
+    }
+  }
+}
+
+Status Parser::Run() {
+  XMLPROJ_RETURN_IF_ERROR(handler_->StartDocument());
+  XMLPROJ_RETURN_IF_ERROR(ParseProlog());
+  XMLPROJ_RETURN_IF_ERROR(ParseTree());
+  // Trailing misc: comments, PIs, whitespace only.
+  while (true) {
+    SkipSpace();
+    if (AtEnd()) break;
+    if (LookingAt("<!--")) {
+      XMLPROJ_RETURN_IF_ERROR(SkipComment());
+    } else if (LookingAt("<?")) {
+      XMLPROJ_RETURN_IF_ERROR(SkipProcessingInstruction());
+    } else {
+      return Error("content after root element");
+    }
+  }
+  return handler_->EndDocument();
+}
+
+}  // namespace
+
+Status ParseXmlStream(std::string_view input, SaxHandler* handler,
+                      const XmlParseOptions& options) {
+  Parser parser(input, handler, options);
+  return parser.Run();
+}
+
+Result<Document> ParseXml(std::string_view input,
+                          const XmlParseOptions& options) {
+  DomBuilderHandler handler;
+  XMLPROJ_RETURN_IF_ERROR(ParseXmlStream(input, &handler, options));
+  return handler.TakeDocument();
+}
+
+Result<std::string> DecodeXmlReferences(std::string_view text) {
+  // Reuse the content scanner by wrapping the text in a root element would
+  // be heavyweight; decode directly instead.
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '&') {
+      out.push_back(text[i++]);
+      continue;
+    }
+    size_t end = text.find(';', i);
+    if (end == std::string_view::npos) {
+      return ParseError("unterminated entity reference");
+    }
+    std::string_view body = text.substr(i + 1, end - i - 1);
+    if (body == "lt") {
+      out.push_back('<');
+    } else if (body == "gt") {
+      out.push_back('>');
+    } else if (body == "amp") {
+      out.push_back('&');
+    } else if (body == "apos") {
+      out.push_back('\'');
+    } else if (body == "quot") {
+      out.push_back('"');
+    } else {
+      return ParseError("unknown entity '&" + std::string(body) + ";'");
+    }
+    i = end + 1;
+  }
+  return out;
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,236 @@
+#include "xpath/approximate.h"
+
+#include <cassert>
+
+namespace xmlproj {
+namespace {
+
+LPath SelfNodePath() {
+  return MakeLPath({MakeLStep(Axis::kSelf, TestKind::kNode)});
+}
+
+// Expands one full-XPath step into XPath^ℓ step skeletons (§4.3), without
+// predicates. The original test lands on the last expanded step.
+std::vector<LStep> RewriteAxis(Axis axis, const NodeTest& test) {
+  auto test_step = [&test](Axis a) {
+    return MakeLStep(a, test.kind, test.name);
+  };
+  switch (axis) {
+    case Axis::kFollowing:
+    case Axis::kPreceding:
+      // W3C: ancestor-or-self::node()/X-sibling::node()/
+      //      descendant-or-self::Test, then the sibling step is
+      //      approximated by parent::node/child::node (§4.3).
+      return {MakeLStep(Axis::kAncestorOrSelf, TestKind::kNode),
+              MakeLStep(Axis::kParent, TestKind::kNode),
+              MakeLStep(Axis::kChild, TestKind::kNode),
+              test_step(Axis::kDescendantOrSelf)};
+    case Axis::kFollowingSibling:
+    case Axis::kPrecedingSibling:
+      return {MakeLStep(Axis::kParent, TestKind::kNode),
+              test_step(Axis::kChild)};
+    case Axis::kAttribute:
+      // Attributes are stored inline on their element: keeping the element
+      // keeps the attribute, so an attribute step needs only its element.
+      return {MakeLStep(Axis::kSelf, TestKind::kNode)};
+    default:
+      assert(IsLAxis(axis));
+      return {test_step(axis)};
+  }
+}
+
+// Flattens a location path that appears inside a predicate into a set of
+// *simple* relative paths (optionally suffixed). Nested predicates become
+// separate prefixed paths; absolute/variable starts are promoted to `acc`.
+Status FlattenConditionPath(const LocationPath& q, bool needs_subtree,
+                            ApproximatedQuery* acc,
+                            std::vector<LPath>* out);
+
+// Flattens a step sequence into *simple* paths: the spine (suffixed with
+// descendant-or-self when the value is needed) plus one prefixed path per
+// nested-predicate extraction.
+Status FlattenStepsToSimplePaths(std::span<const Step> steps,
+                                 bool needs_subtree, ApproximatedQuery* acc,
+                                 std::vector<LPath>* out);
+
+// P(Exp): simple paths approximating `expr` (§3.3). `value_needed` is set
+// when the enclosing operator consumes the *value* of a path operand
+// (comparison, arithmetic) rather than its node-set emptiness.
+Status ExtractCond(const Expr& expr, bool value_needed,
+                   ApproximatedQuery* acc, std::vector<LPath>* out) {
+  switch (expr.kind) {
+    case ExprKind::kPath:
+      return FlattenConditionPath(expr.path, value_needed, acc, out);
+    case ExprKind::kBinary:
+      switch (expr.op) {
+        case BinaryOp::kOr:
+        case BinaryOp::kAnd:
+        case BinaryOp::kUnion:
+          XMLPROJ_RETURN_IF_ERROR(
+              ExtractCond(*expr.args[0], false, acc, out));
+          return ExtractCond(*expr.args[1], false, acc, out);
+        default:
+          // Comparisons and arithmetic consume operand values: a path
+          // operand needs its whole subtree (string/number conversion
+          // reads descendant text).
+          XMLPROJ_RETURN_IF_ERROR(
+              ExtractCond(*expr.args[0], true, acc, out));
+          return ExtractCond(*expr.args[1], true, acc, out);
+      }
+    case ExprKind::kNegate:
+      return ExtractCond(*expr.args[0], true, acc, out);
+    case ExprKind::kFunction: {
+      for (size_t i = 0; i < expr.args.size(); ++i) {
+        bool subtree = FunctionNeedsSubtree(expr.function, i);
+        XMLPROJ_RETURN_IF_ERROR(
+            ExtractCond(*expr.args[i], subtree, acc, out));
+      }
+      // A function result is not purely structural: prevent the condition
+      // from restricting the projector (§3.3).
+      out->push_back(SelfNodePath());
+      return Status::Ok();
+    }
+    case ExprKind::kLiteral:
+    case ExprKind::kNumber:
+      return Status::Ok();
+  }
+  return InternalError("unreachable expression kind");
+}
+
+Status FlattenConditionPath(const LocationPath& q, bool needs_subtree,
+                            ApproximatedQuery* acc,
+                            std::vector<LPath>* out) {
+  // An attribute-valued operand needs no subtree: attribute values are
+  // stored inline on their element and survive with it.
+  if (!q.steps.empty() && q.steps.back().axis == Axis::kAttribute) {
+    needs_subtree = false;
+  }
+  if (q.start == PathStart::kRoot) {
+    // Absolute condition: its data needs become a document-rooted extra
+    // path; the condition itself cannot restrict the current node (its
+    // truth does not depend on the node's subtree), so contribute
+    // self::node.
+    LPath spine;
+    XMLPROJ_RETURN_IF_ERROR(ApproximateSteps(q.steps, acc, &spine));
+    if (needs_subtree) {
+      spine.steps.push_back(
+          MakeLStep(Axis::kDescendantOrSelf, TestKind::kNode));
+    }
+    acc->extra_paths.push_back(std::move(spine));
+    out->push_back(SelfNodePath());
+    return Status::Ok();
+  }
+  if (q.start == PathStart::kVariable) {
+    // The paths must stay *simple* (they become conditions after the
+    // caller re-roots them), so nested predicates are flattened exactly
+    // like in the relative case.
+    std::vector<LPath> flattened;
+    XMLPROJ_RETURN_IF_ERROR(
+        FlattenStepsToSimplePaths(q.steps, needs_subtree, acc, &flattened));
+    for (LPath& p : flattened) {
+      acc->var_conditions.push_back(
+          ApproximatedQuery::VarCondition{q.variable, std::move(p)});
+    }
+    out->push_back(SelfNodePath());
+    return Status::Ok();
+  }
+
+  return FlattenStepsToSimplePaths(q.steps, needs_subtree, acc, out);
+}
+
+Status FlattenStepsToSimplePaths(std::span<const Step> steps,
+                                 bool needs_subtree, ApproximatedQuery* acc,
+                                 std::vector<LPath>* out) {
+  // Build the simple spine; nested predicates become prefixed paths of
+  // their own.
+  LPath spine;
+  for (const Step& step : steps) {
+    std::vector<LStep> expanded = RewriteAxis(step.axis, step.test);
+    for (LStep& ls : expanded) spine.steps.push_back(std::move(ls));
+    if (step.predicates.empty()) continue;
+    std::vector<LPath> nested;
+    for (const ExprPtr& pred : step.predicates) {
+      XMLPROJ_RETURN_IF_ERROR(ExtractCond(*pred, false, acc, &nested));
+    }
+    for (LPath& p : nested) {
+      LPath prefixed = spine;  // prefix up to and including this step
+      for (LStep& ls : p.steps) prefixed.steps.push_back(std::move(ls));
+      out->push_back(std::move(prefixed));
+    }
+  }
+  if (needs_subtree) {
+    if (spine.steps.empty() ||
+        spine.steps.back().axis != Axis::kDescendantOrSelf ||
+        spine.steps.back().test != TestKind::kNode) {
+      spine.steps.push_back(
+          MakeLStep(Axis::kDescendantOrSelf, TestKind::kNode));
+    }
+  }
+  if (spine.steps.empty()) spine = SelfNodePath();
+  out->push_back(std::move(spine));
+  return Status::Ok();
+}
+
+}  // namespace
+
+bool FunctionNeedsSubtree(std::string_view name, size_t index) {
+  (void)index;
+  // Functions whose argument is consumed only as a node set: the node
+  // itself suffices.
+  static constexpr std::string_view kSelfOnly[] = {
+      "count", "empty",      "exists", "not",  "boolean",
+      "position", "last",    "name",   "local-name", "zero-or-one",
+  };
+  for (std::string_view f : kSelfOnly) {
+    if (name == f) return false;
+  }
+  // string, number, sum, contains, starts-with, concat, string-length,
+  // floor, ceiling, round, and anything unknown: conservatively require
+  // the subtree.
+  return true;
+}
+
+Result<std::vector<LPath>> ExtractConditionPaths(const Expr& expr,
+                                                 ApproximatedQuery* acc) {
+  std::vector<LPath> out;
+  XMLPROJ_RETURN_IF_ERROR(ExtractCond(expr, /*value_needed=*/false, acc,
+                                      &out));
+  if (out.empty()) out.push_back(SelfNodePath());
+  return out;
+}
+
+Status ApproximateSteps(std::span<const Step> steps, ApproximatedQuery* acc,
+                        LPath* out) {
+  for (const Step& step : steps) {
+    std::vector<LStep> expanded = RewriteAxis(step.axis, step.test);
+    // Predicates attach to the last expanded step.
+    LStep& last = expanded.back();
+    for (const ExprPtr& pred : step.predicates) {
+      std::vector<LPath> paths;
+      XMLPROJ_RETURN_IF_ERROR(ExtractCond(*pred, false, acc, &paths));
+      if (paths.empty()) paths.push_back(SelfNodePath());
+      for (LPath& p : paths) last.cond.push_back(std::move(p));
+    }
+    for (LStep& ls : expanded) out->steps.push_back(std::move(ls));
+  }
+  return Status::Ok();
+}
+
+Result<ApproximatedQuery> ApproximateQuery(const LocationPath& q) {
+  if (q.start == PathStart::kVariable) {
+    return InvalidError(
+        "ApproximateQuery cannot resolve variable-rooted paths; use the "
+        "XQuery path extractor");
+  }
+  ApproximatedQuery acc;
+  acc.from_document_node = q.start == PathStart::kRoot;
+  XMLPROJ_RETURN_IF_ERROR(ApproximateSteps(q.steps, &acc, &acc.main));
+  if (acc.main.steps.empty()) acc.main = SelfNodePath();
+  XMLPROJ_RETURN_IF_ERROR(ValidateLPath(acc.main));
+  for (const LPath& p : acc.extra_paths) {
+    XMLPROJ_RETURN_IF_ERROR(ValidateLPath(p));
+  }
+  return acc;
+}
+
+}  // namespace xmlproj

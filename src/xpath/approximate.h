@@ -1,0 +1,87 @@
+// Sound approximation of arbitrary XPath queries into XPath^ℓ
+// (paper §3.3 and §4.3).
+//
+// Given a query Q, produces a XPath^ℓ path P whose inferred projector is
+// sound for Q:
+//   - missing axes are rewritten (§4.3): following/preceding via the W3C
+//     expansion into ancestor-or-self + sibling + descendant-or-self, then
+//     the sibling axes are approximated by parent::node/child::Test;
+//     attribute steps collapse onto their element (attributes are stored
+//     inline and survive whenever their element does);
+//   - every predicate Exp is approximated by a condition Cond — a
+//     disjunction of simple paths — via the path-extraction function P,
+//     with the per-function table F choosing between a trailing self::node
+//     (only the node itself is needed: count, not, position, ...) and
+//     descendant-or-self::node (the whole value is needed: string
+//     comparisons, sum, contains, ...). Non-structural conditions
+//     contribute the always-true path self::node so they never restrict
+//     the projector (they only add data needs).
+//
+// Absolute paths nested inside predicates cannot be expressed as XPath^ℓ
+// conditions (conditions are relative); they are promoted to extra
+// root-level paths. Variable-rooted paths inside predicates are reported
+// to the caller (the XQuery extractor resolves them against its
+// environment Γ).
+
+#ifndef XMLPROJ_XPATH_APPROXIMATE_H_
+#define XMLPROJ_XPATH_APPROXIMATE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+#include "xpath/xpathl.h"
+
+namespace xmlproj {
+
+struct ApproximatedQuery {
+  // The XPath^ℓ approximation of the query spine.
+  LPath main;
+
+  // True when `main` must be analyzed from the document node (#document
+  // grammar name) — i.e. the query was absolute. Otherwise it is analyzed
+  // from the root element.
+  bool from_document_node = false;
+
+  // Document-rooted paths promoted from absolute paths inside predicates;
+  // each must be analyzed as an additional query path (from the document
+  // node).
+  std::vector<LPath> extra_paths;
+
+  // Variable-rooted paths found inside predicates: `relative` must be
+  // re-rooted at the variable's binding path by the caller.
+  struct VarCondition {
+    std::string variable;
+    LPath relative;
+  };
+  std::vector<VarCondition> var_conditions;
+};
+
+// Approximates a full query. `q.start` may be kRoot or kContext (a context
+// start is interpreted as the root element, the paper's evaluation root);
+// kVariable starts are rejected here — the XQuery extractor handles them.
+Result<ApproximatedQuery> ApproximateQuery(const LocationPath& q);
+
+// Lower-level entry point used by the XQuery path extractor: approximates
+// a step sequence without the absolute-start remapping, appending results
+// to *out (extras/vars go to the same ApproximatedQuery).
+Status ApproximateSteps(std::span<const Step> steps, ApproximatedQuery* acc,
+                        LPath* out);
+
+// The condition-extraction function P (§3.3): the set of simple paths
+// whose disjunction soundly approximates predicate `expr`. Returns at
+// least one path (self::node when the predicate is purely
+// non-structural). Extras/vars accumulate into *acc.
+Result<std::vector<LPath>> ExtractConditionPaths(const Expr& expr,
+                                                 ApproximatedQuery* acc);
+
+// The F table (§3.3): true if evaluating argument `index` (0-based) of
+// function `name` requires the full subtree (descendant-or-self::node);
+// false when the node itself suffices (self::node).
+bool FunctionNeedsSubtree(std::string_view name, size_t index);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XPATH_APPROXIMATE_H_

@@ -1,0 +1,126 @@
+// Abstract syntax for XPath queries (paper §3: the generic query language
+// Q, of which XPath^ℓ — xpathl.h — is the analyzable fragment).
+//
+// The grammar covers XPath 1.0 location paths with all thirteen axes,
+// name/node()/text() tests, nested predicates, the boolean / relational /
+// arithmetic operators, function calls, literals and variable references
+// (variables appear when XPath is embedded in XQuery, §5).
+
+#ifndef XMLPROJ_XPATH_AST_H_
+#define XMLPROJ_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xmlproj {
+
+enum class Axis : uint8_t {
+  kChild,
+  kDescendant,
+  kParent,
+  kAncestor,
+  kSelf,
+  kDescendantOrSelf,
+  kAncestorOrSelf,
+  kFollowing,
+  kPreceding,
+  kFollowingSibling,
+  kPrecedingSibling,
+  kAttribute,
+};
+
+const char* AxisName(Axis axis);
+bool IsUpwardAxis(Axis axis);    // parent / ancestor / ancestor-or-self
+bool IsDownwardAxis(Axis axis);  // child / descendant / descendant-or-self
+
+enum class TestKind : uint8_t {
+  kName,        // child::author
+  kAnyElement,  // child::* (and the paper's element() wildcard)
+  kNode,        // child::node()
+  kText,        // child::text()
+};
+
+struct NodeTest {
+  TestKind kind = TestKind::kNode;
+  std::string name;  // kName only
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  std::vector<ExprPtr> predicates;
+};
+
+// Where a location path starts from.
+enum class PathStart : uint8_t {
+  kContext,   // relative path
+  kRoot,      // absolute path: /a/b
+  kVariable,  // $x/a/b (XQuery embedding)
+};
+
+struct LocationPath {
+  PathStart start = PathStart::kContext;
+  std::string variable;  // kVariable only
+  std::vector<Step> steps;
+};
+
+enum class BinaryOp : uint8_t {
+  kOr,
+  kAnd,
+  kEq,   // = and eq
+  kNe,   // != and ne
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kUnion,  // |
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+enum class ExprKind : uint8_t {
+  kBinary,
+  kNegate,    // unary minus
+  kPath,
+  kFunction,  // f(arg, ...)
+  kLiteral,   // 'string'
+  kNumber,
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kNumber;
+
+  // kBinary / kNegate / kFunction operands or arguments.
+  BinaryOp op = BinaryOp::kOr;
+  std::vector<ExprPtr> args;
+
+  LocationPath path;    // kPath
+  std::string function;  // kFunction
+  std::string literal;   // kLiteral
+  double number = 0;     // kNumber
+};
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakePath(LocationPath path);
+ExprPtr MakeLiteral(std::string value);
+ExprPtr MakeNumber(double value);
+ExprPtr MakeFunction(std::string name, std::vector<ExprPtr> args);
+ExprPtr CloneExpr(const Expr& expr);
+LocationPath ClonePath(const LocationPath& path);
+
+// Unparsers (diagnostics and tests).
+std::string ToString(const LocationPath& path);
+std::string ToString(const Expr& expr);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XPATH_AST_H_

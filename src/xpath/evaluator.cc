@@ -1,0 +1,738 @@
+#include "xpath/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace xmlproj {
+
+std::string XPathNumberToString(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "Infinity" : "-Infinity";
+  // Integral values print without a decimal point; the magnitude guard
+  // keeps the double -> long long conversion defined.
+  if (std::abs(v) < 1e15 && v == static_cast<double>(
+                                     static_cast<long long>(v))) {
+    return StringPrintf("%lld", static_cast<long long>(v));
+  }
+  return StringPrintf("%g", v);
+}
+
+void NormalizeNodeList(NodeList* nodes) {
+  std::sort(nodes->begin(), nodes->end());
+  nodes->erase(std::unique(nodes->begin(), nodes->end()), nodes->end());
+}
+
+XPathEvaluator::XPathEvaluator(const Document& doc, Options options)
+    : doc_(doc), options_(std::move(options)) {}
+
+std::string XPathEvaluator::StringValueOf(XNode n) const {
+  if (n.attr >= 0) {
+    return doc_.attr(n.node, static_cast<uint32_t>(n.attr)).value;
+  }
+  return doc_.StringValue(n.node);
+}
+
+double XPathEvaluator::NumberValueOf(XNode n) const {
+  std::string s = StringValueOf(n);
+  const char* begin = s.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  if (end == begin) return std::nan("");
+  // Trailing garbage (other than whitespace) means NaN.
+  while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') ++end;
+  if (*end != '\0') return std::nan("");
+  return v;
+}
+
+bool XPathEvaluator::EffectiveBoolean(const XPathValue& v) {
+  switch (v.kind) {
+    case ValueKind::kNodeSet:
+      return !v.nodes.empty();
+    case ValueKind::kBool:
+      return v.boolean;
+    case ValueKind::kNumber:
+      return v.number != 0 && !std::isnan(v.number);
+    case ValueKind::kString:
+      return !v.string.empty();
+  }
+  return false;
+}
+
+double XPathEvaluator::ToNumber(const XPathValue& v) const {
+  switch (v.kind) {
+    case ValueKind::kNodeSet:
+      if (v.nodes.empty()) return std::nan("");
+      return NumberValueOf(v.nodes.front());
+    case ValueKind::kBool:
+      return v.boolean ? 1 : 0;
+    case ValueKind::kNumber:
+      return v.number;
+    case ValueKind::kString: {
+      const char* begin = v.string.c_str();
+      char* end = nullptr;
+      double num = std::strtod(begin, &end);
+      if (end == begin) return std::nan("");
+      return num;
+    }
+  }
+  return std::nan("");
+}
+
+std::string XPathEvaluator::ToStringValue(const XPathValue& v) const {
+  switch (v.kind) {
+    case ValueKind::kNodeSet:
+      if (v.nodes.empty()) return "";
+      return StringValueOf(v.nodes.front());
+    case ValueKind::kBool:
+      return v.boolean ? "true" : "false";
+    case ValueKind::kNumber:
+      return XPathNumberToString(v.number);
+    case ValueKind::kString:
+      return v.string;
+  }
+  return "";
+}
+
+bool XPathEvaluator::MatchesTest(XNode n, const NodeTest& test) const {
+  if (n.attr >= 0) {
+    // Attribute nodes match name tests by attribute name, plus node()/'*'.
+    const Attribute& a = doc_.attr(n.node, static_cast<uint32_t>(n.attr));
+    switch (test.kind) {
+      case TestKind::kName:
+        return doc_.symbols().NameOf(a.name) == test.name;
+      case TestKind::kAnyElement:
+      case TestKind::kNode:
+        return true;
+      case TestKind::kText:
+        return false;
+    }
+    return false;
+  }
+  const Node& node = doc_.node(n.node);
+  switch (test.kind) {
+    case TestKind::kName:
+      return node.kind == NodeKind::kElement &&
+             doc_.tag_name(n.node) == test.name;
+    case TestKind::kAnyElement:
+      return node.kind == NodeKind::kElement;
+    case TestKind::kNode:
+      return true;
+    case TestKind::kText:
+      return node.kind == NodeKind::kText;
+  }
+  return false;
+}
+
+void XPathEvaluator::SelectAxis(XNode origin, Axis axis,
+                                const NodeTest& test, NodeList* out) const {
+  auto emit = [this, &test, out](NodeId id) {
+    XNode n{id, -1};
+    if (MatchesTest(n, test)) out->push_back(n);
+  };
+
+  // Attribute-node origins: only the vertical axes are meaningful.
+  if (origin.attr >= 0) {
+    switch (axis) {
+      case Axis::kSelf:
+        if (MatchesTest(origin, test)) out->push_back(origin);
+        return;
+      case Axis::kParent:
+        emit(origin.node);
+        return;
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf: {
+        if (axis == Axis::kAncestorOrSelf && MatchesTest(origin, test)) {
+          out->push_back(origin);
+        }
+        for (NodeId a = origin.node; a != kNullNode; a = doc_.node(a).parent) {
+          emit(a);
+        }
+        return;
+      }
+      default:
+        return;  // child/descendant/sibling/attribute of an attribute: empty
+    }
+  }
+
+  const Node& node = doc_.node(origin.node);
+  switch (axis) {
+    case Axis::kChild:
+      for (NodeId c = node.first_child; c != kNullNode;
+           c = doc_.node(c).next_sibling) {
+        emit(c);
+      }
+      break;
+    case Axis::kDescendant:
+      for (NodeId i = origin.node + 1; i < node.subtree_end; ++i) emit(i);
+      break;
+    case Axis::kDescendantOrSelf:
+      for (NodeId i = origin.node; i < node.subtree_end; ++i) emit(i);
+      break;
+    case Axis::kParent:
+      if (node.parent != kNullNode) emit(node.parent);
+      break;
+    case Axis::kAncestor:
+      for (NodeId a = node.parent; a != kNullNode; a = doc_.node(a).parent) {
+        emit(a);
+      }
+      break;
+    case Axis::kAncestorOrSelf:
+      for (NodeId a = origin.node; a != kNullNode; a = doc_.node(a).parent) {
+        emit(a);
+      }
+      break;
+    case Axis::kSelf:
+      emit(origin.node);
+      break;
+    case Axis::kFollowingSibling:
+      for (NodeId s = node.next_sibling; s != kNullNode;
+           s = doc_.node(s).next_sibling) {
+        emit(s);
+      }
+      break;
+    case Axis::kPrecedingSibling:
+      for (NodeId s = node.prev_sibling; s != kNullNode;
+           s = doc_.node(s).prev_sibling) {
+        emit(s);
+      }
+      break;
+    case Axis::kFollowing:
+      // Everything after this subtree in document order; pre-order ids make
+      // this a contiguous range.
+      for (NodeId i = node.subtree_end; i < doc_.size(); ++i) emit(i);
+      break;
+    case Axis::kPreceding: {
+      // Nodes before origin in document order, minus ancestors, in reverse
+      // document order (proximity order for a reverse axis).
+      for (NodeId i = origin.node; i-- > 1;) {
+        // Skip ancestors: an ancestor a satisfies a < origin < a.subtree_end.
+        const Node& cand = doc_.node(i);
+        if (i < origin.node && origin.node < cand.subtree_end) continue;
+        emit(i);
+      }
+      break;
+    }
+    case Axis::kAttribute:
+      if (node.kind == NodeKind::kElement) {
+        for (uint32_t k = 0; k < doc_.attr_count(origin.node); ++k) {
+          XNode a{origin.node, static_cast<int32_t>(k)};
+          if (MatchesTest(a, test)) out->push_back(a);
+        }
+      }
+      break;
+  }
+}
+
+Result<NodeList> XPathEvaluator::EvalStep(const Step& step,
+                                          const NodeList& context) {
+  NodeList result;
+  NodeList selected;
+  for (const XNode& origin : context) {
+    selected.clear();
+    SelectAxis(origin, step.axis, step.test, &selected);
+    // Apply predicates with proximity positions within this context node's
+    // selection (SelectAxis emits in proximity order already).
+    for (const ExprPtr& pred : step.predicates) {
+      NodeList kept;
+      size_t size = selected.size();
+      for (size_t i = 0; i < selected.size(); ++i) {
+        EvalContext ctx;
+        ctx.node = selected[i];
+        ctx.position = i + 1;
+        ctx.size = size;
+        XMLPROJ_ASSIGN_OR_RETURN(XPathValue v, Eval(*pred, ctx));
+        bool keep;
+        if (v.kind == ValueKind::kNumber) {
+          keep = v.number == static_cast<double>(ctx.position);
+        } else {
+          keep = EffectiveBoolean(v);
+        }
+        if (keep) kept.push_back(selected[i]);
+      }
+      selected = std::move(kept);
+    }
+    result.insert(result.end(), selected.begin(), selected.end());
+  }
+  NormalizeNodeList(&result);
+  if (options_.meter != nullptr) {
+    options_.meter->Add(result.capacity() * sizeof(XNode));
+    options_.meter->Sub(result.capacity() * sizeof(XNode));
+  }
+  return result;
+}
+
+Result<NodeList> XPathEvaluator::EvalSteps(const LocationPath& path,
+                                           NodeList context) {
+  MeteredBytes guard(options_.meter, context.capacity() * sizeof(XNode));
+  for (const Step& step : path.steps) {
+    MeteredBytes step_guard(options_.meter,
+                            context.capacity() * sizeof(XNode));
+    XMLPROJ_ASSIGN_OR_RETURN(NodeList next, EvalStep(step, context));
+    context = std::move(next);
+  }
+  return context;
+}
+
+Result<NodeList> XPathEvaluator::EvaluatePath(const LocationPath& path,
+                                              const NodeList& context) {
+  switch (path.start) {
+    case PathStart::kContext:
+      return EvalSteps(path, context);
+    case PathStart::kRoot:
+      return EvalSteps(path, {XNode{doc_.document_node(), -1}});
+    case PathStart::kVariable: {
+      if (!options_.variable_lookup) {
+        return NotFoundError("unbound variable $" + path.variable);
+      }
+      XMLPROJ_ASSIGN_OR_RETURN(XPathValue v,
+                               options_.variable_lookup(path.variable));
+      if (v.kind != ValueKind::kNodeSet) {
+        return InvalidError("variable $" + path.variable +
+                            " is not a node set");
+      }
+      NodeList start = v.nodes;
+      NormalizeNodeList(&start);
+      return EvalSteps(path, std::move(start));
+    }
+  }
+  return InternalError("unreachable path start");
+}
+
+Result<NodeList> XPathEvaluator::EvaluateFromRoot(const LocationPath& path) {
+  return EvaluatePath(path, {XNode{doc_.document_node(), -1}});
+}
+
+Result<XPathValue> XPathEvaluator::EvaluateExpr(const Expr& expr,
+                                                XNode context) {
+  EvalContext ctx;
+  ctx.node = context;
+  return Eval(expr, ctx);
+}
+
+Result<XPathValue> XPathEvaluator::EvalComparison(const Expr& expr,
+                                                  const EvalContext& ctx) {
+  XMLPROJ_ASSIGN_OR_RETURN(XPathValue lhs, Eval(*expr.args[0], ctx));
+  XMLPROJ_ASSIGN_OR_RETURN(XPathValue rhs, Eval(*expr.args[1], ctx));
+  BinaryOp op = expr.op;
+
+  auto cmp_numbers = [op](double a, double b) {
+    switch (op) {
+      case BinaryOp::kEq:
+        return a == b;
+      case BinaryOp::kNe:
+        return a != b;
+      case BinaryOp::kLt:
+        return a < b;
+      case BinaryOp::kLe:
+        return a <= b;
+      case BinaryOp::kGt:
+        return a > b;
+      case BinaryOp::kGe:
+        return a >= b;
+      default:
+        return false;
+    }
+  };
+  auto cmp_strings = [op](const std::string& a, const std::string& b) {
+    switch (op) {
+      case BinaryOp::kEq:
+        return a == b;
+      case BinaryOp::kNe:
+        return a != b;
+      default:
+        return false;
+    }
+  };
+  bool relational = op == BinaryOp::kLt || op == BinaryOp::kLe ||
+                    op == BinaryOp::kGt || op == BinaryOp::kGe;
+
+  // Node-set comparisons are existential (XPath 1.0 §3.4).
+  if (lhs.kind == ValueKind::kNodeSet && rhs.kind == ValueKind::kNodeSet) {
+    for (const XNode& a : lhs.nodes) {
+      std::string sa = StringValueOf(a);
+      double na = relational ? NumberValueOf(a) : 0;
+      for (const XNode& b : rhs.nodes) {
+        bool match = relational ? cmp_numbers(na, NumberValueOf(b))
+                                : cmp_strings(sa, StringValueOf(b));
+        if (match) return XPathValue::Bool(true);
+      }
+    }
+    return XPathValue::Bool(false);
+  }
+  if (lhs.kind == ValueKind::kNodeSet || rhs.kind == ValueKind::kNodeSet) {
+    bool node_on_left = lhs.kind == ValueKind::kNodeSet;
+    const XPathValue& nodes = node_on_left ? lhs : rhs;
+    const XPathValue& other = node_on_left ? rhs : lhs;
+    if (other.kind == ValueKind::kBool) {
+      // node-set vs boolean: compare boolean(node-set) to the boolean.
+      bool b = !nodes.nodes.empty();
+      bool eq = b == other.boolean;
+      if (op == BinaryOp::kEq) return XPathValue::Bool(eq);
+      if (op == BinaryOp::kNe) return XPathValue::Bool(!eq);
+      return XPathValue::Bool(
+          cmp_numbers(node_on_left ? (b ? 1 : 0) : (other.boolean ? 1 : 0),
+                      node_on_left ? (other.boolean ? 1 : 0) : (b ? 1 : 0)));
+    }
+    // Normalize op direction when the node-set is on the right.
+    BinaryOp dir_op = op;
+    if (!node_on_left) {
+      switch (op) {
+        case BinaryOp::kLt:
+          dir_op = BinaryOp::kGt;
+          break;
+        case BinaryOp::kLe:
+          dir_op = BinaryOp::kGe;
+          break;
+        case BinaryOp::kGt:
+          dir_op = BinaryOp::kLt;
+          break;
+        case BinaryOp::kGe:
+          dir_op = BinaryOp::kLe;
+          break;
+        default:
+          break;
+      }
+    }
+    for (const XNode& n : nodes.nodes) {
+      bool match = false;
+      if (relational || other.kind == ValueKind::kNumber) {
+        double a = NumberValueOf(n);
+        double b = ToNumber(other);
+        switch (dir_op) {
+          case BinaryOp::kEq:
+            match = a == b;
+            break;
+          case BinaryOp::kNe:
+            match = a != b;
+            break;
+          case BinaryOp::kLt:
+            match = a < b;
+            break;
+          case BinaryOp::kLe:
+            match = a <= b;
+            break;
+          case BinaryOp::kGt:
+            match = a > b;
+            break;
+          case BinaryOp::kGe:
+            match = a >= b;
+            break;
+          default:
+            break;
+        }
+      } else {
+        match = cmp_strings(StringValueOf(n), other.string);
+      }
+      if (match) return XPathValue::Bool(true);
+    }
+    return XPathValue::Bool(false);
+  }
+
+  // Scalar comparisons.
+  if (op == BinaryOp::kEq || op == BinaryOp::kNe) {
+    bool eq;
+    if (lhs.kind == ValueKind::kBool || rhs.kind == ValueKind::kBool) {
+      eq = EffectiveBoolean(lhs) == EffectiveBoolean(rhs);
+    } else if (lhs.kind == ValueKind::kNumber ||
+               rhs.kind == ValueKind::kNumber) {
+      eq = ToNumber(lhs) == ToNumber(rhs);
+    } else {
+      eq = ToStringValue(lhs) == ToStringValue(rhs);
+    }
+    return XPathValue::Bool(op == BinaryOp::kEq ? eq : !eq);
+  }
+  return XPathValue::Bool(cmp_numbers(ToNumber(lhs), ToNumber(rhs)));
+}
+
+Result<XPathValue> XPathEvaluator::EvalBinary(const Expr& expr,
+                                              const EvalContext& ctx) {
+  switch (expr.op) {
+    case BinaryOp::kOr: {
+      XMLPROJ_ASSIGN_OR_RETURN(XPathValue lhs, Eval(*expr.args[0], ctx));
+      if (EffectiveBoolean(lhs)) return XPathValue::Bool(true);
+      XMLPROJ_ASSIGN_OR_RETURN(XPathValue rhs, Eval(*expr.args[1], ctx));
+      return XPathValue::Bool(EffectiveBoolean(rhs));
+    }
+    case BinaryOp::kAnd: {
+      XMLPROJ_ASSIGN_OR_RETURN(XPathValue lhs, Eval(*expr.args[0], ctx));
+      if (!EffectiveBoolean(lhs)) return XPathValue::Bool(false);
+      XMLPROJ_ASSIGN_OR_RETURN(XPathValue rhs, Eval(*expr.args[1], ctx));
+      return XPathValue::Bool(EffectiveBoolean(rhs));
+    }
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return EvalComparison(expr, ctx);
+    case BinaryOp::kUnion: {
+      XMLPROJ_ASSIGN_OR_RETURN(XPathValue lhs, Eval(*expr.args[0], ctx));
+      XMLPROJ_ASSIGN_OR_RETURN(XPathValue rhs, Eval(*expr.args[1], ctx));
+      if (lhs.kind != ValueKind::kNodeSet ||
+          rhs.kind != ValueKind::kNodeSet) {
+        return InvalidError("operands of '|' must be node sets");
+      }
+      NodeList merged = std::move(lhs.nodes);
+      merged.insert(merged.end(), rhs.nodes.begin(), rhs.nodes.end());
+      NormalizeNodeList(&merged);
+      return XPathValue::NodeSet(std::move(merged));
+    }
+    default: {
+      XMLPROJ_ASSIGN_OR_RETURN(XPathValue lhs, Eval(*expr.args[0], ctx));
+      XMLPROJ_ASSIGN_OR_RETURN(XPathValue rhs, Eval(*expr.args[1], ctx));
+      double a = ToNumber(lhs);
+      double b = ToNumber(rhs);
+      switch (expr.op) {
+        case BinaryOp::kAdd:
+          return XPathValue::Number(a + b);
+        case BinaryOp::kSub:
+          return XPathValue::Number(a - b);
+        case BinaryOp::kMul:
+          return XPathValue::Number(a * b);
+        case BinaryOp::kDiv:
+          return XPathValue::Number(a / b);
+        case BinaryOp::kMod:
+          return XPathValue::Number(std::fmod(a, b));
+        default:
+          return InternalError("unexpected binary operator");
+      }
+    }
+  }
+}
+
+Result<XPathValue> XPathEvaluator::EvalFunction(const Expr& expr,
+                                                const EvalContext& ctx) {
+  const std::string& f = expr.function;
+  auto arg_count_error = [&f](size_t want) {
+    return InvalidError(StringPrintf("function %s expects %zu argument(s)",
+                                     f.c_str(), want));
+  };
+
+  if (f == "position") return XPathValue::Number(static_cast<double>(ctx.position));
+  if (f == "last") return XPathValue::Number(static_cast<double>(ctx.size));
+  if (f == "true") return XPathValue::Bool(true);
+  if (f == "false") return XPathValue::Bool(false);
+
+  // Functions defaulting to the context node when called without argument.
+  if (f == "string" || f == "number" || f == "name" || f == "local-name" ||
+      f == "string-length") {
+    XPathValue v;
+    if (expr.args.empty()) {
+      v = XPathValue::NodeSet({ctx.node});
+    } else {
+      XMLPROJ_ASSIGN_OR_RETURN(v, Eval(*expr.args[0], ctx));
+    }
+    if (f == "string") return XPathValue::String(ToStringValue(v));
+    if (f == "number") return XPathValue::Number(ToNumber(v));
+    if (f == "string-length") {
+      return XPathValue::Number(
+          static_cast<double>(ToStringValue(v).size()));
+    }
+    // name / local-name
+    if (v.kind != ValueKind::kNodeSet) {
+      return InvalidError(f + "() expects a node set");
+    }
+    if (v.nodes.empty()) return XPathValue::String("");
+    XNode n = v.nodes.front();
+    if (n.attr >= 0) {
+      return XPathValue::String(doc_.symbols().NameOf(
+          doc_.attr(n.node, static_cast<uint32_t>(n.attr)).name));
+    }
+    if (doc_.kind(n.node) != NodeKind::kElement) {
+      return XPathValue::String("");
+    }
+    return XPathValue::String(doc_.tag_name(n.node));
+  }
+
+  if (f == "count" || f == "empty" || f == "exists" || f == "sum" ||
+      f == "avg" || f == "max" || f == "min") {
+    if (expr.args.size() != 1) return arg_count_error(1);
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue v, Eval(*expr.args[0], ctx));
+    if (v.kind != ValueKind::kNodeSet) {
+      return InvalidError(f + "() expects a node set");
+    }
+    if (f == "count") {
+      return XPathValue::Number(static_cast<double>(v.nodes.size()));
+    }
+    if (f == "empty") return XPathValue::Bool(v.nodes.empty());
+    if (f == "exists") return XPathValue::Bool(!v.nodes.empty());
+    if (f == "sum" || f == "avg") {
+      double total = 0;
+      for (const XNode& n : v.nodes) total += NumberValueOf(n);
+      if (f == "sum") return XPathValue::Number(total);
+      if (v.nodes.empty()) return XPathValue::Number(std::nan(""));
+      return XPathValue::Number(total /
+                                static_cast<double>(v.nodes.size()));
+    }
+    // max / min over the numeric values.
+    if (v.nodes.empty()) return XPathValue::Number(std::nan(""));
+    double best = NumberValueOf(v.nodes.front());
+    for (const XNode& n : v.nodes) {
+      double x = NumberValueOf(n);
+      if (f == "max" ? x > best : x < best) best = x;
+    }
+    return XPathValue::Number(best);
+  }
+
+  if (f == "substring") {
+    if (expr.args.size() != 2 && expr.args.size() != 3) {
+      return arg_count_error(2);
+    }
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue sv, Eval(*expr.args[0], ctx));
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue startv, Eval(*expr.args[1], ctx));
+    std::string s = ToStringValue(sv);
+    // XPath 1.0: 1-based, with round() semantics on the bounds.
+    double start = std::floor(ToNumber(startv) + 0.5);
+    double end = static_cast<double>(s.size()) + 1;
+    if (expr.args.size() == 3) {
+      XMLPROJ_ASSIGN_OR_RETURN(XPathValue lenv, Eval(*expr.args[2], ctx));
+      end = start + std::floor(ToNumber(lenv) + 0.5);
+    }
+    if (std::isnan(start) || std::isnan(end)) return XPathValue::String("");
+    std::string out;
+    for (size_t i = 0; i < s.size(); ++i) {
+      double pos = static_cast<double>(i) + 1;
+      if (pos >= start && pos < end) out.push_back(s[i]);
+    }
+    return XPathValue::String(std::move(out));
+  }
+
+  if (f == "substring-before" || f == "substring-after") {
+    if (expr.args.size() != 2) return arg_count_error(2);
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue a, Eval(*expr.args[0], ctx));
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue b, Eval(*expr.args[1], ctx));
+    std::string s = ToStringValue(a);
+    std::string needle = ToStringValue(b);
+    size_t pos = s.find(needle);
+    if (pos == std::string::npos) return XPathValue::String("");
+    if (f == "substring-before") {
+      return XPathValue::String(s.substr(0, pos));
+    }
+    return XPathValue::String(s.substr(pos + needle.size()));
+  }
+
+  if (f == "normalize-space") {
+    XPathValue v;
+    if (expr.args.empty()) {
+      v = XPathValue::NodeSet({ctx.node});
+    } else {
+      XMLPROJ_ASSIGN_OR_RETURN(v, Eval(*expr.args[0], ctx));
+    }
+    std::string s = ToStringValue(v);
+    std::string out;
+    bool in_space = true;  // strip leading whitespace
+    for (char c : s) {
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        if (!in_space) out.push_back(' ');
+        in_space = true;
+      } else {
+        out.push_back(c);
+        in_space = false;
+      }
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    return XPathValue::String(std::move(out));
+  }
+
+  if (f == "translate") {
+    if (expr.args.size() != 3) return arg_count_error(3);
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue a, Eval(*expr.args[0], ctx));
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue b, Eval(*expr.args[1], ctx));
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue c, Eval(*expr.args[2], ctx));
+    std::string s = ToStringValue(a);
+    std::string from = ToStringValue(b);
+    std::string to = ToStringValue(c);
+    std::string out;
+    for (char ch : s) {
+      size_t pos = from.find(ch);
+      if (pos == std::string::npos) {
+        out.push_back(ch);
+      } else if (pos < to.size()) {
+        out.push_back(to[pos]);
+      }  // else: dropped
+    }
+    return XPathValue::String(std::move(out));
+  }
+
+  if (f == "not" || f == "boolean") {
+    if (expr.args.size() != 1) return arg_count_error(1);
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue v, Eval(*expr.args[0], ctx));
+    bool b = EffectiveBoolean(v);
+    return XPathValue::Bool(f == "not" ? !b : b);
+  }
+
+  if (f == "contains" || f == "starts-with") {
+    if (expr.args.size() != 2) return arg_count_error(2);
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue a, Eval(*expr.args[0], ctx));
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue b, Eval(*expr.args[1], ctx));
+    std::string sa = ToStringValue(a);
+    std::string sb = ToStringValue(b);
+    if (f == "contains") {
+      return XPathValue::Bool(sa.find(sb) != std::string::npos);
+    }
+    return XPathValue::Bool(StartsWith(sa, sb));
+  }
+
+  if (f == "concat") {
+    std::string out;
+    for (const ExprPtr& arg : expr.args) {
+      XMLPROJ_ASSIGN_OR_RETURN(XPathValue v, Eval(*arg, ctx));
+      out += ToStringValue(v);
+    }
+    return XPathValue::String(std::move(out));
+  }
+
+  if (f == "floor" || f == "ceiling" || f == "round") {
+    if (expr.args.size() != 1) return arg_count_error(1);
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue v, Eval(*expr.args[0], ctx));
+    double x = ToNumber(v);
+    if (f == "floor") return XPathValue::Number(std::floor(x));
+    if (f == "ceiling") return XPathValue::Number(std::ceil(x));
+    return XPathValue::Number(std::floor(x + 0.5));
+  }
+
+  if (f == "zero-or-one") {
+    if (expr.args.size() != 1) return arg_count_error(1);
+    return Eval(*expr.args[0], ctx);
+  }
+
+  return UnsupportedError("XPath function '" + f + "' is not implemented");
+}
+
+Result<XPathValue> XPathEvaluator::Eval(const Expr& expr,
+                                        const EvalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kBinary:
+      return EvalBinary(expr, ctx);
+    case ExprKind::kNegate: {
+      XMLPROJ_ASSIGN_OR_RETURN(XPathValue v, Eval(*expr.args[0], ctx));
+      return XPathValue::Number(-ToNumber(v));
+    }
+    case ExprKind::kPath: {
+      if (expr.path.start == PathStart::kVariable && expr.path.steps.empty()) {
+        // Bare $x keeps its value's kind (it may be a number or a string).
+        if (!options_.variable_lookup) {
+          return NotFoundError("unbound variable $" + expr.path.variable);
+        }
+        return options_.variable_lookup(expr.path.variable);
+      }
+      XMLPROJ_ASSIGN_OR_RETURN(NodeList nodes,
+                               EvaluatePath(expr.path, {ctx.node}));
+      return XPathValue::NodeSet(std::move(nodes));
+    }
+    case ExprKind::kFunction:
+      return EvalFunction(expr, ctx);
+    case ExprKind::kLiteral:
+      return XPathValue::String(expr.literal);
+    case ExprKind::kNumber:
+      return XPathValue::Number(expr.number);
+  }
+  return InternalError("unreachable expression kind");
+}
+
+}  // namespace xmlproj

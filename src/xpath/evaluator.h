@@ -1,0 +1,144 @@
+// XPath evaluator over the Document data model.
+//
+// This is the in-repo main-memory query engine: the reproduction's
+// stand-in for Galax (§6). It implements the W3C XPath 1.0 semantics for
+// the fragment of ast.h — node-set steps with proximity-position
+// predicates, existential comparisons, the core function library — plus
+// attribute pseudo-nodes (an XNode addresses either a tree node or one
+// attribute of an element).
+//
+// Soundness checks in the test-suite run queries through this evaluator on
+// original and pruned documents and compare results (Theorem 4.5).
+
+#ifndef XMLPROJ_XPATH_EVALUATOR_H_
+#define XMLPROJ_XPATH_EVALUATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/memory_meter.h"
+#include "common/status.h"
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xmlproj {
+
+// A node reference: a tree node, or attribute `attr` (index within the
+// element) when attr >= 0. Ordered by document order.
+struct XNode {
+  NodeId node = kNullNode;
+  int32_t attr = -1;
+
+  friend bool operator==(const XNode& a, const XNode& b) {
+    return a.node == b.node && a.attr == b.attr;
+  }
+  friend bool operator<(const XNode& a, const XNode& b) {
+    if (a.node != b.node) return a.node < b.node;
+    return a.attr < b.attr;
+  }
+};
+
+using NodeList = std::vector<XNode>;
+
+enum class ValueKind : uint8_t { kNodeSet, kBool, kNumber, kString };
+
+struct XPathValue {
+  ValueKind kind = ValueKind::kNodeSet;
+  NodeList nodes;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+
+  static XPathValue Bool(bool v) {
+    XPathValue out;
+    out.kind = ValueKind::kBool;
+    out.boolean = v;
+    return out;
+  }
+  static XPathValue Number(double v) {
+    XPathValue out;
+    out.kind = ValueKind::kNumber;
+    out.number = v;
+    return out;
+  }
+  static XPathValue String(std::string v) {
+    XPathValue out;
+    out.kind = ValueKind::kString;
+    out.string = std::move(v);
+    return out;
+  }
+  static XPathValue NodeSet(NodeList nodes) {
+    XPathValue out;
+    out.kind = ValueKind::kNodeSet;
+    out.nodes = std::move(nodes);
+    return out;
+  }
+};
+
+// XPath number -> string per the XPath 1.0 rules (integral values print
+// without a decimal point).
+std::string XPathNumberToString(double v);
+
+class XPathEvaluator {
+ public:
+  struct Options {
+    // Resolves $variables (set by the XQuery evaluator). May be null.
+    std::function<Result<XPathValue>(std::string_view)> variable_lookup;
+    // Optional memory accounting.
+    MemoryMeter* meter = nullptr;
+  };
+
+  explicit XPathEvaluator(const Document& doc) : doc_(doc) {}
+  XPathEvaluator(const Document& doc, Options options);
+
+  // Evaluates `path` with the given context node list (document node for
+  // absolute evaluation). Result is in document order, duplicate-free.
+  Result<NodeList> EvaluatePath(const LocationPath& path,
+                                const NodeList& context);
+
+  // Convenience: evaluates an absolute or root-context path.
+  Result<NodeList> EvaluateFromRoot(const LocationPath& path);
+
+  // Full expression evaluation with a single context node (position 1 of 1).
+  Result<XPathValue> EvaluateExpr(const Expr& expr, XNode context);
+
+  // --- Value accessors (public: shared with the XQuery evaluator) -------
+  std::string StringValueOf(XNode n) const;
+  double NumberValueOf(XNode n) const;
+  static bool EffectiveBoolean(const XPathValue& v);
+  double ToNumber(const XPathValue& v) const;
+  std::string ToStringValue(const XPathValue& v) const;
+
+  const Document& doc() const { return doc_; }
+
+ private:
+  struct EvalContext {
+    XNode node;
+    size_t position = 1;  // 1-based proximity position
+    size_t size = 1;
+  };
+
+  Result<XPathValue> Eval(const Expr& expr, const EvalContext& ctx);
+  Result<NodeList> EvalSteps(const LocationPath& path, NodeList context);
+  Result<NodeList> EvalStep(const Step& step, const NodeList& context);
+  // Nodes selected by `axis`+`test` from `origin`, in proximity order
+  // (document order for forward axes, reverse for reverse axes).
+  void SelectAxis(XNode origin, Axis axis, const NodeTest& test,
+                  NodeList* out) const;
+  bool MatchesTest(XNode n, const NodeTest& test) const;
+  Result<XPathValue> EvalFunction(const Expr& expr, const EvalContext& ctx);
+  Result<XPathValue> EvalComparison(const Expr& expr,
+                                    const EvalContext& ctx);
+  Result<XPathValue> EvalBinary(const Expr& expr, const EvalContext& ctx);
+
+  const Document& doc_;
+  Options options_;
+};
+
+// Sorts into document order and removes duplicates.
+void NormalizeNodeList(NodeList* nodes);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XPATH_EVALUATOR_H_

@@ -1,0 +1,27 @@
+// Recursive-descent parser for XPath expressions and location paths.
+//
+// Supports the full grammar of ast.h: abbreviated steps (//, @, ., ..),
+// all axes, nested predicates, operators (or/and/=/!=/</<=/>/>=/+/-/*/div/
+// mod/|, plus the XPath 2.0 spellings eq/ne/lt/le/gt/ge treated as their
+// 1.0 counterparts), function calls, literals, numbers and $variables.
+
+#ifndef XMLPROJ_XPATH_PARSER_H_
+#define XMLPROJ_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xmlproj {
+
+// Parses a complete XPath expression.
+Result<ExprPtr> ParseXPathExpr(std::string_view text);
+
+// Parses text that must denote a location path (the common case for
+// benchmark queries); fails if the expression is not a path.
+Result<LocationPath> ParseXPath(std::string_view text);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XPATH_PARSER_H_

@@ -1,0 +1,183 @@
+#include "xpath/xpathl.h"
+
+#include "xpath/parser.h"
+
+namespace xmlproj {
+
+bool IsLAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+    case Axis::kDescendant:
+    case Axis::kSelf:
+    case Axis::kParent:
+    case Axis::kAncestor:
+    case Axis::kDescendantOrSelf:
+    case Axis::kAncestorOrSelf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsSimplePath(const LPath& path) {
+  for (const LStep& s : path.steps) {
+    if (!s.cond.empty()) return false;
+  }
+  return true;
+}
+
+Status ValidateLPath(const LPath& path) {
+  for (const LStep& s : path.steps) {
+    if (!IsLAxis(s.axis)) {
+      return InvalidError(std::string("axis '") + AxisName(s.axis) +
+                          "' is not in XPath^l");
+    }
+    for (const LPath& c : s.cond) {
+      if (!IsSimplePath(c)) {
+        return InvalidError("XPath^l conditions must be simple paths");
+      }
+      XMLPROJ_RETURN_IF_ERROR(ValidateLPath(c));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string ToString(const LPath& path) {
+  std::string out;
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    if (i > 0) out += "/";
+    const LStep& s = path.steps[i];
+    out += AxisName(s.axis);
+    out += "::";
+    switch (s.test) {
+      case TestKind::kName:
+        out += s.tag;
+        break;
+      case TestKind::kAnyElement:
+        out += "*";
+        break;
+      case TestKind::kNode:
+        out += "node()";
+        break;
+      case TestKind::kText:
+        out += "text()";
+        break;
+    }
+    if (!s.cond.empty()) {
+      out += "[";
+      for (size_t j = 0; j < s.cond.size(); ++j) {
+        if (j > 0) out += " or ";
+        out += ToString(s.cond[j]);
+      }
+      out += "]";
+    }
+  }
+  return out;
+}
+
+LStep MakeLStep(Axis axis, TestKind test, std::string tag) {
+  LStep s;
+  s.axis = axis;
+  s.test = test;
+  s.tag = std::move(tag);
+  return s;
+}
+
+LPath MakeLPath(std::vector<LStep> steps) {
+  LPath p;
+  p.steps = std::move(steps);
+  return p;
+}
+
+namespace {
+
+// Strict predicate conversion: the predicate must be a disjunction of
+// location paths that are themselves simple.
+Status ConvertCond(const Expr& expr, std::vector<LPath>* out) {
+  if (expr.kind == ExprKind::kBinary && expr.op == BinaryOp::kOr) {
+    XMLPROJ_RETURN_IF_ERROR(ConvertCond(*expr.args[0], out));
+    return ConvertCond(*expr.args[1], out);
+  }
+  if (expr.kind != ExprKind::kPath) {
+    return InvalidError(
+        "XPath^l predicates must be disjunctions of simple paths; found: " +
+        ToString(expr));
+  }
+  if (expr.path.start != PathStart::kContext) {
+    return InvalidError("XPath^l condition paths must be relative");
+  }
+  XMLPROJ_ASSIGN_OR_RETURN(LPath p, ConvertToLPath(expr.path));
+  if (!IsSimplePath(p)) {
+    return InvalidError("XPath^l condition paths must be simple");
+  }
+  out->push_back(std::move(p));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<LPath> ConvertToLPath(const LocationPath& path) {
+  if (path.start != PathStart::kContext) {
+    return InvalidError(
+        "ConvertToLPath expects a relative path (handle absolute paths via "
+        "ApproximateQuery)");
+  }
+  LPath out;
+  for (const Step& step : path.steps) {
+    LStep ls;
+    if (!IsLAxis(step.axis)) {
+      return InvalidError(std::string("axis '") + AxisName(step.axis) +
+                          "' is not in XPath^l");
+    }
+    ls.axis = step.axis;
+    ls.test = step.test.kind;
+    ls.tag = step.test.name;
+    for (const ExprPtr& pred : step.predicates) {
+      XMLPROJ_RETURN_IF_ERROR(ConvertCond(*pred, &ls.cond));
+    }
+    out.steps.push_back(std::move(ls));
+  }
+  return out;
+}
+
+Result<LPath> ParseLPath(std::string_view text) {
+  XMLPROJ_ASSIGN_OR_RETURN(LocationPath path, ParseXPath(text));
+  return ConvertToLPath(path);
+}
+
+namespace {
+
+// Condition (ii) of Def 4.6 over one step list: no two consecutive steps
+// whose test is node().
+bool NoConsecutiveNodeTests(const LPath& path) {
+  for (size_t i = 1; i < path.steps.size(); ++i) {
+    if (path.steps[i - 1].test == TestKind::kNode &&
+        path.steps[i].test == TestKind::kNode) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool IsStronglySpecified(const LPath& path) {
+  if (!NoConsecutiveNodeTests(path)) return false;
+  for (const LStep& step : path.steps) {
+    if (step.cond.empty()) continue;
+    // (iii) at most one path per predicate...
+    if (step.cond.size() > 1) return false;
+    const LPath& cond = step.cond.front();
+    if (cond.steps.empty()) return false;
+    // ...that does not terminate with a node() test.
+    if (cond.steps.back().test == TestKind::kNode) return false;
+    if (!NoConsecutiveNodeTests(cond)) return false;
+    for (const LStep& cond_step : cond.steps) {
+      // (i) no backward axes inside predicates.
+      if (IsUpwardAxis(cond_step.axis)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace xmlproj

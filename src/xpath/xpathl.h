@@ -1,0 +1,77 @@
+// XPath^ℓ — the analyzable fragment (paper §3.1–3.2).
+//
+//   Path  ::= Step | Step[Cond] | Path/Path
+//   Step  ::= Axis :: Test      Axis ∈ {child, descendant, self, parent,
+//                                       ancestor} (+ the -or-self variants,
+//                                       which §3.1 omits "for presentation"
+//                                       but the implementation supports)
+//   Test  ::= tag | node | text     (plus the element() wildcard)
+//   Cond  ::= SPath | Cond or Cond  (disjunction of *simple* paths:
+//                                    conditions are not nested)
+//
+// LPath is the input language of the static analysis (projection/): full
+// XPath and XQuery are compiled into it by approximate.h and
+// xquery/path_extraction.h.
+
+#ifndef XMLPROJ_XPATH_XPATHL_H_
+#define XMLPROJ_XPATH_XPATHL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace xmlproj {
+
+struct LPath;
+
+struct LStep {
+  Axis axis = Axis::kChild;          // must satisfy IsLAxis()
+  TestKind test = TestKind::kNode;
+  std::string tag;                   // TestKind::kName only
+  // Disjunction of simple paths; empty means no condition. Simple means:
+  // every step in every path has an empty cond.
+  std::vector<LPath> cond;
+};
+
+struct LPath {
+  std::vector<LStep> steps;
+};
+
+// The axes admitted by XPath^ℓ.
+bool IsLAxis(Axis axis);
+
+// True if every step of the path (recursively) carries no condition.
+bool IsSimplePath(const LPath& path);
+
+// Validates the XPath^ℓ well-formedness rules: only ℓ axes, conditions
+// only contain simple paths.
+Status ValidateLPath(const LPath& path);
+
+std::string ToString(const LPath& path);
+
+// Convenience constructors.
+LStep MakeLStep(Axis axis, TestKind test, std::string tag = "");
+LPath MakeLPath(std::vector<LStep> steps);
+
+// Strict conversion from a parsed location path: fails if the query is not
+// already in XPath^ℓ (use approximate.h for arbitrary queries). `path`
+// must be relative (PathStart::kContext).
+Result<LPath> ConvertToLPath(const LocationPath& path);
+
+// Parses text directly into XPath^ℓ (strict). For tests and examples.
+Result<LPath> ParseLPath(std::string_view text);
+
+// Def 4.6: a query is strongly specified iff (i) its conditions use no
+// backward axes, (ii) no two consecutive (possibly conditional) steps
+// have a node() test — along the query and along condition paths — and
+// (iii) every conditional step carries at most one condition path, which
+// does not end in a node() test. Together with the Def 4.3 DTD properties
+// this is the paper's sufficient condition for the inferred projector to
+// be *optimal* (Theorem 4.7).
+bool IsStronglySpecified(const LPath& path);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XPATH_XPATHL_H_

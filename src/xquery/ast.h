@@ -1,0 +1,88 @@
+// Abstract syntax for the FLWR core of XQuery (paper §5):
+//
+//   q ::= () | q, q | <tag>q</tag> | x | if (Exp) then q else q
+//       | for x in q return q | let x := q return q | Exp
+//
+// where Exp extends the XPath expressions of xpath/ast.h with variables
+// ($x, $x/Q). `where` clauses and `order by` are parsed as part of the for
+// clause (the paper folds `where` into `if`; we keep it explicit so the
+// §5 heuristic can recognize both forms).
+
+#ifndef XMLPROJ_XQUERY_AST_H_
+#define XMLPROJ_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xpath/ast.h"
+
+namespace xmlproj {
+
+struct XQueryExpr;
+using XQueryPtr = std::unique_ptr<XQueryExpr>;
+
+enum class XQueryKind : uint8_t {
+  kEmpty,     // ()
+  kSequence,  // q1, q2, ...
+  kElement,   // <tag attr="...">q</tag>
+  kText,      // literal text inside an element constructor
+  kFor,       // for $x in q (where Exp)? (order by Exp)? return q
+  kLet,       // let $x := q return q
+  kIf,        // if (q) then q1 else q2
+  kScalar,    // an Exp: path, comparison, arithmetic, function call, ...
+  kSome,      // some $x in q satisfies q   (existential quantifier)
+  kEvery,     // every $x in q satisfies q  (universal quantifier)
+};
+
+// One piece of an attribute value template: literal text or an embedded
+// expression ("{...}").
+struct AttrValuePart {
+  std::string text;   // used when expr == nullptr
+  ExprPtr expr;
+};
+
+struct ConstructedAttr {
+  std::string name;
+  std::vector<AttrValuePart> parts;
+};
+
+struct XQueryExpr {
+  XQueryKind kind = XQueryKind::kEmpty;
+
+  std::vector<XQueryPtr> items;  // kSequence
+
+  // kElement
+  std::string tag;
+  std::vector<ConstructedAttr> attributes;
+  XQueryPtr content;  // may be null (empty element)
+
+  std::string text;  // kText
+
+  // kFor / kLet / kSome / kEvery
+  std::string variable;
+  XQueryPtr binding;   // for/some/every: the sequence; let: the value
+  XQueryPtr where;     // for only; may be null
+  ExprPtr order_key;   // for only; may be null
+  bool order_descending = false;
+  XQueryPtr body;      // the return expression / the satisfies condition
+
+  // kIf
+  XQueryPtr condition;
+  XQueryPtr then_branch;
+  XQueryPtr else_branch;  // null means ()
+
+  // kScalar
+  ExprPtr scalar;
+};
+
+XQueryPtr MakeEmptyQuery();
+XQueryPtr MakeScalarQuery(ExprPtr expr);
+
+// Unparser for diagnostics.
+std::string ToString(const XQueryExpr& q);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XQUERY_AST_H_

@@ -1,0 +1,420 @@
+#include "xquery/evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "xml/serializer.h"
+
+namespace xmlproj {
+
+size_t ConstructedNode::MemoryBytes() const {
+  size_t bytes = sizeof(ConstructedNode) + tag.capacity();
+  for (const auto& [name, value] : attributes) {
+    bytes += name.capacity() + value.capacity();
+  }
+  bytes += children.capacity() * sizeof(Item);
+  for (const Item& c : children) {
+    if (c.kind == Item::Kind::kConstructed && c.constructed != nullptr) {
+      bytes += c.constructed->MemoryBytes();
+    }
+    bytes += c.string.capacity();
+  }
+  return bytes;
+}
+
+Result<XPathValue> XQueryEvaluator::LookupVariable(
+    std::string_view name) const {
+  auto it = variables_.find(name);
+  if (it == variables_.end() || it->second.empty()) {
+    return NotFoundError("unbound variable $" + std::string(name));
+  }
+  const Sequence& seq = it->second.back();
+  // Single atomics keep their kind; anything else becomes a node set.
+  if (seq.size() == 1) {
+    const Item& item = seq.front();
+    switch (item.kind) {
+      case Item::Kind::kString:
+        return XPathValue::String(item.string);
+      case Item::Kind::kNumber:
+        return XPathValue::Number(item.number);
+      case Item::Kind::kBool:
+        return XPathValue::Bool(item.boolean);
+      default:
+        break;
+    }
+  }
+  NodeList nodes;
+  nodes.reserve(seq.size());
+  for (const Item& item : seq) {
+    if (item.kind == Item::Kind::kNode) {
+      nodes.push_back(item.node);
+    } else if (item.kind == Item::Kind::kConstructed) {
+      return UnsupportedError(
+          "navigation over constructed elements is outside the supported "
+          "fragment (paper §5)");
+    } else {
+      return InvalidError(
+          "a mixed atomic/node sequence cannot be used as a node set");
+    }
+  }
+  return XPathValue::NodeSet(std::move(nodes));
+}
+
+Result<XPathValue> XQueryEvaluator::EvalScalarValue(const Expr& expr) {
+  XPathEvaluator::Options options;
+  options.variable_lookup = [this](std::string_view name) {
+    return LookupVariable(name);
+  };
+  options.meter = meter_;
+  XPathEvaluator eval(doc_, std::move(options));
+  return eval.EvaluateExpr(expr, XNode{doc_.document_node(), -1});
+}
+
+Result<Sequence> XQueryEvaluator::EvalScalar(const Expr& expr) {
+  // Bare variable references keep their sequence (which may hold
+  // constructed items the XPath bridge cannot represent).
+  if (expr.kind == ExprKind::kPath &&
+      expr.path.start == PathStart::kVariable && expr.path.steps.empty()) {
+    auto it = variables_.find(expr.path.variable);
+    if (it == variables_.end() || it->second.empty()) {
+      return NotFoundError("unbound variable $" + expr.path.variable);
+    }
+    return it->second.back();
+  }
+  XMLPROJ_ASSIGN_OR_RETURN(XPathValue value, EvalScalarValue(expr));
+  Sequence out;
+  switch (value.kind) {
+    case ValueKind::kNodeSet:
+      out.reserve(value.nodes.size());
+      for (const XNode& n : value.nodes) out.push_back(Item::Node(n));
+      break;
+    case ValueKind::kBool:
+      out.push_back(Item::Bool(value.boolean));
+      break;
+    case ValueKind::kNumber:
+      out.push_back(Item::Number(value.number));
+      break;
+    case ValueKind::kString:
+      out.push_back(Item::String(std::move(value.string)));
+      break;
+  }
+  Meter(out.capacity() * sizeof(Item));
+  Unmeter(out.capacity() * sizeof(Item));
+  return out;
+}
+
+std::string XQueryEvaluator::ItemString(const Item& item) const {
+  switch (item.kind) {
+    case Item::Kind::kNode:
+      if (item.node.attr >= 0) {
+        return doc_.attr(item.node.node,
+                         static_cast<uint32_t>(item.node.attr))
+            .value;
+      }
+      return doc_.StringValue(item.node.node);
+    case Item::Kind::kConstructed: {
+      std::string out;
+      for (const Item& c : item.constructed->children) {
+        out += ItemString(c);
+      }
+      return out;
+    }
+    case Item::Kind::kString:
+      return item.string;
+    case Item::Kind::kNumber:
+      return XPathNumberToString(item.number);
+    case Item::Kind::kBool:
+      return item.boolean ? "true" : "false";
+  }
+  return "";
+}
+
+double XQueryEvaluator::ItemNumber(const Item& item) const {
+  if (item.kind == Item::Kind::kNumber) return item.number;
+  if (item.kind == Item::Kind::kBool) return item.boolean ? 1 : 0;
+  std::string s = ItemString(item);
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str()) return std::nan("");
+  return v;
+}
+
+Result<bool> XQueryEvaluator::EffectiveBooleanOf(const XQueryExpr& query) {
+  if (query.kind == XQueryKind::kScalar) {
+    XMLPROJ_ASSIGN_OR_RETURN(XPathValue v, EvalScalarValue(*query.scalar));
+    return XPathEvaluator::EffectiveBoolean(v);
+  }
+  XMLPROJ_ASSIGN_OR_RETURN(Sequence seq, Eval(query));
+  if (seq.empty()) return false;
+  if (seq.size() == 1) {
+    const Item& item = seq.front();
+    switch (item.kind) {
+      case Item::Kind::kBool:
+        return item.boolean;
+      case Item::Kind::kNumber:
+        return item.number != 0 && !std::isnan(item.number);
+      case Item::Kind::kString:
+        return !item.string.empty();
+      default:
+        return true;
+    }
+  }
+  return true;
+}
+
+Result<Sequence> XQueryEvaluator::EvalFor(const XQueryExpr& query) {
+  XMLPROJ_ASSIGN_OR_RETURN(Sequence binding, Eval(*query.binding));
+  Sequence out;
+  MeteredBytes binding_guard(meter_, binding.capacity() * sizeof(Item));
+
+  struct Keyed {
+    Sequence items;
+    std::string key_string;
+    double key_number = 0;
+    bool key_is_number = false;
+  };
+  std::vector<Keyed> ordered;
+  const bool ordering = query.order_key != nullptr;
+
+  for (const Item& item : binding) {
+    variables_[query.variable].push_back(Sequence{item});
+    auto cleanup = [this, &query]() {
+      auto it = variables_.find(query.variable);
+      it->second.pop_back();
+      if (it->second.empty()) variables_.erase(it);
+    };
+    if (query.where != nullptr) {
+      auto keep = EffectiveBooleanOf(*query.where);
+      if (!keep.ok()) {
+        cleanup();
+        return keep.status();
+      }
+      if (!*keep) {
+        cleanup();
+        continue;
+      }
+    }
+    auto result = Eval(*query.body);
+    if (!result.ok()) {
+      cleanup();
+      return result.status();
+    }
+    if (ordering) {
+      Keyed k;
+      auto key = EvalScalarValue(*query.order_key);
+      if (!key.ok()) {
+        cleanup();
+        return key.status();
+      }
+      if (key->kind == ValueKind::kNumber) {
+        k.key_is_number = true;
+        k.key_number = key->number;
+      } else {
+        XPathEvaluator eval(doc_);
+        k.key_string = eval.ToStringValue(*key);
+        // Sort numerically when every key parses as a number.
+        char* end = nullptr;
+        double v = std::strtod(k.key_string.c_str(), &end);
+        if (end != k.key_string.c_str() && *end == '\0') {
+          k.key_is_number = true;
+          k.key_number = v;
+        }
+      }
+      k.items = std::move(*result);
+      ordered.push_back(std::move(k));
+    } else {
+      out.insert(out.end(), std::make_move_iterator(result->begin()),
+                 std::make_move_iterator(result->end()));
+    }
+    cleanup();
+  }
+
+  if (ordering) {
+    std::stable_sort(
+        ordered.begin(), ordered.end(),
+        [&query](const Keyed& a, const Keyed& b) {
+          int cmp;
+          if (a.key_is_number && b.key_is_number) {
+            cmp = a.key_number < b.key_number   ? -1
+                  : a.key_number > b.key_number ? 1
+                                                : 0;
+          } else {
+            cmp = a.key_string.compare(b.key_string);
+          }
+          return query.order_descending ? cmp > 0 : cmp < 0;
+        });
+    for (Keyed& k : ordered) {
+      out.insert(out.end(), std::make_move_iterator(k.items.begin()),
+                 std::make_move_iterator(k.items.end()));
+    }
+  }
+  Meter(out.capacity() * sizeof(Item));
+  Unmeter(out.capacity() * sizeof(Item));
+  return out;
+}
+
+Result<Sequence> XQueryEvaluator::EvalElement(const XQueryExpr& query) {
+  auto node = std::make_shared<ConstructedNode>();
+  node->tag = query.tag;
+  for (const ConstructedAttr& attr : query.attributes) {
+    std::string value;
+    for (const AttrValuePart& part : attr.parts) {
+      if (part.expr == nullptr) {
+        value += part.text;
+      } else {
+        XMLPROJ_ASSIGN_OR_RETURN(Sequence seq, EvalScalar(*part.expr));
+        for (size_t i = 0; i < seq.size(); ++i) {
+          if (i > 0) value += " ";
+          value += ItemString(seq[i]);
+        }
+      }
+    }
+    node->attributes.emplace_back(attr.name, std::move(value));
+  }
+  if (query.content != nullptr) {
+    XMLPROJ_ASSIGN_OR_RETURN(node->children, Eval(*query.content));
+  }
+  Meter(node->MemoryBytes());
+  Unmeter(node->MemoryBytes());
+  Item item;
+  item.kind = Item::Kind::kConstructed;
+  item.constructed = std::move(node);
+  return Sequence{std::move(item)};
+}
+
+Result<Sequence> XQueryEvaluator::Eval(const XQueryExpr& query) {
+  switch (query.kind) {
+    case XQueryKind::kEmpty:
+      return Sequence{};
+    case XQueryKind::kSequence: {
+      Sequence out;
+      for (const XQueryPtr& item : query.items) {
+        XMLPROJ_ASSIGN_OR_RETURN(Sequence part, Eval(*item));
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+      }
+      Meter(out.capacity() * sizeof(Item));
+      Unmeter(out.capacity() * sizeof(Item));
+      return out;
+    }
+    case XQueryKind::kElement:
+      return EvalElement(query);
+    case XQueryKind::kText:
+      return Sequence{Item::String(query.text)};
+    case XQueryKind::kFor:
+      return EvalFor(query);
+    case XQueryKind::kLet: {
+      XMLPROJ_ASSIGN_OR_RETURN(Sequence value, Eval(*query.binding));
+      MeteredBytes guard(meter_, value.capacity() * sizeof(Item));
+      variables_[query.variable].push_back(std::move(value));
+      auto result = Eval(*query.body);
+      auto it = variables_.find(query.variable);
+      it->second.pop_back();
+      if (it->second.empty()) variables_.erase(it);
+      return result;
+    }
+    case XQueryKind::kIf: {
+      XMLPROJ_ASSIGN_OR_RETURN(bool cond,
+                               EffectiveBooleanOf(*query.condition));
+      if (cond) return Eval(*query.then_branch);
+      if (query.else_branch == nullptr) return Sequence{};
+      return Eval(*query.else_branch);
+    }
+    case XQueryKind::kScalar:
+      return EvalScalar(*query.scalar);
+    case XQueryKind::kSome:
+    case XQueryKind::kEvery: {
+      XMLPROJ_ASSIGN_OR_RETURN(Sequence binding, Eval(*query.binding));
+      MeteredBytes guard(meter_, binding.capacity() * sizeof(Item));
+      const bool is_every = query.kind == XQueryKind::kEvery;
+      bool verdict = is_every;
+      for (const Item& item : binding) {
+        variables_[query.variable].push_back(Sequence{item});
+        auto holds = EffectiveBooleanOf(*query.body);
+        auto it = variables_.find(query.variable);
+        it->second.pop_back();
+        if (it->second.empty()) variables_.erase(it);
+        XMLPROJ_RETURN_IF_ERROR(holds.status());
+        if (is_every && !*holds) {
+          verdict = false;
+          break;
+        }
+        if (!is_every && *holds) {
+          verdict = true;
+          break;
+        }
+      }
+      return Sequence{Item::Bool(verdict)};
+    }
+  }
+  return InternalError("unreachable query kind");
+}
+
+Result<Sequence> XQueryEvaluator::Evaluate(const XQueryExpr& query) {
+  variables_.clear();
+  return Eval(query);
+}
+
+void XQueryEvaluator::SerializeItem(const Item& item, bool* last_was_atomic,
+                                    std::string* out) const {
+  switch (item.kind) {
+    case Item::Kind::kNode:
+      if (item.node.attr >= 0) {
+        // Serializing a bare attribute: name="value" form.
+        const Attribute& a =
+            doc_.attr(item.node.node, static_cast<uint32_t>(item.node.attr));
+        out->append(doc_.symbols().NameOf(a.name));
+        out->append("=\"");
+        AppendEscaped(a.value, /*for_attribute=*/true, out);
+        out->append("\"");
+      } else {
+        out->append(SerializeSubtree(doc_, item.node.node));
+      }
+      *last_was_atomic = false;
+      break;
+    case Item::Kind::kConstructed: {
+      const ConstructedNode& n = *item.constructed;
+      out->push_back('<');
+      out->append(n.tag);
+      for (const auto& [name, value] : n.attributes) {
+        out->push_back(' ');
+        out->append(name);
+        out->append("=\"");
+        AppendEscaped(value, /*for_attribute=*/true, out);
+        out->push_back('"');
+      }
+      if (n.children.empty()) {
+        out->append("/>");
+      } else {
+        out->push_back('>');
+        bool atomic = false;
+        for (const Item& c : n.children) {
+          SerializeItem(c, &atomic, out);
+        }
+        out->append("</");
+        out->append(n.tag);
+        out->push_back('>');
+      }
+      *last_was_atomic = false;
+      break;
+    }
+    default: {
+      if (*last_was_atomic) out->push_back(' ');
+      AppendEscaped(ItemString(item), /*for_attribute=*/false, out);
+      *last_was_atomic = true;
+      break;
+    }
+  }
+}
+
+std::string XQueryEvaluator::Serialize(const Sequence& sequence) const {
+  std::string out;
+  bool last_was_atomic = false;
+  for (const Item& item : sequence) {
+    SerializeItem(item, &last_was_atomic, &out);
+  }
+  return out;
+}
+
+}  // namespace xmlproj

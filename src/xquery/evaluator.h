@@ -1,0 +1,130 @@
+// Evaluator for the FLWR-core XQuery dialect — the query-engine side of
+// the reproduction (together with xpath/evaluator.h it plays the role
+// Galax plays in the paper's §6 experiments).
+//
+// Values are item sequences; items are input-document nodes, constructed
+// elements (element constructors deep-copy by reference into an owned
+// tree, per the paper's "no navigation on constructed nodes" assumption),
+// or atomics. Scalar expressions are delegated to the XPath evaluator
+// with a variable bridge.
+//
+// Memory accounting: every materialized sequence and constructed node is
+// reported to the optional MemoryMeter; benchmarks add the document arena
+// to reproduce Figure 5.
+
+#ifndef XMLPROJ_XQUERY_EVALUATOR_H_
+#define XMLPROJ_XQUERY_EVALUATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/memory_meter.h"
+#include "common/status.h"
+#include "xml/document.h"
+#include "xpath/evaluator.h"
+#include "xquery/ast.h"
+
+namespace xmlproj {
+
+struct ConstructedNode;
+
+struct Item {
+  enum class Kind : uint8_t {
+    kNode,         // node of the input document
+    kConstructed,  // element built by a constructor
+    kString,
+    kNumber,
+    kBool,
+  };
+  Kind kind = Kind::kNode;
+  XNode node;
+  std::shared_ptr<ConstructedNode> constructed;
+  std::string string;
+  double number = 0;
+  bool boolean = false;
+
+  static Item Node(XNode n) {
+    Item out;
+    out.kind = Kind::kNode;
+    out.node = n;
+    return out;
+  }
+  static Item String(std::string s) {
+    Item out;
+    out.kind = Kind::kString;
+    out.string = std::move(s);
+    return out;
+  }
+  static Item Number(double v) {
+    Item out;
+    out.kind = Kind::kNumber;
+    out.number = v;
+    return out;
+  }
+  static Item Bool(bool v) {
+    Item out;
+    out.kind = Kind::kBool;
+    out.boolean = v;
+    return out;
+  }
+};
+
+using Sequence = std::vector<Item>;
+
+struct ConstructedNode {
+  std::string tag;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  Sequence children;
+
+  size_t MemoryBytes() const;
+};
+
+class XQueryEvaluator {
+ public:
+  explicit XQueryEvaluator(const Document& doc, MemoryMeter* meter = nullptr)
+      : doc_(doc), meter_(meter) {}
+
+  // Evaluates a closed query (absolute paths only at the top level).
+  Result<Sequence> Evaluate(const XQueryExpr& query);
+
+  // Serializes a result sequence as XML text (input nodes serialize their
+  // subtree; atomics their lexical form; adjacent atomics are separated by
+  // a space, per the XQuery serialization rules).
+  std::string Serialize(const Sequence& sequence) const;
+
+  const Document& doc() const { return doc_; }
+
+ private:
+  Result<Sequence> Eval(const XQueryExpr& query);
+  Result<Sequence> EvalScalar(const Expr& expr);
+  Result<XPathValue> EvalScalarValue(const Expr& expr);
+  Result<Sequence> EvalFor(const XQueryExpr& query);
+  Result<Sequence> EvalElement(const XQueryExpr& query);
+  Result<bool> EffectiveBooleanOf(const XQueryExpr& query);
+
+  // Bridges $var lookups into the XPath evaluator.
+  Result<XPathValue> LookupVariable(std::string_view name) const;
+
+  std::string ItemString(const Item& item) const;
+  double ItemNumber(const Item& item) const;
+  void SerializeItem(const Item& item, bool* last_was_atomic,
+                     std::string* out) const;
+
+  void Meter(size_t bytes) {
+    if (meter_ != nullptr) meter_->Add(bytes);
+  }
+  void Unmeter(size_t bytes) {
+    if (meter_ != nullptr) meter_->Sub(bytes);
+  }
+
+  const Document& doc_;
+  MemoryMeter* meter_;
+  // Variable scopes: name -> stack of bindings (innermost last).
+  std::map<std::string, std::vector<Sequence>, std::less<>> variables_;
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XQUERY_EVALUATOR_H_

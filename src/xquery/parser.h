@@ -1,0 +1,39 @@
+// Parser for the FLWR-core XQuery dialect of ast.h.
+//
+// Grammar (whitespace-insensitive):
+//   Query       ::= QuerySingle (',' QuerySingle)*
+//   QuerySingle ::= FLWR | If | Constructor | '(' Query? ')' | Exp
+//   FLWR        ::= (ForClause | LetClause)+ ('where' QuerySingle)?
+//                   ('order' 'by' Exp ('ascending'|'descending')?)?
+//                   'return' QuerySingle
+//   ForClause   ::= 'for' '$'Name 'in' QuerySingle
+//                   (',' '$'Name 'in' QuerySingle)*
+//   LetClause   ::= 'let' '$'Name ':=' QuerySingle
+//   If          ::= 'if' '(' Query ')' 'then' QuerySingle
+//                   'else' QuerySingle
+//   Constructor ::= '<'Tag (Attr)* ('/>' | '>' Content '</'Tag'>')
+//   Content     ::= (text | '{' Query '}' | Constructor)*
+//
+// Scalar expressions (Exp) are delegated to the XPath parser
+// (xpath/parser.h); their textual extent is found by scanning to the next
+// top-level XQuery keyword or unbalanced delimiter. Consequently, element
+// names that collide with XQuery keywords (return, where, order, ...)
+// cannot be used inside paths — none of the benchmark schemas use such
+// names. Element constructors cannot be nested inside scalar expressions
+// (wrap them in a let binding instead), matching the paper's FLWR core.
+
+#ifndef XMLPROJ_XQUERY_PARSER_H_
+#define XMLPROJ_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace xmlproj {
+
+Result<XQueryPtr> ParseXQuery(std::string_view text);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XQUERY_PARSER_H_

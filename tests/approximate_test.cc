@@ -1,0 +1,236 @@
+#include "xpath/approximate.h"
+
+#include <gtest/gtest.h>
+
+#include "xpath/parser.h"
+
+namespace xmlproj {
+namespace {
+
+ApproximatedQuery Approx(std::string_view query) {
+  auto path = ParseXPath(query);
+  EXPECT_TRUE(path.ok()) << query << ": " << path.status().ToString();
+  auto result = ApproximateQuery(*path);
+  EXPECT_TRUE(result.ok()) << query << ": " << result.status().ToString();
+  return std::move(result).value();
+}
+
+std::string MainOf(std::string_view query) {
+  return ToString(Approx(query).main);
+}
+
+TEST(Approximate, AbsolutePathsKeptVerbatim) {
+  // Absolute paths are analyzed from the #document grammar name; no
+  // remapping is needed.
+  ApproximatedQuery q = Approx("/site/people");
+  EXPECT_TRUE(q.from_document_node);
+  EXPECT_EQ("child::site/child::people", ToString(q.main));
+}
+
+TEST(Approximate, DoubleSlashBecomesDos) {
+  EXPECT_EQ("descendant-or-self::node()/child::a", MainOf("//a"));
+  EXPECT_EQ("descendant::a", MainOf("/descendant::a"));
+}
+
+TEST(Approximate, LAxesPassThrough) {
+  EXPECT_EQ("child::a/child::b/parent::node()/ancestor::c",
+            MainOf("/a/b/parent::node()/ancestor::c"));
+}
+
+TEST(Approximate, SiblingAxisRewrite) {
+  // §4.3 second pass: X-sibling::T  ==>  parent::node()/child::T.
+  EXPECT_EQ("child::a/parent::node()/child::b",
+            MainOf("/a/following-sibling::b"));
+  EXPECT_EQ("child::a/parent::node()/child::b",
+            MainOf("/a/preceding-sibling::b"));
+}
+
+TEST(Approximate, FollowingAxisRewrite) {
+  // §4.3 first pass (W3C expansion) + sibling approximation.
+  EXPECT_EQ(
+      "child::a/child::b/"
+      "ancestor-or-self::node()/parent::node()/child::node()/"
+      "descendant-or-self::c",
+      MainOf("/a/b/following::c"));
+}
+
+TEST(Approximate, AttributeCollapsesOntoElement) {
+  EXPECT_EQ("child::a/child::b/self::node()", MainOf("/a/b/@id"));
+}
+
+TEST(Approximate, StructuralPredicateKept) {
+  EXPECT_EQ("child::a/child::b[child::c]", MainOf("/a/b[c]"));
+  EXPECT_EQ("child::a/child::b[child::c or child::d]",
+            MainOf("/a/b[c or d]"));
+  // Conjunctions approximate to disjunctions (superset, sound).
+  EXPECT_EQ("child::a/child::b[child::c or child::d]",
+            MainOf("/a/b[c and d]"));
+}
+
+TEST(Approximate, PaperPredicateExample) {
+  // §3.3: [position()>1 and parent::node/book/author="Dante" and
+  // year>1313] ~> [self::node or parent::node/book/author/dos or year/dos].
+  ApproximatedQuery q = Approx(
+      "/a/b[position() > 1 and parent::node()/book/author = 'Dante' "
+      "and year > 1313]");
+  ASSERT_EQ(2u, q.main.steps.size());
+  const LStep& b = q.main.steps[1];
+  std::vector<std::string> conds;
+  for (const LPath& p : b.cond) conds.push_back(ToString(p));
+  EXPECT_EQ(3u, conds.size());
+  // position() contributes the non-structural marker self::node.
+  EXPECT_EQ("self::node()", conds[0]);
+  // Value comparisons keep the compared subtrees.
+  EXPECT_EQ(
+      "parent::node()/child::book/child::author/"
+      "descendant-or-self::node()",
+      conds[1]);
+  EXPECT_EQ("child::year/descendant-or-self::node()", conds[2]);
+}
+
+TEST(Approximate, NonStructuralOnlyPredicate) {
+  ApproximatedQuery q = Approx("/a/b[position() = 1]");
+  const LStep& b = q.main.steps[1];
+  ASSERT_EQ(1u, b.cond.size());
+  EXPECT_EQ("self::node()", ToString(b.cond[0]));
+}
+
+TEST(Approximate, FunctionArgumentExtraction) {
+  // §3.3: P(count(SPath)) = SPath/self::node — the argument path is kept
+  // but the condition cannot restrict (self::node marker added).
+  ApproximatedQuery q = Approx("/a/b[count(c) > 2]");
+  const LStep& b = q.main.steps[1];
+  std::vector<std::string> conds;
+  for (const LPath& p : q.main.steps[1].cond) conds.push_back(ToString(p));
+  ASSERT_EQ(2u, b.cond.size());
+  EXPECT_EQ("child::c", conds[0]);
+  EXPECT_EQ("self::node()", conds[1]);
+}
+
+TEST(Approximate, NotExtraction) {
+  // descendant::node[not(child::a)] keeps child::a data but cannot
+  // restrict the projector (§3.3 discussion).
+  ApproximatedQuery q = Approx("/r/descendant::node()[not(child::a)]");
+  std::vector<std::string> conds;
+  for (const LPath& p : q.main.steps[1].cond) conds.push_back(ToString(p));
+  ASSERT_EQ(2u, conds.size());
+  EXPECT_EQ("child::a", conds[0]);
+  EXPECT_EQ("self::node()", conds[1]);
+}
+
+TEST(Approximate, StringFunctionNeedsSubtree) {
+  ApproximatedQuery q = Approx("/a/b[contains(c, 'x')]");
+  std::vector<std::string> conds;
+  for (const LPath& p : q.main.steps[1].cond) conds.push_back(ToString(p));
+  ASSERT_EQ(2u, conds.size());
+  EXPECT_EQ("child::c/descendant-or-self::node()", conds[0]);
+  EXPECT_EQ("self::node()", conds[1]);
+}
+
+TEST(Approximate, FTable) {
+  EXPECT_FALSE(FunctionNeedsSubtree("count", 0));
+  EXPECT_FALSE(FunctionNeedsSubtree("not", 0));
+  EXPECT_FALSE(FunctionNeedsSubtree("empty", 0));
+  EXPECT_TRUE(FunctionNeedsSubtree("string", 0));
+  EXPECT_TRUE(FunctionNeedsSubtree("contains", 0));
+  EXPECT_TRUE(FunctionNeedsSubtree("sum", 0));
+  EXPECT_TRUE(FunctionNeedsSubtree("frobnicate", 0));  // unknown: subtree
+}
+
+TEST(Approximate, NestedPredicatesFlattened) {
+  // Conditions must be simple: a[b[c]] turns the inner predicate into a
+  // prefixed path child::b/child::c.
+  ApproximatedQuery q = Approx("/r/a[b[c]]");
+  std::vector<std::string> conds;
+  for (const LPath& p : q.main.steps[1].cond) conds.push_back(ToString(p));
+  ASSERT_EQ(2u, conds.size());
+  EXPECT_EQ("child::b/child::c", conds[0]);
+  EXPECT_EQ("child::b", conds[1]);
+}
+
+TEST(Approximate, AbsolutePredicatePromoted) {
+  ApproximatedQuery q = Approx("/r/a[/r/b = 1]");
+  // The absolute path is promoted to a root-level extra path...
+  ASSERT_EQ(1u, q.extra_paths.size());
+  EXPECT_EQ("child::r/child::b/descendant-or-self::node()",
+            ToString(q.extra_paths[0]));
+  // ... and the condition itself cannot restrict.
+  ASSERT_EQ(1u, q.main.steps[1].cond.size());
+  EXPECT_EQ("self::node()", ToString(q.main.steps[1].cond[0]));
+}
+
+TEST(Approximate, VariablePredicateReported) {
+  auto path = ParseXPath("/r/a[@id = $x/ref]");
+  ASSERT_TRUE(path.ok());
+  auto q = ApproximateQuery(*path);
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(1u, q->var_conditions.size());
+  EXPECT_EQ("x", q->var_conditions[0].variable);
+  EXPECT_EQ("child::ref/descendant-or-self::node()",
+            ToString(q->var_conditions[0].relative));
+}
+
+TEST(Approximate, VariableRootRejected) {
+  auto path = ParseXPath("$x/a");
+  ASSERT_TRUE(path.ok());
+  EXPECT_FALSE(ApproximateQuery(*path).ok());
+}
+
+TEST(Approximate, RootOnly) {
+  EXPECT_EQ("self::node()", MainOf("/"));
+}
+
+TEST(Approximate, UpwardFirstStepOnDocumentNode) {
+  // parent of the document node: the analysis sees an empty type and
+  // keeps only the root.
+  EXPECT_EQ("parent::node()", MainOf("/parent::node()"));
+}
+
+TEST(Approximate, PredicateOnRewrittenAxisAttachesToLastStep) {
+  // Sibling steps expand to parent::node()/child::Test; the original
+  // step's predicate must land on the expanded child step.
+  ApproximatedQuery q = Approx("/a/following-sibling::b[c]");
+  ASSERT_EQ(3u, q.main.steps.size());
+  EXPECT_TRUE(q.main.steps[0].cond.empty());
+  EXPECT_TRUE(q.main.steps[1].cond.empty());
+  ASSERT_EQ(1u, q.main.steps[2].cond.size());
+  EXPECT_EQ("child::c", ToString(q.main.steps[2].cond[0]));
+}
+
+TEST(Approximate, MultiplePredicatesUnionIntoOneCondition) {
+  // a[b][c] approximates to a[b or c] (conjunction -> disjunction is a
+  // sound superset).
+  ApproximatedQuery q = Approx("/r/a[b][c]");
+  ASSERT_EQ(2u, q.main.steps.size());
+  std::vector<std::string> conds;
+  for (const LPath& p : q.main.steps[1].cond) conds.push_back(ToString(p));
+  EXPECT_EQ((std::vector<std::string>{"child::b", "child::c"}), conds);
+}
+
+TEST(Approximate, PredicateInsideConditionOfFollowing) {
+  // Nested predicate under a rewritten axis still flattens soundly.
+  ApproximatedQuery q = Approx("/a/following::b[c[d]]");
+  ASSERT_FALSE(q.main.steps.empty());
+  const LStep& last = q.main.steps.back();
+  ASSERT_EQ(2u, last.cond.size());
+  EXPECT_EQ("child::c/child::d", ToString(last.cond[0]));
+  EXPECT_EQ("child::c", ToString(last.cond[1]));
+}
+
+TEST(Approximate, PaperSampleQueryApproximation) {
+  // Footnote 2: the approximation of Q replaces the value predicate by
+  // [self::node].
+  ApproximatedQuery q = Approx(
+      "/descendant::author/child::text()[self::node() = 'Dante']"
+      "/parent::node()/parent::node()/child::title");
+  ASSERT_EQ(5u, q.main.steps.size());
+  const LStep& text_step = q.main.steps[1];
+  ASSERT_EQ(1u, text_step.cond.size());
+  // self::node() = 'Dante' extracts self::node()/dos::node(), which
+  // restricts nothing and keeps the text value.
+  EXPECT_EQ("self::node()/descendant-or-self::node()",
+            ToString(text_step.cond[0]));
+}
+
+}  // namespace
+}  // namespace xmlproj

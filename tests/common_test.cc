@@ -1,0 +1,194 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/memory_meter.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace xmlproj {
+namespace {
+
+// --- Status / Result ------------------------------------------------------
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(StatusCode::kOk, s.code());
+  EXPECT_EQ("OK", s.ToString());
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(StatusCode::kParseError, s.code());
+  EXPECT_EQ("bad token", s.message());
+  EXPECT_EQ("PARSE_ERROR: bad token", s.ToString());
+  EXPECT_EQ(StatusCode::kInvalid, InvalidError("x").code());
+  EXPECT_EQ(StatusCode::kUnsupported, UnsupportedError("x").code());
+  EXPECT_EQ(StatusCode::kNotFound, NotFoundError("x").code());
+  EXPECT_EQ(StatusCode::kInternal, InternalError("x").code());
+}
+
+TEST(Result, HoldsValueOrStatus) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(42, ok.value());
+  EXPECT_EQ(42, *ok);
+
+  Result<int> bad = NotFoundError("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ("nope", bad.status().message());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return InvalidError("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  XMLPROJ_ASSIGN_OR_RETURN(int half, Half(x));
+  XMLPROJ_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(2, *ok);
+  EXPECT_FALSE(Quarter(6).ok());  // fails at the second step
+  EXPECT_FALSE(Quarter(3).ok());  // fails at the first step
+}
+
+TEST(Result, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(7, *v);
+}
+
+// --- Strings ---------------------------------------------------------------
+
+TEST(Strings, Split) {
+  auto pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(4u, pieces.size());
+  EXPECT_EQ("a", pieces[0]);
+  EXPECT_EQ("", pieces[2]);
+  EXPECT_EQ(1u, Split("", ',').size());
+}
+
+TEST(Strings, StripWhitespace) {
+  EXPECT_EQ("x y", StripWhitespace("  \t x y \n\r"));
+  EXPECT_EQ("", StripWhitespace("   "));
+  EXPECT_EQ("a", StripWhitespace("a"));
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ("a, b, c", Join({"a", "b", "c"}, ", "));
+  EXPECT_EQ("", Join({}, ","));
+  EXPECT_EQ("x", Join({"x"}, ","));
+}
+
+TEST(Strings, IsAllXmlWhitespace) {
+  EXPECT_TRUE(IsAllXmlWhitespace(" \t\r\n"));
+  EXPECT_TRUE(IsAllXmlWhitespace(""));
+  EXPECT_FALSE(IsAllXmlWhitespace(" x "));
+}
+
+TEST(Strings, StringPrintf) {
+  EXPECT_EQ("x=7, y=ab", StringPrintf("x=%d, y=%s", 7, "ab"));
+  EXPECT_EQ("", StringPrintf("%s", ""));
+  // Long output exceeding any small static buffer.
+  std::string big = StringPrintf("%0512d", 1);
+  EXPECT_EQ(512u, big.size());
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng c(43);
+  EXPECT_NE(Rng(42).Next(), c.Next());
+}
+
+TEST(Rng, IntInBounds) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.IntIn(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(5u, seen.size());  // all values hit
+}
+
+TEST(Rng, Double01InRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Double01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(rng.Chance(5, 5));
+    EXPECT_FALSE(rng.Chance(0, 5));
+  }
+}
+
+// --- MemoryMeter -------------------------------------------------------------
+
+TEST(MemoryMeter, TracksPeak) {
+  MemoryMeter meter;
+  meter.Add(100);
+  meter.Add(50);
+  EXPECT_EQ(150u, meter.current());
+  meter.Sub(120);
+  EXPECT_EQ(30u, meter.current());
+  EXPECT_EQ(150u, meter.peak());
+}
+
+TEST(MemoryMeter, BaselineContributesToPeak) {
+  MemoryMeter meter;
+  meter.AddBaseline(1000);
+  EXPECT_EQ(1000u, meter.peak());
+  meter.Add(10);
+  EXPECT_EQ(1010u, meter.peak());
+  meter.Sub(10);
+  EXPECT_EQ(1000u, meter.current());
+}
+
+TEST(MemoryMeter, SubClampsAtZero) {
+  MemoryMeter meter;
+  meter.Add(5);
+  meter.Sub(50);
+  EXPECT_EQ(0u, meter.current());
+}
+
+TEST(MemoryMeter, MeteredBytesGuard) {
+  MemoryMeter meter;
+  {
+    MeteredBytes guard(&meter, 64);
+    EXPECT_EQ(64u, meter.current());
+  }
+  EXPECT_EQ(0u, meter.current());
+  EXPECT_EQ(64u, meter.peak());
+  { MeteredBytes null_guard(nullptr, 64); }  // null meter is a no-op
+}
+
+}  // namespace
+}  // namespace xmlproj

@@ -1,0 +1,146 @@
+#include "dtd/dataguide.h"
+
+#include <gtest/gtest.h>
+
+#include "dtd/validator.h"
+#include "projection/projection.h"
+#include "projection/pruner.h"
+#include "xmark/generator.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/evaluator.h"
+#include "xpath/parser.h"
+
+namespace xmlproj {
+namespace {
+
+Document Parse(std::string_view xml) {
+  return std::move(ParseXml(xml)).value();
+}
+
+TEST(DataGuide, InfersGrammarShape) {
+  Document doc = Parse(
+      "<lib><book><title>T1</title><author>A</author></book>"
+      "<book><title>T2</title></book><note/></lib>");
+  auto dtd = InferDataGuide(doc);
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  NameId lib = dtd->NameOfTag("lib");
+  NameId book = dtd->NameOfTag("book");
+  NameId title = dtd->NameOfTag("title");
+  ASSERT_NE(kNoName, lib);
+  EXPECT_EQ(lib, dtd->root());
+  EXPECT_TRUE(dtd->ChildrenOf(lib).Contains(book));
+  EXPECT_TRUE(dtd->ChildrenOf(lib).Contains(dtd->NameOfTag("note")));
+  EXPECT_TRUE(dtd->ChildrenOf(book).Contains(title));
+  // Text only under title/author.
+  EXPECT_NE(kNoName, dtd->StringNameOf(title));
+  EXPECT_EQ(kNoName, dtd->StringNameOf(book));
+  EXPECT_EQ(kNoName, dtd->StringNameOf(dtd->NameOfTag("note")));
+}
+
+TEST(DataGuide, SampleValidatesAgainstItsGuide) {
+  Document doc = Parse(
+      "<r><a>x<b/></a><a><b>t</b><b/></a><c>only text</c></r>");
+  auto dtd = InferDataGuide(doc);
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_TRUE(Validate(doc, *dtd).ok());
+}
+
+TEST(DataGuide, XMarkDocumentValidatesAgainstItsGuide) {
+  XMarkOptions options;
+  options.scale = 0.001;
+  Document doc = std::move(GenerateXMark(options)).value();
+  auto dtd = InferDataGuide(doc);
+  ASSERT_TRUE(dtd.ok());
+  auto interp = Validate(doc, *dtd);
+  EXPECT_TRUE(interp.ok()) << interp.status().ToString();
+}
+
+TEST(DataGuide, DtdFreeProjectionIsSound) {
+  // The paper's §7 extension: the whole pipeline without any DTD.
+  XMarkOptions options;
+  options.scale = 0.001;
+  Document doc = std::move(GenerateXMark(options)).value();
+  auto dtd = InferDataGuide(doc);
+  ASSERT_TRUE(dtd.ok());
+  Interpretation interp = std::move(Validate(doc, *dtd)).value();
+
+  for (const char* query :
+       {"/site/people/person/name", "//keyword",
+        "/site/open_auctions/open_auction[bidder]/initial",
+        "//item[contains(description, 'gold')]/name",
+        "//bidder/ancestor::open_auction/seller"}) {
+    auto analysis = AnalyzeXPathQuery(*dtd, query);
+    ASSERT_TRUE(analysis.ok()) << query;
+    auto pruned = PruneDocument(doc, interp, analysis->projector);
+    ASSERT_TRUE(pruned.ok());
+    auto path = ParseXPath(query);
+    XPathEvaluator eval_orig(doc);
+    XPathEvaluator eval_pruned(*pruned);
+    auto res_orig = eval_orig.EvaluateFromRoot(*path);
+    auto res_pruned = eval_pruned.EvaluateFromRoot(*path);
+    ASSERT_TRUE(res_orig.ok());
+    ASSERT_TRUE(res_pruned.ok());
+    ASSERT_EQ(res_orig->size(), res_pruned->size()) << query;
+    for (size_t i = 0; i < res_orig->size(); ++i) {
+      EXPECT_EQ(SerializeSubtree(doc, (*res_orig)[i].node),
+                SerializeSubtree(*pruned, (*res_pruned)[i].node))
+          << query;
+    }
+  }
+}
+
+TEST(DataGuide, DataGuideIsCoarserThanDtd) {
+  // The inferred guide loses ordering/cardinality, so its projectors can
+  // only be equal or larger than the real DTD's — never smaller in a way
+  // that breaks queries (soundness is covered above). Spot-check that it
+  // still prunes.
+  XMarkOptions options;
+  options.scale = 0.001;
+  Document doc = std::move(GenerateXMark(options)).value();
+  auto dtd = InferDataGuide(doc);
+  ASSERT_TRUE(dtd.ok());
+  Interpretation interp = std::move(Validate(doc, *dtd)).value();
+  auto analysis = AnalyzeXPathQuery(*dtd, "/site/people/person/name");
+  ASSERT_TRUE(analysis.ok());
+  auto pruned = PruneDocument(doc, interp, analysis->projector);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_LT(pruned->content_node_count(), doc.content_node_count() / 4);
+}
+
+TEST(DataGuideBuilder, MergesMultipleDocuments) {
+  DataGuideBuilder builder;
+  ASSERT_TRUE(builder.AddDocument(Parse("<r><a><b/></a></r>")).ok());
+  ASSERT_TRUE(builder.AddDocument(Parse("<r><a>text</a><c/></r>")).ok());
+  auto dtd = builder.Build();
+  ASSERT_TRUE(dtd.ok());
+  NameId a = dtd->NameOfTag("a");
+  EXPECT_TRUE(dtd->ChildrenOf(dtd->root()).Contains(dtd->NameOfTag("c")));
+  EXPECT_TRUE(dtd->ChildrenOf(a).Contains(dtd->NameOfTag("b")));
+  EXPECT_NE(kNoName, dtd->StringNameOf(a));
+  // Both samples validate against the merged guide.
+  EXPECT_TRUE(Validate(Parse("<r><a><b/></a></r>"), *dtd).ok());
+  EXPECT_TRUE(Validate(Parse("<r><a>text</a><c/></r>"), *dtd).ok());
+}
+
+TEST(DataGuideBuilder, RejectsRootMismatch) {
+  DataGuideBuilder builder;
+  ASSERT_TRUE(builder.AddDocument(Parse("<r/>")).ok());
+  EXPECT_FALSE(builder.AddDocument(Parse("<other/>")).ok());
+}
+
+TEST(DataGuideBuilder, RejectsEmpty) {
+  DataGuideBuilder builder;
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(DataGuide, RecursiveDocument) {
+  Document doc = Parse("<d><d><d/></d><leaf>x</leaf></d>");
+  auto dtd = InferDataGuide(doc);
+  ASSERT_TRUE(dtd.ok());
+  EXPECT_TRUE(dtd->IsRecursive());
+  EXPECT_TRUE(Validate(doc, *dtd).ok());
+}
+
+}  // namespace
+}  // namespace xmlproj

@@ -1,0 +1,81 @@
+#include "dtd/name_set.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlproj {
+namespace {
+
+TEST(NameSet, StartsEmpty) {
+  NameSet s(100);
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(0u, s.Count());
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(NameSet, AddRemoveContains) {
+  NameSet s(130);  // spans three words
+  s.Add(0);
+  s.Add(63);
+  s.Add(64);
+  s.Add(129);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_TRUE(s.Contains(64));
+  EXPECT_TRUE(s.Contains(129));
+  EXPECT_FALSE(s.Contains(1));
+  EXPECT_EQ(4u, s.Count());
+  s.Remove(64);
+  EXPECT_FALSE(s.Contains(64));
+  EXPECT_EQ(3u, s.Count());
+}
+
+TEST(NameSet, ContainsOutOfRangeIsFalse) {
+  NameSet s(10);
+  EXPECT_FALSE(s.Contains(-1));
+  EXPECT_FALSE(s.Contains(10));
+  EXPECT_FALSE(s.Contains(kNoName));
+}
+
+TEST(NameSet, SetOperations) {
+  NameSet a = NameSet::Of(70, {1, 2, 3, 65});
+  NameSet b = NameSet::Of(70, {3, 4, 65});
+  EXPECT_EQ(NameSet::Of(70, {1, 2, 3, 4, 65}), a | b);
+  EXPECT_EQ(NameSet::Of(70, {3, 65}), a & b);
+  EXPECT_EQ(NameSet::Of(70, {1, 2}), a - b);
+}
+
+TEST(NameSet, SubsetAndIntersects) {
+  NameSet a = NameSet::Of(70, {1, 2});
+  NameSet b = NameSet::Of(70, {1, 2, 3});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  NameSet c = NameSet::Of(70, {5});
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(NameSet(70).IsSubsetOf(a));
+}
+
+TEST(NameSet, ForEachInOrder) {
+  NameSet s = NameSet::Of(200, {7, 0, 199, 64});
+  std::vector<NameId> seen;
+  s.ForEach([&seen](NameId n) { seen.push_back(n); });
+  EXPECT_EQ((std::vector<NameId>{0, 7, 64, 199}), seen);
+  EXPECT_EQ(seen, s.ToVector());
+}
+
+TEST(NameSet, HashDiffersForDifferentSets) {
+  NameSet a = NameSet::Of(70, {1});
+  NameSet b = NameSet::Of(70, {2});
+  EXPECT_NE(a.Hash(), b.Hash());
+  NameSet c = NameSet::Of(70, {1});
+  EXPECT_EQ(a.Hash(), c.Hash());
+}
+
+TEST(NameSet, EqualityRequiresSameUniverse) {
+  NameSet a(64);
+  NameSet b(65);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace xmlproj

@@ -1,0 +1,321 @@
+// Shared randomized-input generators for property tests: random local
+// tree grammars, random valid documents, and random XPath queries.
+// Extracted from soundness_property_test.cc so several suites can fuzz
+// with identical distributions.
+
+#ifndef XMLPROJ_TESTS_RANDOM_XML_H_
+#define XMLPROJ_TESTS_RANDOM_XML_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "dtd/dtd.h"
+#include "xml/document.h"
+#include "xpath/ast.h"
+
+namespace xmlproj {
+namespace testing_random {
+
+constexpr const char* kTags[] = {"a", "b", "c", "d", "e", "f", "g", "h"};
+constexpr const char* kWords[] = {"alpha", "beta", "gamma", "42", "7"};
+
+// --- Random local tree grammars ----------------------------------------
+//
+// Construction invariant guaranteeing that a finite valid document always
+// exists: *required* content (bare names, choices, plus-factors) only
+// references names with a strictly larger index, while back/self
+// references (recursion) are always wrapped in ? or *.
+inline Dtd RandomDtd(uint64_t seed, int* name_count_out) {
+  Rng rng(seed * 2654435761ull + 1);
+  int n = rng.IntIn(3, 8);
+  *name_count_out = n;
+  DtdBuilder builder;
+  std::vector<NameId> ids;
+  for (int i = 0; i < n; ++i) {
+    ids.push_back(std::move(builder.DeclareElement(kTags[i])).value());
+  }
+  for (int i = 0; i < n; ++i) {
+    ContentModel* m = builder.MutableContent(ids[i]);
+    int kind = rng.IntIn(0, 9);
+    if (kind <= 1 || i == n - 1) {
+      if (rng.Chance(1, 2)) {
+        // PCDATA leaf.
+        m->set_root(m->Star(m->Name(builder.StringNameFor(ids[i]))));
+      }
+      // else EMPTY.
+      continue;
+    }
+    if (kind == 2) {
+      // Mixed content: (#PCDATA | x | y)*.
+      std::vector<int32_t> alts;
+      alts.push_back(m->Name(builder.StringNameFor(ids[i])));
+      int extras = rng.IntIn(1, 2);
+      for (int k = 0; k < extras; ++k) {
+        alts.push_back(m->Name(ids[static_cast<size_t>(
+            rng.IntIn(0, n - 1))]));
+      }
+      m->set_root(m->Star(m->Choice(std::move(alts))));
+      continue;
+    }
+    // Sequence of 1..3 factors.
+    std::vector<int32_t> factors;
+    int nf = rng.IntIn(1, 3);
+    for (int k = 0; k < nf; ++k) {
+      bool forward_only = i + 1 < n;
+      int fk = rng.IntIn(0, 5);
+      auto forward_name = [&]() {
+        return ids[static_cast<size_t>(rng.IntIn(i + 1, n - 1))];
+      };
+      auto any_name = [&]() {
+        return ids[static_cast<size_t>(rng.IntIn(0, n - 1))];
+      };
+      switch (fk) {
+        case 0:  // required single name (forward)
+        case 1:
+          if (forward_only) {
+            factors.push_back(m->Name(forward_name()));
+          } else {
+            factors.push_back(m->Opt(m->Name(any_name())));
+          }
+          break;
+        case 2:  // optional (any)
+          factors.push_back(m->Opt(m->Name(any_name())));
+          break;
+        case 3:  // star (any) — possibly recursive
+          factors.push_back(m->Star(m->Name(any_name())));
+          break;
+        case 4:  // plus (forward)
+          if (forward_only) {
+            factors.push_back(m->Plus(m->Name(forward_name())));
+          } else {
+            factors.push_back(m->Star(m->Name(any_name())));
+          }
+          break;
+        case 5:  // starred choice of two (any): *-guarded union
+          factors.push_back(m->Star(
+              m->Choice({m->Name(any_name()), m->Name(any_name())})));
+          break;
+      }
+    }
+    m->set_root(m->Seq(std::move(factors)));
+  }
+  return std::move(builder.Build(kTags[0])).value();
+}
+
+// --- Random valid documents ---------------------------------------------
+
+class DocGenerator {
+ public:
+  DocGenerator(const Dtd& dtd, uint64_t seed) : dtd_(dtd), rng_(seed) {}
+
+  Result<Document> Generate() {
+    builder_ = DocumentBuilder();
+    nodes_ = 0;
+    GenerateElement(dtd_.root(), 0);
+    return builder_.Finish();
+  }
+
+ private:
+  void GenerateElement(NameId name, int depth) {
+    ++nodes_;
+    const Production& p = dtd_.production(name);
+    builder_.StartElement(p.tag);
+    if (!p.content.empty_model()) {
+      GenerateRegex(name, p.content, p.content.root(), depth + 1);
+    }
+    builder_.EndElement();
+  }
+
+  void GenerateRegex(NameId owner, const ContentModel& model, int32_t index,
+                     int depth) {
+    const RegexNode& node = model.node(index);
+    bool minimal = depth > 8 || nodes_ > 4000;
+    switch (node.kind) {
+      case RegexKind::kEpsilon:
+      case RegexKind::kAny:
+        break;
+      case RegexKind::kName:
+        if (dtd_.IsStringName(node.name)) {
+          ++nodes_;
+          builder_.AddText(
+              kWords[rng_.Below(sizeof(kWords) / sizeof(kWords[0]))]);
+        } else {
+          GenerateElement(node.name, depth);
+        }
+        break;
+      case RegexKind::kSeq:
+        for (int32_t c : node.children) {
+          GenerateRegex(owner, model, c, depth);
+        }
+        break;
+      case RegexKind::kChoice: {
+        size_t pick = rng_.Below(node.children.size());
+        GenerateRegex(owner, model, node.children[pick], depth);
+        break;
+      }
+      case RegexKind::kStar: {
+        int reps = minimal ? 0 : rng_.IntIn(0, 3);
+        for (int k = 0; k < reps; ++k) {
+          GenerateRegex(owner, model, node.children[0], depth);
+        }
+        break;
+      }
+      case RegexKind::kPlus: {
+        int reps = minimal ? 1 : rng_.IntIn(1, 3);
+        for (int k = 0; k < reps; ++k) {
+          GenerateRegex(owner, model, node.children[0], depth);
+        }
+        break;
+      }
+      case RegexKind::kOpt:
+        if (!minimal && rng_.Chance(1, 2)) {
+          GenerateRegex(owner, model, node.children[0], depth);
+        }
+        break;
+    }
+  }
+
+  const Dtd& dtd_;
+  Rng rng_;
+  DocumentBuilder builder_;
+  size_t nodes_ = 0;
+};
+
+// --- Random queries -------------------------------------------------------
+
+class QueryGenerator {
+ public:
+  QueryGenerator(int tag_count, uint64_t seed)
+      : tag_count_(tag_count), rng_(seed) {}
+
+  LocationPath Generate() {
+    LocationPath path;
+    path.start = PathStart::kRoot;
+    int steps = rng_.IntIn(1, 4);
+    for (int i = 0; i < steps; ++i) {
+      path.steps.push_back(RandomStep(/*allow_predicates=*/true));
+    }
+    return path;
+  }
+
+ private:
+  Axis RandomAxis() {
+    switch (rng_.IntIn(0, 19)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3:
+      case 4:
+      case 5:
+        return Axis::kChild;
+      case 6:
+      case 7:
+      case 8:
+        return Axis::kDescendant;
+      case 9:
+      case 10:
+        return Axis::kDescendantOrSelf;
+      case 11:
+      case 12:
+        return Axis::kParent;
+      case 13:
+        return Axis::kAncestor;
+      case 14:
+        return Axis::kAncestorOrSelf;
+      case 15:
+        return Axis::kSelf;
+      case 16:
+        return Axis::kFollowingSibling;
+      case 17:
+        return Axis::kPrecedingSibling;
+      case 18:
+        return Axis::kFollowing;
+      default:
+        return Axis::kPreceding;
+    }
+  }
+
+  NodeTest RandomTest() {
+    NodeTest test;
+    int k = rng_.IntIn(0, 9);
+    if (k <= 4) {
+      test.kind = TestKind::kName;
+      test.name = kTags[rng_.Below(static_cast<uint64_t>(tag_count_))];
+    } else if (k <= 6) {
+      test.kind = TestKind::kNode;
+    } else if (k <= 8) {
+      test.kind = TestKind::kAnyElement;
+    } else {
+      test.kind = TestKind::kText;
+    }
+    return test;
+  }
+
+  Step RandomStep(bool allow_predicates) {
+    Step step;
+    step.axis = RandomAxis();
+    step.test = RandomTest();
+    if (step.test.kind == TestKind::kText &&
+        (step.axis == Axis::kParent || step.axis == Axis::kAncestor)) {
+      step.test.kind = TestKind::kNode;  // text() never matches upward
+    }
+    if (allow_predicates && rng_.Chance(3, 10)) {
+      step.predicates.push_back(RandomPredicate());
+    }
+    return step;
+  }
+
+  LocationPath RandomSubPath() {
+    LocationPath p;
+    p.start = PathStart::kContext;
+    int steps = rng_.IntIn(1, 2);
+    for (int i = 0; i < steps; ++i) {
+      // Nested predicates with probability 1/4.
+      p.steps.push_back(RandomStep(rng_.Chance(1, 4)));
+    }
+    return p;
+  }
+
+  ExprPtr RandomPredicate() {
+    switch (rng_.IntIn(0, 6)) {
+      case 0:  // structural path
+      case 1:
+        return MakePath(RandomSubPath());
+      case 2: {  // value comparison
+        return MakeBinary(
+            BinaryOp::kEq, MakePath(RandomSubPath()),
+            MakeLiteral(kWords[rng_.Below(sizeof(kWords) /
+                                          sizeof(kWords[0]))]));
+      }
+      case 3: {  // count(path) >= k
+        std::vector<ExprPtr> args;
+        args.push_back(MakePath(RandomSubPath()));
+        return MakeBinary(BinaryOp::kGe,
+                          MakeFunction("count", std::move(args)),
+                          MakeNumber(rng_.IntIn(0, 2)));
+      }
+      case 4: {  // not(path)
+        std::vector<ExprPtr> args;
+        args.push_back(MakePath(RandomSubPath()));
+        return MakeFunction("not", std::move(args));
+      }
+      case 5:  // position() = 1
+        return MakeBinary(BinaryOp::kEq, MakeFunction("position", {}),
+                          MakeNumber(1));
+      default: {  // disjunction of two paths
+        return MakeBinary(BinaryOp::kOr, MakePath(RandomSubPath()),
+                          MakePath(RandomSubPath()));
+      }
+    }
+  }
+
+  int tag_count_;
+  Rng rng_;
+};
+
+
+}  // namespace testing_random
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_TESTS_RANDOM_XML_H_

@@ -1,0 +1,142 @@
+// Randomized soundness check of the whole pipeline (Theorem 4.5):
+// for random DTDs E, random documents t valid for E, and random XPath
+// queries Q, the result of Q on t equals the result of Q on t\π where π is
+// the projector inferred for Q — compared as *node identities* through the
+// pruning id-map (the literal statement of the theorem), and additionally
+// as serialized subtrees under materialization.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "random_xml.h"
+#include "dtd/dtd.h"
+#include "dtd/validator.h"
+#include "projection/projection.h"
+#include "projection/pruner.h"
+#include "xml/serializer.h"
+#include "xpath/ast.h"
+#include "xpath/evaluator.h"
+
+namespace xmlproj {
+namespace {
+
+using testing_random::DocGenerator;
+using testing_random::QueryGenerator;
+using testing_random::RandomDtd;
+using testing_random::kTags;
+using testing_random::kWords;
+
+struct MappedNode {
+  NodeId node;
+  int32_t attr;
+  bool operator==(const MappedNode& o) const {
+    return node == o.node && attr == o.attr;
+  }
+  bool operator<(const MappedNode& o) const {
+    return node != o.node ? node < o.node : attr < o.attr;
+  }
+};
+
+class SoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoundnessTest, PrunedQueryResultsMatch) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  int tag_count = 0;
+  Dtd dtd = RandomDtd(seed, &tag_count);
+  DocGenerator doc_gen(dtd, seed * 7919 + 13);
+  auto doc_result = doc_gen.Generate();
+  ASSERT_TRUE(doc_result.ok());
+  Document doc = std::move(*doc_result);
+  if (doc.root() == kNullNode) GTEST_SKIP() << "degenerate document";
+
+  // Generated documents must be valid (generator follows content models).
+  auto interp_result = Validate(doc, dtd);
+  ASSERT_TRUE(interp_result.ok())
+      << interp_result.status().ToString() << "\nDTD:\n"
+      << dtd.ToString() << "\nDoc: " << SerializeDocument(doc);
+  Interpretation interp = std::move(*interp_result);
+
+  QueryGenerator query_gen(tag_count, seed * 104729 + 7);
+  for (int q = 0; q < 15; ++q) {
+    LocationPath query = query_gen.Generate();
+    SCOPED_TRACE("query: " + ToString(query) + "\nDTD:\n" + dtd.ToString() +
+                 "\ndoc: " + SerializeDocument(doc));
+
+    // --- Node-identity soundness (no materialization) ------------------
+    auto analysis = AnalyzeXPath(dtd, query, /*materialize_result=*/false);
+    ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+    std::vector<NodeId> new_to_old;
+    auto pruned =
+        PruneDocument(doc, interp, analysis->projector, nullptr,
+                      &new_to_old);
+    ASSERT_TRUE(pruned.ok());
+
+    XPathEvaluator eval_orig(doc);
+    XPathEvaluator eval_pruned(*pruned);
+    auto res_orig = eval_orig.EvaluateFromRoot(query);
+    ASSERT_TRUE(res_orig.ok()) << res_orig.status().ToString();
+    auto res_pruned = eval_pruned.EvaluateFromRoot(query);
+    ASSERT_TRUE(res_pruned.ok()) << res_pruned.status().ToString();
+
+    std::vector<MappedNode> orig_nodes;
+    for (const XNode& n : *res_orig) {
+      orig_nodes.push_back(MappedNode{n.node, n.attr});
+    }
+    std::vector<MappedNode> pruned_nodes;
+    for (const XNode& n : *res_pruned) {
+      pruned_nodes.push_back(MappedNode{new_to_old[n.node], n.attr});
+    }
+    EXPECT_EQ(orig_nodes, pruned_nodes)
+        << "projector: approximated=" << ToString(analysis->approximated);
+
+    // --- Materialized soundness (serialized subtrees) -------------------
+    auto analysis_mat = AnalyzeXPath(dtd, query, true);
+    ASSERT_TRUE(analysis_mat.ok());
+    auto pruned_mat =
+        PruneDocument(doc, interp, analysis_mat->projector);
+    ASSERT_TRUE(pruned_mat.ok());
+    XPathEvaluator eval_mat(*pruned_mat);
+    auto res_mat = eval_mat.EvaluateFromRoot(query);
+    ASSERT_TRUE(res_mat.ok());
+    ASSERT_EQ(res_orig->size(), res_mat->size());
+    for (size_t i = 0; i < res_orig->size(); ++i) {
+      const XNode& a = (*res_orig)[i];
+      const XNode& b = (*res_mat)[i];
+      if (a.attr >= 0) continue;
+      EXPECT_EQ(SerializeSubtree(doc, a.node),
+                SerializeSubtree(*pruned_mat, b.node));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGrammars, SoundnessTest,
+                         ::testing::Range(0, 40));
+
+TEST(SoundnessInfra, StreamingAndDomPrunersAgreeOnRandomInputs) {
+  for (uint64_t seed = 100; seed < 120; ++seed) {
+    int tag_count = 0;
+    Dtd dtd = RandomDtd(seed, &tag_count);
+    DocGenerator doc_gen(dtd, seed);
+    Document doc = std::move(doc_gen.Generate()).value();
+    if (doc.root() == kNullNode) continue;
+    Interpretation interp = std::move(Validate(doc, dtd)).value();
+    QueryGenerator query_gen(tag_count, seed + 5);
+    for (int q = 0; q < 5; ++q) {
+      LocationPath query = query_gen.Generate();
+      auto analysis = AnalyzeXPath(dtd, query, true);
+      ASSERT_TRUE(analysis.ok());
+      auto dom = PruneDocument(doc, interp, analysis->projector);
+      auto stream = PruneViaStreaming(doc, dtd, analysis->projector);
+      ASSERT_TRUE(dom.ok());
+      ASSERT_TRUE(stream.ok());
+      EXPECT_EQ(SerializeDocument(*dom), SerializeDocument(*stream))
+          << ToString(query);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlproj

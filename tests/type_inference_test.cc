@@ -1,0 +1,243 @@
+#include "projection/type_inference.h"
+
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "xpath/xpathl.h"
+
+namespace xmlproj {
+namespace {
+
+// The paper's §4.1 motivating grammar (rooted at X):
+//   {X -> c[Y, Z],  Y -> a[W, String],  Z -> b[String],  W -> d[Y?]}
+// Built programmatically because a[W, String] mixes ordered PCDATA, which
+// DTD syntax cannot express.
+struct Paper41 {
+  Dtd dtd;
+  NameId X, Y, Z, W, Ys, Zs;
+};
+
+Paper41 BuildPaper41() {
+  DtdBuilder b;
+  NameId X = std::move(b.DeclareElement("c")).value();
+  NameId Y = std::move(b.DeclareElement("a")).value();
+  NameId Z = std::move(b.DeclareElement("b")).value();
+  NameId W = std::move(b.DeclareElement("d")).value();
+  NameId Ys = b.StringNameFor(Y);
+  NameId Zs = b.StringNameFor(Z);
+  {
+    ContentModel* m = b.MutableContent(X);
+    m->set_root(m->Seq({m->Name(Y), m->Name(Z)}));
+  }
+  {
+    ContentModel* m = b.MutableContent(Y);
+    m->set_root(m->Seq({m->Name(W), m->Name(Ys)}));
+  }
+  {
+    ContentModel* m = b.MutableContent(Z);
+    m->set_root(m->Name(Zs));
+  }
+  {
+    ContentModel* m = b.MutableContent(W);
+    m->set_root(m->Opt(m->Name(Y)));
+  }
+  Paper41 out{std::move(b.Build("c")).value(), X, Y, Z, W, Ys, Zs};
+  return out;
+}
+
+NameSet TypeOf(const Dtd& dtd, std::string_view lpath) {
+  TypeInference inference(dtd);
+  auto path = ParseLPath(lpath);
+  EXPECT_TRUE(path.ok()) << lpath << ": " << path.status().ToString();
+  return inference.InferPath(inference.InitialEnv(), *path).type;
+}
+
+TEST(TypeInference, Paper41ContextMakesParentPrecise) {
+  Paper41 g = BuildPaper41();
+  // Without contexts, self::c/child::a/parent::node would be {X, W}; the
+  // context intersection yields the precise {X}.
+  NameSet t = TypeOf(g.dtd, "self::c/child::a/parent::node()");
+  EXPECT_EQ(NameSet::Of(g.dtd.name_count(), {g.X}), t);
+}
+
+TEST(TypeInference, Paper41RawAxisIsImprecise) {
+  Paper41 g = BuildPaper41();
+  TypeInference inference(g.dtd);
+  // A_E({Y}, parent) alone = {X, W}: the motivation for contexts.
+  NameSet y(g.dtd.name_count());
+  y.Add(g.Y);
+  EXPECT_EQ(NameSet::Of(g.dtd.name_count(), {g.X, g.W}),
+            inference.AxisSet(y, Axis::kParent));
+}
+
+TEST(TypeInference, SingleSteps) {
+  Paper41 g = BuildPaper41();
+  size_t n = g.dtd.name_count();
+  EXPECT_EQ(NameSet::Of(n, {g.Y, g.Z}), TypeOf(g.dtd, "child::node()"));
+  EXPECT_EQ(NameSet::Of(n, {g.Y}), TypeOf(g.dtd, "child::a"));
+  EXPECT_EQ(NameSet::Of(n, {}), TypeOf(g.dtd, "child::d"));
+  EXPECT_EQ(NameSet::Of(n, {g.X}), TypeOf(g.dtd, "self::node()"));
+  EXPECT_EQ(NameSet::Of(n, {}), TypeOf(g.dtd, "self::text()"));
+  // descendants of X: everything.
+  EXPECT_EQ(NameSet::Of(n, {g.Y, g.Z, g.W, g.Ys, g.Zs}),
+            TypeOf(g.dtd, "descendant::node()"));
+  EXPECT_EQ(NameSet::Of(n, {g.Ys, g.Zs}),
+            TypeOf(g.dtd, "descendant::text()"));
+  EXPECT_EQ(NameSet::Of(n, {g.Y, g.Z, g.W}),
+            TypeOf(g.dtd, "descendant::*"));
+}
+
+TEST(TypeInference, UpwardFromRoot) {
+  Paper41 g = BuildPaper41();
+  // Climbing above the root element reaches the (synthetic) document
+  // name; climbing further reaches nothing.
+  NameId doc = g.dtd.document_name();
+  EXPECT_EQ(NameSet::Of(g.dtd.name_count(), {doc}),
+            TypeOf(g.dtd, "parent::node()"));
+  EXPECT_EQ(NameSet::Of(g.dtd.name_count(), {doc}),
+            TypeOf(g.dtd, "ancestor::node()"));
+  EXPECT_EQ(NameSet::Of(g.dtd.name_count(), {g.X, doc}),
+            TypeOf(g.dtd, "ancestor-or-self::node()"));
+  EXPECT_TRUE(TypeOf(g.dtd, "parent::node()/parent::node()").Empty());
+  // The document node fails element tests.
+  EXPECT_TRUE(TypeOf(g.dtd, "parent::*").Empty());
+}
+
+TEST(TypeInference, RecursiveBackwardImprecision) {
+  // Second §4.1 example: {X -> c[Y | Z], Y -> a[Y*, String],
+  // Z -> b[String]}. Recursion + backward axes lose completeness:
+  // self::c/child::a/parent::node types to {X, Y}, not the precise {X}.
+  DtdBuilder b;
+  NameId X = std::move(b.DeclareElement("c")).value();
+  NameId Y = std::move(b.DeclareElement("a")).value();
+  NameId Z = std::move(b.DeclareElement("b")).value();
+  NameId Ys = b.StringNameFor(Y);
+  NameId Zs = b.StringNameFor(Z);
+  {
+    ContentModel* m = b.MutableContent(X);
+    m->set_root(m->Choice({m->Name(Y), m->Name(Z)}));
+  }
+  {
+    ContentModel* m = b.MutableContent(Y);
+    m->set_root(m->Seq({m->Star(m->Name(Y)), m->Name(Ys)}));
+  }
+  {
+    ContentModel* m = b.MutableContent(Z);
+    m->set_root(m->Name(Zs));
+  }
+  Dtd dtd = std::move(b.Build("c")).value();
+  EXPECT_TRUE(dtd.IsRecursive());
+  EXPECT_FALSE(dtd.IsStarGuarded());
+
+  NameSet t = TypeOf(dtd, "self::c/child::a/parent::node()");
+  // Soundness: X must be present. The paper predicts the imprecision
+  // {X, Y} here.
+  EXPECT_TRUE(t.Contains(X));
+  EXPECT_TRUE(t.Contains(Y));
+  EXPECT_FALSE(t.Contains(Z));
+  EXPECT_FALSE(t.Contains(Zs));
+  (void)Ys;
+}
+
+TEST(TypeInference, EmptyQueryTypeForNonGuardedUnion) {
+  // First completeness counterexample: self::c[child::a]/child::b has an
+  // empty semantics on {X -> c[Y | Z], ...} but a non-empty type (the
+  // union is not *-guarded). We verify the inferred type is the sound
+  // over-approximation the paper describes.
+  DtdBuilder b;
+  NameId X = std::move(b.DeclareElement("c")).value();
+  NameId Y = std::move(b.DeclareElement("a")).value();
+  NameId Z = std::move(b.DeclareElement("b")).value();
+  {
+    ContentModel* m = b.MutableContent(X);
+    m->set_root(m->Choice({m->Name(Y), m->Name(Z)}));
+  }
+  Dtd dtd = std::move(b.Build("c")).value();
+  NameSet t = TypeOf(dtd, "self::c[child::a]/child::b");
+  EXPECT_TRUE(t.Contains(Z));  // incomplete but sound
+  (void)X;
+  (void)Y;
+}
+
+TEST(TypeInference, ConditionFiltersNames) {
+  Dtd dtd = std::move(ParseDtd(R"(
+    <!ELEMENT r (a*, b*)>
+    <!ELEMENT a (d?)>
+    <!ELEMENT b (e?)>
+    <!ELEMENT d EMPTY>
+    <!ELEMENT e EMPTY>
+  )",
+                               "r"))
+                .value();
+  // child::node[child::d]: only a-elements can have d children.
+  NameSet t = TypeOf(dtd, "child::node()[child::d]");
+  EXPECT_EQ(NameSet::Of(dtd.name_count(), {dtd.NameOfTag("a")}), t);
+
+  // Disjunction: a or b.
+  NameSet t2 = TypeOf(dtd, "child::node()[child::d or child::e]");
+  EXPECT_EQ(NameSet::Of(dtd.name_count(),
+                        {dtd.NameOfTag("a"), dtd.NameOfTag("b")}),
+            t2);
+
+  // Upward condition.
+  NameSet t3 = TypeOf(dtd, "descendant::node()[parent::a]");
+  EXPECT_EQ(NameSet::Of(dtd.name_count(), {dtd.NameOfTag("d")}), t3);
+}
+
+TEST(TypeInference, ContextNarrowsThroughConditions) {
+  // Paper41 again: condition evaluation must use per-name contexts.
+  Paper41 g = BuildPaper41();
+  NameSet t = TypeOf(g.dtd, "child::a/child::d[parent::a]");
+  EXPECT_EQ(NameSet::Of(g.dtd.name_count(), {g.W}), t);
+  NameSet t2 = TypeOf(g.dtd, "child::a/child::d[parent::b]");
+  EXPECT_TRUE(t2.Empty());
+}
+
+TEST(TypeInference, ParentAmbiguousImprecision) {
+  // §4.1 third example: {X -> a[Y,Z], Y -> b[Z], Z -> c[]}. The query
+  // self::a/child::b/child::c/parent::node should ideally type {Y}; the
+  // name-set contexts yield {X, Y}.
+  Dtd dtd = std::move(ParseDtd(R"(
+    <!ELEMENT a (b, c)>
+    <!ELEMENT b (c)>
+    <!ELEMENT c EMPTY>
+  )",
+                               "a"))
+                .value();
+  EXPECT_FALSE(dtd.IsParentUnambiguous());
+  NameSet t = TypeOf(dtd, "self::a/child::b/child::c/parent::node()");
+  EXPECT_TRUE(t.Contains(dtd.NameOfTag("b")));  // the precise answer
+  EXPECT_TRUE(t.Contains(dtd.NameOfTag("a")));  // the predicted imprecision
+}
+
+TEST(TypeInference, EmptyEnvironmentIsFixpoint) {
+  Paper41 g = BuildPaper41();
+  NameSet t = TypeOf(g.dtd, "child::zzz/descendant::node()");
+  EXPECT_TRUE(t.Empty());
+}
+
+TEST(TypeInference, DosAndAos) {
+  Dtd dtd = std::move(ParseDtd(R"(
+    <!ELEMENT r (m)>
+    <!ELEMENT m (l*)>
+    <!ELEMENT l (#PCDATA)>
+  )",
+                               "r"))
+                .value();
+  size_t n = dtd.name_count();
+  NameId r = dtd.NameOfTag("r");
+  NameId m = dtd.NameOfTag("m");
+  NameId l = dtd.NameOfTag("l");
+  EXPECT_EQ(NameSet::Of(n, {r, m, l, dtd.StringNameOf(l)}),
+            TypeOf(dtd, "descendant-or-self::node()"));
+  EXPECT_EQ(NameSet::Of(n, {m}),
+            TypeOf(dtd, "descendant-or-self::m"));
+  NameId doc = dtd.document_name();
+  EXPECT_EQ(NameSet::Of(n, {r, m, doc}),
+            TypeOf(dtd, "child::m/child::l/ancestor::node()"));
+  EXPECT_EQ(NameSet::Of(n, {r, m, l, doc}),
+            TypeOf(dtd, "child::m/child::l/ancestor-or-self::node()"));
+}
+
+}  // namespace
+}  // namespace xmlproj

@@ -1,0 +1,47 @@
+// The umbrella header must be self-contained and expose the whole public
+// pipeline. This test is the README quickstart, verbatim in spirit.
+
+#include "xmlproj.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlproj {
+namespace {
+
+TEST(Umbrella, ReadmeQuickstartPipeline) {
+  constexpr char kDtd[] = R"(
+    <!ELEMENT library (book*)>
+    <!ELEMENT book (title, author+, year?)>
+    <!ELEMENT title (#PCDATA)>
+    <!ELEMENT author (#PCDATA)>
+    <!ELEMENT year (#PCDATA)>
+  )";
+  constexpr char kXml[] =
+      "<library><book><title>Inferno</title><author>Dante</author>"
+      "<year>1313</year></book></library>";
+
+  Dtd dtd = std::move(ParseDtd(kDtd, "library")).value();
+  Document doc = std::move(ParseXml(kXml)).value();
+  Interpretation interp = std::move(Validate(doc, dtd)).value();
+
+  ProjectionAnalysis analysis =
+      std::move(
+          AnalyzeXPathQuery(dtd, "/library/book[author='Dante']/title"))
+          .value();
+  Document pruned =
+      std::move(PruneDocument(doc, interp, analysis.projector)).value();
+
+  XPathEvaluator eval(pruned);
+  auto result =
+      eval.EvaluateFromRoot(std::move(ParseXPath("/library/book/title"))
+                                .value());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(1u, result->size());
+  EXPECT_EQ("Inferno", pruned.StringValue((*result)[0].node));
+  // Year was pruned away.
+  EXPECT_EQ(kNullNode == pruned.root(), false);
+  EXPECT_EQ(std::string::npos, SerializeDocument(pruned).find("year"));
+}
+
+}  // namespace
+}  // namespace xmlproj

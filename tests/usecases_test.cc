@@ -1,0 +1,112 @@
+// Classifies the reconstructed XML Query Use Cases DTD corpus with the
+// Def 4.3 property detectors (the paper's §4.1 statistics), and runs the
+// static analysis over every corpus grammar as a robustness sweep.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "projection/projection.h"
+#include "xmark/usecases.h"
+
+namespace xmlproj {
+namespace {
+
+TEST(UseCases, AllTenParse) {
+  ASSERT_EQ(10u, UseCaseDtds().size());
+  for (const UseCaseDtd& entry : UseCaseDtds()) {
+    auto dtd = LoadUseCaseDtd(entry);
+    EXPECT_TRUE(dtd.ok()) << entry.name << ": "
+                          << dtd.status().ToString();
+  }
+}
+
+TEST(UseCases, PropertyStatisticsMatchThePapersShape) {
+  // §4.1: "seven are both non-recursive and *-guarded, one is only
+  // *-guarded, one is only non-recursive, and just one does not satisfy
+  // either property"; parent-unambiguity holds for "five on the ten".
+  // Our corpus is a reconstruction, so we assert the qualitative shape:
+  // a solid majority is non-recursive and *-guarded; recursion and
+  // unguarded unions both occur; parent-ambiguity occurs.
+  int star_guarded = 0;
+  int non_recursive = 0;
+  int both = 0;
+  int parent_unambiguous = 0;
+  for (const UseCaseDtd& entry : UseCaseDtds()) {
+    Dtd dtd = std::move(LoadUseCaseDtd(entry)).value();
+    bool sg = dtd.IsStarGuarded();
+    bool nr = !dtd.IsRecursive();
+    bool pu = dtd.IsParentUnambiguous();
+    star_guarded += sg;
+    non_recursive += nr;
+    both += sg && nr;
+    parent_unambiguous += pu;
+    std::printf("  %-7s %-13s %-13s %s\n", entry.name.c_str(),
+                sg ? "*-guarded" : "not-guarded",
+                nr ? "non-recursive" : "recursive",
+                pu ? "parent-unambiguous" : "parent-ambiguous");
+  }
+  EXPECT_GE(both, 5);              // majority satisfies both
+  EXPECT_LE(non_recursive, 9);     // recursion occurs (TREE/SGML/PARTS)
+  EXPECT_LE(star_guarded, 9);      // unguarded unions occur (XMP)
+  EXPECT_GE(parent_unambiguous, 3);
+  EXPECT_LE(parent_unambiguous, 9);
+}
+
+TEST(UseCases, KnownClassifications) {
+  auto find = [](const char* name) {
+    for (const UseCaseDtd& entry : UseCaseDtds()) {
+      if (entry.name == name) {
+        return std::move(LoadUseCaseDtd(entry)).value();
+      }
+    }
+    ADD_FAILURE() << "missing use case " << name;
+    return Dtd();
+  };
+  // XMP's (author+ | editor+) is an unguarded union, but it is flat.
+  Dtd xmp = find("XMP");
+  EXPECT_FALSE(xmp.IsStarGuarded());
+  EXPECT_FALSE(xmp.IsRecursive());
+  // TREE/SGML/PARTS recurse.
+  EXPECT_TRUE(find("TREE").IsRecursive());
+  EXPECT_TRUE(find("SGML").IsRecursive());
+  EXPECT_TRUE(find("PARTS").IsRecursive());
+  // R is flat relational: both properties hold.
+  Dtd r = find("R");
+  EXPECT_TRUE(r.IsStarGuarded());
+  EXPECT_FALSE(r.IsRecursive());
+  EXPECT_TRUE(r.IsParentUnambiguous());
+  // STRONG's addresses live under distinct parent names: unambiguous.
+  EXPECT_TRUE(find("STRONG").IsParentUnambiguous());
+  // TREE's title appears both directly under section and deeper inside
+  // nested sections: parent-ambiguous. SEQ's action likewise (directly
+  // under section.content and inside prep).
+  EXPECT_FALSE(find("TREE").IsParentUnambiguous());
+  EXPECT_FALSE(find("SEQ").IsParentUnambiguous());
+}
+
+TEST(UseCases, StaticAnalysisRunsOnTheWholeCorpus) {
+  // The analyzer must cope with every grammar in the corpus, including
+  // the recursive and parent-ambiguous ones.
+  const char* queries[] = {
+      "//title",
+      "/descendant-or-self::node()[title]/title",
+      "//section/ancestor::node()",
+      "//*[1]",
+      "//node()[not(child::node())]",
+  };
+  for (const UseCaseDtd& entry : UseCaseDtds()) {
+    Dtd dtd = std::move(LoadUseCaseDtd(entry)).value();
+    for (const char* q : queries) {
+      auto analysis = AnalyzeXPathQuery(dtd, q);
+      ASSERT_TRUE(analysis.ok())
+          << entry.name << " / " << q << ": "
+          << analysis.status().ToString();
+      EXPECT_TRUE(analysis->projector.Contains(dtd.root()))
+          << entry.name << " / " << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmlproj

@@ -1,0 +1,108 @@
+#include "xmark/workbench.h"
+
+#include <gtest/gtest.h>
+
+#include "xmark/generator.h"
+#include "xmark/queries.h"
+#include "xmark/xmark_dtd.h"
+
+namespace xmlproj {
+namespace {
+
+TEST(CountsForScale, MatchesXmlgenBaselines) {
+  XMarkCounts full = CountsForScale(1.0);
+  EXPECT_EQ(1000, full.categories);
+  EXPECT_EQ(21750, full.items);
+  EXPECT_EQ(25500, full.persons);
+  EXPECT_EQ(12000, full.open_auctions);
+  EXPECT_EQ(9750, full.closed_auctions);
+
+  XMarkCounts tenth = CountsForScale(0.1);
+  EXPECT_EQ(2175, tenth.items);
+
+  // Tiny scales still produce at least one of everything.
+  XMarkCounts tiny = CountsForScale(0.00001);
+  EXPECT_GE(tiny.categories, 1);
+  EXPECT_GE(tiny.items, 1);
+  EXPECT_GE(tiny.persons, 1);
+  EXPECT_GE(tiny.open_auctions, 1);
+  EXPECT_GE(tiny.closed_auctions, 1);
+}
+
+TEST(Workbench, RunsXPathQueries) {
+  XMarkOptions options;
+  options.scale = 0.001;
+  Document doc = std::move(GenerateXMark(options)).value();
+  BenchmarkQuery query{"t", QueryLanguage::kXPath,
+                       "/site/people/person/name", ""};
+  auto run = RunBenchmarkQuery(query, doc);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->result_items, 0u);
+  EXPECT_NE(std::string::npos, run->serialized.find("<name>"));
+  EXPECT_GT(run->memory_bytes, doc.MemoryBytes());  // doc + eval overhead
+  EXPECT_GE(run->seconds, 0.0);
+}
+
+TEST(Workbench, RunsXQueryQueries) {
+  XMarkOptions options;
+  options.scale = 0.001;
+  Document doc = std::move(GenerateXMark(options)).value();
+  BenchmarkQuery query{
+      "t", QueryLanguage::kXQuery,
+      "for $p in /site/people/person return <n>{$p/name/text()}</n>", ""};
+  auto run = RunBenchmarkQuery(query, doc);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->result_items, 0u);
+  EXPECT_NE(std::string::npos, run->serialized.find("<n>"));
+}
+
+TEST(Workbench, SurfacesQueryErrors) {
+  XMarkOptions options;
+  options.scale = 0.0005;
+  Document doc = std::move(GenerateXMark(options)).value();
+  BenchmarkQuery bad{"t", QueryLanguage::kXPath, "///", ""};
+  EXPECT_FALSE(RunBenchmarkQuery(bad, doc).ok());
+  BenchmarkQuery bad2{"t", QueryLanguage::kXQuery, "for $x in", ""};
+  EXPECT_FALSE(RunBenchmarkQuery(bad2, doc).ok());
+}
+
+TEST(Workbench, AnalyzesBothLanguages) {
+  Dtd dtd = std::move(LoadXMarkDtd()).value();
+  BenchmarkQuery xp{"t", QueryLanguage::kXPath, "//keyword", ""};
+  BenchmarkQuery xq{"t", QueryLanguage::kXQuery,
+                    "for $k in //keyword return $k", ""};
+  auto p1 = AnalyzeBenchmarkQuery(xp, dtd);
+  auto p2 = AnalyzeBenchmarkQuery(xq, dtd);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_TRUE(p1->Contains(dtd.NameOfTag("keyword")));
+  EXPECT_TRUE(p2->Contains(dtd.NameOfTag("keyword")));
+}
+
+TEST(BenchmarkQueries, EveryQueryParsesAndAnalyzes) {
+  Dtd dtd = std::move(LoadXMarkDtd()).value();
+  for (const BenchmarkQuery& query : AllBenchmarkQueries()) {
+    auto projector = AnalyzeBenchmarkQuery(query, dtd);
+    EXPECT_TRUE(projector.ok())
+        << query.id << ": " << projector.status().ToString();
+    if (projector.ok()) {
+      EXPECT_TRUE(projector->Contains(dtd.root())) << query.id;
+    }
+  }
+}
+
+TEST(BenchmarkQueries, IdsAreUniqueAndOrdered) {
+  std::vector<BenchmarkQuery> all = AllBenchmarkQueries();
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1].id, all[i].id);
+  }
+}
+
+TEST(Workbench, NowSecondsIsMonotonic) {
+  double a = NowSeconds();
+  double b = NowSeconds();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace xmlproj

@@ -1,0 +1,122 @@
+#include "xml/document.h"
+
+#include <gtest/gtest.h>
+
+namespace xmlproj {
+namespace {
+
+TEST(SymbolTable, InternReturnsStableIds) {
+  SymbolTable table;
+  TagId a = table.Intern("alpha");
+  TagId b = table.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, table.Intern("alpha"));
+  EXPECT_EQ(b, table.Lookup("beta"));
+  EXPECT_EQ(kNoTag, table.Lookup("gamma"));
+  EXPECT_EQ("alpha", table.NameOf(a));
+  EXPECT_EQ(2u, table.size());
+}
+
+Document BuildSample() {
+  // <a x="1"><b>hi</b><c/><b>yo</b></a>
+  DocumentBuilder builder;
+  builder.StartElement("a");
+  builder.AddAttribute("x", "1");
+  builder.StartElement("b");
+  builder.AddText("hi");
+  builder.EndElement();
+  builder.StartElement("c");
+  builder.EndElement();
+  builder.StartElement("b");
+  builder.AddText("yo");
+  builder.EndElement();
+  builder.EndElement();
+  auto result = builder.Finish();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(DocumentBuilder, BuildsPreorderIds) {
+  Document doc = BuildSample();
+  // document node + a + b + text + c + b + text = 7 nodes.
+  ASSERT_EQ(7u, doc.size());
+  EXPECT_EQ(NodeKind::kDocument, doc.kind(0));
+  NodeId root = doc.root();
+  EXPECT_EQ(1u, root);
+  EXPECT_EQ("a", doc.tag_name(root));
+  EXPECT_EQ(7u, doc.node(root).subtree_end);
+  EXPECT_EQ(6u, doc.content_node_count());
+}
+
+TEST(DocumentBuilder, SiblingLinks) {
+  Document doc = BuildSample();
+  NodeId b1 = doc.node(doc.root()).first_child;
+  EXPECT_EQ("b", doc.tag_name(b1));
+  NodeId c = doc.node(b1).next_sibling;
+  EXPECT_EQ("c", doc.tag_name(c));
+  NodeId b2 = doc.node(c).next_sibling;
+  EXPECT_EQ("b", doc.tag_name(b2));
+  EXPECT_EQ(kNullNode, doc.node(b2).next_sibling);
+  EXPECT_EQ(c, doc.node(b2).prev_sibling);
+  EXPECT_EQ(doc.root(), doc.node(b2).parent);
+}
+
+TEST(Document, Attributes) {
+  Document doc = BuildSample();
+  NodeId root = doc.root();
+  ASSERT_EQ(1u, doc.attr_count(root));
+  EXPECT_EQ("1", doc.attr(root, 0).value);
+  const std::string* v = doc.FindAttribute(root, "x");
+  ASSERT_NE(nullptr, v);
+  EXPECT_EQ("1", *v);
+  EXPECT_EQ(nullptr, doc.FindAttribute(root, "missing"));
+}
+
+TEST(Document, StringValueConcatenatesDescendantText) {
+  Document doc = BuildSample();
+  EXPECT_EQ("hiyo", doc.StringValue(doc.root()));
+  NodeId b1 = doc.node(doc.root()).first_child;
+  EXPECT_EQ("hi", doc.StringValue(b1));
+}
+
+TEST(Document, TextNodeSubtreeEnd) {
+  Document doc = BuildSample();
+  NodeId b1 = doc.node(doc.root()).first_child;
+  NodeId text = doc.node(b1).first_child;
+  EXPECT_EQ(NodeKind::kText, doc.kind(text));
+  EXPECT_EQ(text + 1, doc.node(text).subtree_end);
+  EXPECT_EQ("hi", doc.text(text));
+}
+
+TEST(DocumentBuilder, FinishFailsWithOpenElements) {
+  DocumentBuilder builder;
+  builder.StartElement("a");
+  auto result = builder.Finish();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Document, MemoryBytesGrowsWithContent) {
+  Document doc = BuildSample();
+  size_t base = doc.MemoryBytes();
+  EXPECT_GT(base, 0u);
+
+  DocumentBuilder builder;
+  builder.StartElement("a");
+  for (int i = 0; i < 100; ++i) {
+    builder.StartElement("b");
+    builder.AddText("some longer text content to count");
+    builder.EndElement();
+  }
+  builder.EndElement();
+  Document bigger = std::move(builder.Finish()).value();
+  EXPECT_GT(bigger.MemoryBytes(), base);
+}
+
+TEST(Document, EmptyDocumentHasNoRoot) {
+  DocumentBuilder builder;
+  Document doc = std::move(builder.Finish()).value();
+  EXPECT_EQ(kNullNode, doc.root());
+}
+
+}  // namespace
+}  // namespace xmlproj

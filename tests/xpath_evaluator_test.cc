@@ -1,0 +1,263 @@
+#include "xpath/evaluator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xpath/parser.h"
+
+namespace xmlproj {
+namespace {
+
+constexpr char kLibrary[] = R"(
+<library>
+  <book isbn="1"><title>Inferno</title><author>Dante</author>
+    <year>1313</year></book>
+  <book isbn="2"><title>Purgatorio</title><author>Dante</author>
+    <year>1315</year></book>
+  <book isbn="3"><title>Decameron</title><author>Boccaccio</author>
+    <year>1353</year></book>
+  <shelf><book isbn="4"><title>Vita Nova</title><author>Dante</author>
+    <year>1294</year></book></shelf>
+</library>
+)";
+
+class XPathEvalTest : public ::testing::Test {
+ protected:
+  XPathEvalTest() : doc_(std::move(ParseXml(kLibrary)).value()) {}
+
+  // Evaluates from the document node and returns tag names / text of the
+  // selected nodes in document order.
+  std::vector<std::string> Select(std::string_view query) {
+    auto path = ParseXPath(query);
+    EXPECT_TRUE(path.ok()) << query << ": " << path.status().ToString();
+    if (!path.ok()) return {};
+    XPathEvaluator eval(doc_);
+    auto nodes = eval.EvaluateFromRoot(*path);
+    EXPECT_TRUE(nodes.ok()) << query << ": " << nodes.status().ToString();
+    if (!nodes.ok()) return {};
+    std::vector<std::string> out;
+    for (const XNode& n : *nodes) {
+      if (n.attr >= 0) {
+        out.push_back("@" + doc_.attr(n.node, n.attr).value);
+      } else if (doc_.kind(n.node) == NodeKind::kText) {
+        out.push_back(doc_.text(n.node));
+      } else if (doc_.kind(n.node) == NodeKind::kDocument) {
+        out.push_back("#document");
+      } else {
+        out.push_back(doc_.tag_name(n.node));
+      }
+    }
+    return out;
+  }
+
+  XPathValue Value(std::string_view expr_text) {
+    auto expr = ParseXPathExpr(expr_text);
+    EXPECT_TRUE(expr.ok()) << expr_text;
+    XPathEvaluator eval(doc_);
+    auto v = eval.EvaluateExpr(**expr, XNode{doc_.document_node(), -1});
+    EXPECT_TRUE(v.ok()) << expr_text << ": " << v.status().ToString();
+    return v.ok() ? std::move(*v) : XPathValue();
+  }
+
+  Document doc_;
+};
+
+TEST_F(XPathEvalTest, ChildSteps) {
+  EXPECT_EQ((std::vector<std::string>{"book", "book", "book"}),
+            Select("/library/book"));
+  EXPECT_EQ((std::vector<std::string>{"Inferno", "Purgatorio", "Decameron"}),
+            Select("/library/book/title/text()"));
+}
+
+TEST_F(XPathEvalTest, DescendantAndWildcard) {
+  EXPECT_EQ(4u, Select("//book").size());
+  EXPECT_EQ(4u, Select("/library//book").size());
+  EXPECT_EQ(4u, Select("//shelf/ancestor::node()/descendant::book").size());
+  EXPECT_EQ((std::vector<std::string>{"book", "book", "book", "shelf"}),
+            Select("/library/*"));
+}
+
+TEST_F(XPathEvalTest, PredicatesOnValues) {
+  EXPECT_EQ((std::vector<std::string>{"Inferno", "Purgatorio", "Vita Nova"}),
+            Select("//book[author = 'Dante']/title/text()"));
+  EXPECT_EQ((std::vector<std::string>{"Decameron"}),
+            Select("//book[year > 1320]/title/text()"));
+}
+
+TEST_F(XPathEvalTest, PositionPredicates) {
+  EXPECT_EQ((std::vector<std::string>{"Inferno"}),
+            Select("/library/book[1]/title/text()"));
+  EXPECT_EQ((std::vector<std::string>{"Decameron"}),
+            Select("/library/book[last()]/title/text()"));
+  EXPECT_EQ((std::vector<std::string>{"Purgatorio", "Decameron"}),
+            Select("/library/book[position() > 1]/title/text()"));
+}
+
+TEST_F(XPathEvalTest, PaperQueryBackwardAxes) {
+  // §3's Q: titles of books whose author is Dante, via text + parent.
+  EXPECT_EQ(
+      (std::vector<std::string>{"title", "title", "title"}),
+      Select("/descendant::author/child::text()[self::node() = 'Dante']"
+             "/parent::node()/parent::node()/child::title"));
+}
+
+TEST_F(XPathEvalTest, AncestorAxis) {
+  EXPECT_EQ((std::vector<std::string>{"#document", "library", "shelf"}),
+            Select("//shelf/book/ancestor::node()"));
+  EXPECT_EQ((std::vector<std::string>{"library", "shelf"}),
+            Select("//shelf/book/ancestor::*"));
+}
+
+TEST_F(XPathEvalTest, SiblingAxes) {
+  EXPECT_EQ((std::vector<std::string>{"book", "book", "shelf"}),
+            Select("/library/book[1]/following-sibling::node()"));
+  EXPECT_EQ((std::vector<std::string>{"book", "book"}),
+            Select("/library/shelf/preceding-sibling::node()[year < 1350]"));
+}
+
+TEST_F(XPathEvalTest, FollowingPreceding) {
+  // following of first book: 3 authors follow (books 2, 3 and shelf's).
+  EXPECT_EQ(3u, Select("/library/book[1]/following::author").size());
+  EXPECT_EQ(3u, Select("/library/shelf/preceding::title").size());
+  // preceding excludes ancestors.
+  EXPECT_TRUE(Select("//author[1]/preceding::library").empty());
+}
+
+TEST_F(XPathEvalTest, Attributes) {
+  EXPECT_EQ((std::vector<std::string>{"@1", "@2", "@3", "@4"}),
+            Select("//book/@isbn"));
+  EXPECT_EQ((std::vector<std::string>{"Purgatorio"}),
+            Select("//book[@isbn = '2']/title/text()"));
+  EXPECT_EQ((std::vector<std::string>{"book"}),
+            Select("//book/@isbn[. = '4']/parent::node()"));
+}
+
+TEST_F(XPathEvalTest, TextTest) {
+  EXPECT_EQ(4u, Select("//author/text()").size());
+  EXPECT_TRUE(Select("//book/text()").empty());  // element content only
+}
+
+TEST_F(XPathEvalTest, FunctionsOverNodeSets) {
+  EXPECT_EQ(4.0, Value("count(//book)").number);
+  EXPECT_EQ(0.0, Value("count(//missing)").number);
+  EXPECT_TRUE(Value("empty(//missing)").boolean);
+  EXPECT_FALSE(Value("empty(//book)").boolean);
+  EXPECT_EQ(1313.0 + 1315 + 1353 + 1294, Value("sum(//year)").number);
+  EXPECT_EQ("Inferno", Value("string(//title)").string);
+  EXPECT_EQ(1313.0, Value("number(//year)").number);
+  EXPECT_EQ("book", Value("name(//book)").string);
+}
+
+TEST_F(XPathEvalTest, StringFunctions) {
+  EXPECT_TRUE(Value("contains('Dante Alighieri', 'Ali')").boolean);
+  EXPECT_FALSE(Value("starts-with('Dante', 'ante')").boolean);
+  EXPECT_EQ("ab", Value("concat('a', 'b')").string);
+  EXPECT_EQ(5.0, Value("string-length('Dante')").number);
+}
+
+TEST_F(XPathEvalTest, Aggregates) {
+  EXPECT_EQ((1313.0 + 1315 + 1353 + 1294) / 4, Value("avg(//year)").number);
+  EXPECT_EQ(1353.0, Value("max(//year)").number);
+  EXPECT_EQ(1294.0, Value("min(//year)").number);
+  EXPECT_TRUE(std::isnan(Value("avg(//missing)").number));
+  EXPECT_TRUE(std::isnan(Value("max(//missing)").number));
+}
+
+TEST_F(XPathEvalTest, SubstringFamily) {
+  EXPECT_EQ("ant", Value("substring('Dante', 2, 3)").string);
+  EXPECT_EQ("ante", Value("substring('Dante', 2)").string);
+  EXPECT_EQ("Da", Value("substring('Dante', 0, 3)").string);  // W3C example
+  EXPECT_EQ("", Value("substring('Dante', 10)").string);
+  EXPECT_EQ("D", Value("substring-before('Dante', 'ant')").string);
+  EXPECT_EQ("e", Value("substring-after('Dante', 'ant')").string);
+  EXPECT_EQ("", Value("substring-before('Dante', 'zz')").string);
+}
+
+TEST_F(XPathEvalTest, NormalizeSpaceAndTranslate) {
+  EXPECT_EQ("a b c", Value("normalize-space('  a \t b \n c  ')").string);
+  EXPECT_EQ("", Value("normalize-space('   ')").string);
+  EXPECT_EQ("BAr", Value("translate('bar', 'ab', 'AB')").string);
+  EXPECT_EQ("AAA", Value("translate('A-A-A', '-', '')").string);
+}
+
+TEST_F(XPathEvalTest, Arithmetic) {
+  EXPECT_EQ(7.0, Value("1 + 2 * 3").number);
+  EXPECT_EQ(1.0, Value("7 mod 2").number);
+  EXPECT_EQ(3.5, Value("7 div 2").number);
+  EXPECT_EQ(-4.0, Value("-(2 + 2)").number);
+}
+
+TEST_F(XPathEvalTest, ExistentialComparison) {
+  // Some book has year < 1300 (Vita Nova).
+  EXPECT_TRUE(Value("//year < 1300").boolean);
+  // Node-set vs node-set: some title equals some title (trivially true);
+  // and the false case with disjoint sets.
+  EXPECT_TRUE(Value("//title = //title").boolean);
+  EXPECT_FALSE(Value("//title = //year").boolean);
+  EXPECT_TRUE(Value("//author = 'Dante'").boolean);
+  EXPECT_TRUE(Value("//author != 'Dante'").boolean);  // existential !=
+}
+
+TEST_F(XPathEvalTest, BooleanConversions) {
+  EXPECT_TRUE(Value("//book = true()").boolean);
+  EXPECT_TRUE(Value("not(//missing)").boolean);
+  EXPECT_FALSE(Value("boolean('')").boolean);
+  EXPECT_TRUE(Value("boolean('x')").boolean);
+  EXPECT_FALSE(Value("boolean(0)").boolean);
+}
+
+TEST_F(XPathEvalTest, Union) {
+  EXPECT_EQ(8u, Value("//title | //author").nodes.size());
+  EXPECT_EQ(4u, Value("//title | //title").nodes.size());
+}
+
+TEST_F(XPathEvalTest, NumberToString) {
+  EXPECT_EQ("3", XPathNumberToString(3.0));
+  EXPECT_EQ("3.5", XPathNumberToString(3.5));
+  EXPECT_EQ("-7", XPathNumberToString(-7.0));
+  EXPECT_EQ("NaN", XPathNumberToString(std::nan("")));
+}
+
+TEST_F(XPathEvalTest, ResultsInDocumentOrderWithoutDuplicates) {
+  auto path = ParseXPath("//book/ancestor-or-self::node()/descendant::title");
+  ASSERT_TRUE(path.ok());
+  XPathEvaluator eval(doc_);
+  auto nodes = eval.EvaluateFromRoot(*path);
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(4u, nodes->size());
+  for (size_t i = 1; i < nodes->size(); ++i) {
+    EXPECT_LT((*nodes)[i - 1], (*nodes)[i]);
+  }
+}
+
+TEST_F(XPathEvalTest, UnboundVariableFails) {
+  auto path = ParseXPath("$x/a");
+  ASSERT_TRUE(path.ok());
+  XPathEvaluator eval(doc_);
+  EXPECT_FALSE(eval.EvaluateFromRoot(*path).ok());
+}
+
+TEST_F(XPathEvalTest, VariableLookup) {
+  auto path = ParseXPath("$books/title");
+  ASSERT_TRUE(path.ok());
+  XPathEvaluator plain(doc_);
+  auto books = plain.EvaluateFromRoot(*ParseXPath("/library/book"));
+  ASSERT_TRUE(books.ok());
+  XPathEvaluator::Options options;
+  XPathValue bound = XPathValue::NodeSet(*books);
+  options.variable_lookup =
+      [&bound](std::string_view name) -> Result<XPathValue> {
+    if (name == "books") return bound;
+    return NotFoundError("unbound");
+  };
+  XPathEvaluator eval(doc_, options);
+  auto titles = eval.EvaluateFromRoot(*path);
+  ASSERT_TRUE(titles.ok());
+  EXPECT_EQ(3u, titles->size());
+}
+
+}  // namespace
+}  // namespace xmlproj

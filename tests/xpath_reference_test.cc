@@ -1,0 +1,320 @@
+// Differential testing of the XPath engine: an independently written,
+// deliberately naive reference evaluator (recursive set semantics, no
+// pre-order tricks, no proximity bookkeeping beyond what the restricted
+// query subset needs) is compared against the production evaluator on
+// random documents and queries.
+//
+// The restricted subset avoids features whose naive re-implementation
+// would just duplicate the engine (position()/last() proximity order):
+// all axes, all node tests, predicates limited to path existence,
+// disjunction/conjunction of paths, and path = 'literal' comparisons.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "random_xml.h"
+#include "xml/serializer.h"
+#include "xpath/evaluator.h"
+
+namespace xmlproj {
+namespace {
+
+using testing_random::DocGenerator;
+using testing_random::RandomDtd;
+using testing_random::kTags;
+using testing_random::kWords;
+
+// --- Naive reference evaluator -------------------------------------------
+
+class ReferenceEvaluator {
+ public:
+  explicit ReferenceEvaluator(const Document& doc) : doc_(doc) {}
+
+  std::set<NodeId> EvalPath(const LocationPath& path,
+                            const std::set<NodeId>& context) const {
+    std::set<NodeId> current =
+        path.start == PathStart::kRoot
+            ? std::set<NodeId>{doc_.document_node()}
+            : context;
+    for (const Step& step : path.steps) {
+      std::set<NodeId> next;
+      for (NodeId n : current) {
+        for (NodeId candidate : AxisOf(n, step.axis)) {
+          if (!Matches(candidate, step.test)) continue;
+          bool keep = true;
+          for (const ExprPtr& pred : step.predicates) {
+            if (!Holds(*pred, candidate)) {
+              keep = false;
+              break;
+            }
+          }
+          if (keep) next.insert(candidate);
+        }
+      }
+      current = std::move(next);
+    }
+    return current;
+  }
+
+ private:
+  std::vector<NodeId> Children(NodeId n) const {
+    std::vector<NodeId> out;
+    for (NodeId c = doc_.node(n).first_child; c != kNullNode;
+         c = doc_.node(c).next_sibling) {
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  void Descendants(NodeId n, std::vector<NodeId>* out) const {
+    for (NodeId c : Children(n)) {
+      out->push_back(c);
+      Descendants(c, out);
+    }
+  }
+
+  bool IsAncestorOf(NodeId a, NodeId n) const {
+    for (NodeId p = doc_.node(n).parent; p != kNullNode;
+         p = doc_.node(p).parent) {
+      if (p == a) return true;
+    }
+    return false;
+  }
+
+  std::vector<NodeId> AxisOf(NodeId n, Axis axis) const {
+    std::vector<NodeId> out;
+    switch (axis) {
+      case Axis::kChild:
+        return Children(n);
+      case Axis::kDescendant:
+        Descendants(n, &out);
+        return out;
+      case Axis::kDescendantOrSelf:
+        out.push_back(n);
+        Descendants(n, &out);
+        return out;
+      case Axis::kParent:
+        if (doc_.node(n).parent != kNullNode) {
+          out.push_back(doc_.node(n).parent);
+        }
+        return out;
+      case Axis::kAncestor:
+        for (NodeId p = doc_.node(n).parent; p != kNullNode;
+             p = doc_.node(p).parent) {
+          out.push_back(p);
+        }
+        return out;
+      case Axis::kAncestorOrSelf:
+        out.push_back(n);
+        for (NodeId p = doc_.node(n).parent; p != kNullNode;
+             p = doc_.node(p).parent) {
+          out.push_back(p);
+        }
+        return out;
+      case Axis::kSelf:
+        return {n};
+      case Axis::kFollowingSibling:
+        for (NodeId s = doc_.node(n).next_sibling; s != kNullNode;
+             s = doc_.node(s).next_sibling) {
+          out.push_back(s);
+        }
+        return out;
+      case Axis::kPrecedingSibling:
+        for (NodeId s = doc_.node(n).prev_sibling; s != kNullNode;
+             s = doc_.node(s).prev_sibling) {
+          out.push_back(s);
+        }
+        return out;
+      case Axis::kFollowing:
+        // Definition-level: after n in document order, not a descendant.
+        for (NodeId i = 1; i < doc_.size(); ++i) {
+          if (i > n && !IsAncestorOf(n, i)) out.push_back(i);
+        }
+        return out;
+      case Axis::kPreceding:
+        for (NodeId i = 1; i < doc_.size(); ++i) {
+          if (i < n && !IsAncestorOf(i, n)) out.push_back(i);
+        }
+        return out;
+      case Axis::kAttribute:
+        return {};  // the restricted subset has no attribute steps
+    }
+    return out;
+  }
+
+  bool Matches(NodeId n, const NodeTest& test) const {
+    switch (test.kind) {
+      case TestKind::kName:
+        return doc_.kind(n) == NodeKind::kElement &&
+               doc_.tag_name(n) == test.name;
+      case TestKind::kAnyElement:
+        return doc_.kind(n) == NodeKind::kElement;
+      case TestKind::kNode:
+        return true;
+      case TestKind::kText:
+        return doc_.kind(n) == NodeKind::kText;
+    }
+    return false;
+  }
+
+  bool Holds(const Expr& pred, NodeId n) const {
+    switch (pred.kind) {
+      case ExprKind::kPath:
+        return !EvalPath(pred.path, {n}).empty();
+      case ExprKind::kBinary:
+        if (pred.op == BinaryOp::kOr) {
+          return Holds(*pred.args[0], n) || Holds(*pred.args[1], n);
+        }
+        if (pred.op == BinaryOp::kAnd) {
+          return Holds(*pred.args[0], n) && Holds(*pred.args[1], n);
+        }
+        if (pred.op == BinaryOp::kEq &&
+            pred.args[0]->kind == ExprKind::kPath &&
+            pred.args[1]->kind == ExprKind::kLiteral) {
+          for (NodeId m : EvalPath(pred.args[0]->path, {n})) {
+            if (doc_.StringValue(m) == pred.args[1]->literal) return true;
+          }
+          return false;
+        }
+        ADD_FAILURE() << "unexpected predicate operator in subset";
+        return false;
+      default:
+        ADD_FAILURE() << "unexpected predicate kind in subset";
+        return false;
+    }
+  }
+
+  const Document& doc_;
+};
+
+// --- Restricted random queries -------------------------------------------
+
+class SubsetQueryGenerator {
+ public:
+  SubsetQueryGenerator(int tag_count, uint64_t seed)
+      : tag_count_(tag_count), rng_(seed) {}
+
+  LocationPath Generate() {
+    LocationPath path;
+    path.start = PathStart::kRoot;
+    int steps = rng_.IntIn(1, 4);
+    for (int i = 0; i < steps; ++i) {
+      path.steps.push_back(RandomStep(true));
+    }
+    return path;
+  }
+
+ private:
+  Axis RandomAxis() {
+    constexpr Axis kAxes[] = {
+        Axis::kChild,           Axis::kChild,
+        Axis::kChild,           Axis::kDescendant,
+        Axis::kDescendantOrSelf, Axis::kParent,
+        Axis::kAncestor,        Axis::kAncestorOrSelf,
+        Axis::kSelf,            Axis::kFollowingSibling,
+        Axis::kPrecedingSibling, Axis::kFollowing,
+        Axis::kPreceding,
+    };
+    return kAxes[rng_.Below(sizeof(kAxes) / sizeof(kAxes[0]))];
+  }
+
+  NodeTest RandomTest() {
+    NodeTest test;
+    int k = rng_.IntIn(0, 9);
+    if (k <= 4) {
+      test.kind = TestKind::kName;
+      test.name = kTags[rng_.Below(static_cast<uint64_t>(tag_count_))];
+    } else if (k <= 6) {
+      test.kind = TestKind::kNode;
+    } else if (k <= 8) {
+      test.kind = TestKind::kAnyElement;
+    } else {
+      test.kind = TestKind::kText;
+    }
+    return test;
+  }
+
+  Step RandomStep(bool allow_predicates) {
+    Step step;
+    step.axis = RandomAxis();
+    step.test = RandomTest();
+    if (allow_predicates && rng_.Chance(1, 3)) {
+      step.predicates.push_back(RandomPredicate());
+    }
+    return step;
+  }
+
+  LocationPath RandomSubPath() {
+    LocationPath p;
+    p.start = PathStart::kContext;
+    int steps = rng_.IntIn(1, 2);
+    for (int i = 0; i < steps; ++i) {
+      p.steps.push_back(RandomStep(false));
+    }
+    return p;
+  }
+
+  ExprPtr RandomPredicate() {
+    switch (rng_.IntIn(0, 3)) {
+      case 0:
+      case 1:
+        return MakePath(RandomSubPath());
+      case 2:
+        return MakeBinary(
+            rng_.Chance(1, 2) ? BinaryOp::kOr : BinaryOp::kAnd,
+            MakePath(RandomSubPath()), MakePath(RandomSubPath()));
+      default:
+        return MakeBinary(
+            BinaryOp::kEq, MakePath(RandomSubPath()),
+            MakeLiteral(kWords[rng_.Below(sizeof(kWords) /
+                                          sizeof(kWords[0]))]));
+    }
+  }
+
+  int tag_count_;
+  Rng rng_;
+};
+
+class XPathReferenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XPathReferenceTest, EngineMatchesNaiveSemantics) {
+  const uint64_t seed = 5000 + static_cast<uint64_t>(GetParam());
+  int tag_count = 0;
+  Dtd dtd = RandomDtd(seed, &tag_count);
+  DocGenerator doc_gen(dtd, seed * 31 + 5);
+  Document doc = std::move(doc_gen.Generate()).value();
+  if (doc.root() == kNullNode) GTEST_SKIP();
+
+  XPathEvaluator engine(doc);
+  ReferenceEvaluator reference(doc);
+  SubsetQueryGenerator query_gen(tag_count, seed * 17 + 3);
+
+  for (int q = 0; q < 25; ++q) {
+    LocationPath query = query_gen.Generate();
+    auto engine_result = engine.EvaluateFromRoot(query);
+    ASSERT_TRUE(engine_result.ok())
+        << ToString(query) << ": " << engine_result.status().ToString();
+    std::vector<NodeId> engine_nodes;
+    for (const XNode& n : *engine_result) {
+      ASSERT_EQ(-1, n.attr);
+      engine_nodes.push_back(n.node);
+    }
+    std::set<NodeId> reference_nodes = reference.EvalPath(query, {});
+    std::vector<NodeId> reference_sorted(reference_nodes.begin(),
+                                         reference_nodes.end());
+    EXPECT_EQ(reference_sorted, engine_nodes)
+        << "query: " << ToString(query)
+        << "\ndoc: " << SerializeDocument(doc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDocuments, XPathReferenceTest,
+                         ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace xmlproj

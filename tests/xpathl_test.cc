@@ -1,0 +1,76 @@
+#include "xpath/xpathl.h"
+
+#include <gtest/gtest.h>
+
+#include "xpath/parser.h"
+
+namespace xmlproj {
+namespace {
+
+TEST(XPathL, ParseAndPrint) {
+  auto p = ParseLPath("child::a/descendant::b[child::c or child::d]");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ("child::a/descendant::b[child::c or child::d]", ToString(*p));
+}
+
+TEST(XPathL, AllLAxes) {
+  auto p = ParseLPath(
+      "self::node()/child::a/descendant::node()/parent::node()/"
+      "ancestor::b/descendant-or-self::text()/ancestor-or-self::*");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(7u, p->steps.size());
+}
+
+TEST(XPathL, IsSimplePath) {
+  auto simple = ParseLPath("child::a/parent::node()");
+  ASSERT_TRUE(simple.ok());
+  EXPECT_TRUE(IsSimplePath(*simple));
+  auto cond = ParseLPath("child::a[child::b]");
+  ASSERT_TRUE(cond.ok());
+  EXPECT_FALSE(IsSimplePath(*cond));
+}
+
+TEST(XPathL, RejectsNonLAxes) {
+  EXPECT_FALSE(ParseLPath("following::a").ok());
+  EXPECT_FALSE(ParseLPath("preceding-sibling::a").ok());
+  EXPECT_FALSE(ParseLPath("@id").ok());
+}
+
+TEST(XPathL, RejectsNestedConditions) {
+  // Conditions must be simple: no nested predicates.
+  EXPECT_FALSE(ParseLPath("child::a[child::b[child::c]]").ok());
+}
+
+TEST(XPathL, RejectsNonPathPredicates) {
+  EXPECT_FALSE(ParseLPath("child::a[count(child::b) > 1]").ok());
+  EXPECT_FALSE(ParseLPath("child::a[1]").ok());
+  EXPECT_FALSE(ParseLPath("child::a[child::b and child::c]").ok());
+}
+
+TEST(XPathL, AcceptsDisjunctions) {
+  auto p = ParseLPath("child::a[child::b or child::c or parent::d]");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  ASSERT_EQ(1u, p->steps.size());
+  EXPECT_EQ(3u, p->steps[0].cond.size());
+}
+
+TEST(XPathL, RejectsAbsolute) {
+  EXPECT_FALSE(ParseLPath("/a/b").ok());
+}
+
+TEST(XPathL, ValidateRejectsBadAxisInCondition) {
+  LPath p = MakeLPath({MakeLStep(Axis::kChild, TestKind::kName, "a")});
+  LPath bad_cond =
+      MakeLPath({MakeLStep(Axis::kFollowing, TestKind::kNode)});
+  p.steps[0].cond.push_back(bad_cond);
+  EXPECT_FALSE(ValidateLPath(p).ok());
+}
+
+TEST(XPathL, MakeHelpers) {
+  LPath p = MakeLPath({MakeLStep(Axis::kDescendant, TestKind::kName, "x"),
+                       MakeLStep(Axis::kParent, TestKind::kNode)});
+  EXPECT_EQ("descendant::x/parent::node()", ToString(p));
+}
+
+}  // namespace
+}  // namespace xmlproj

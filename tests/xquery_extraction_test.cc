@@ -1,0 +1,288 @@
+#include "xquery/path_extraction.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "dtd/dtd_parser.h"
+#include "dtd/validator.h"
+#include "projection/pruner.h"
+#include "common/strings.h"
+#include "xml/parser.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+
+namespace xmlproj {
+namespace {
+
+std::vector<std::string> Extract(std::string_view query_text) {
+  auto query = ParseXQuery(query_text);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  auto paths = ExtractPaths(**query);
+  EXPECT_TRUE(paths.ok()) << paths.status().ToString();
+  std::vector<std::string> out;
+  for (const LPath& p : *paths) out.push_back(ToString(p));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool ContainsPath(const std::vector<std::string>& paths,
+                  std::string_view needle) {
+  return std::find(paths.begin(), paths.end(), needle) != paths.end();
+}
+
+TEST(PathExtraction, SimplePathMaterialized) {
+  // Line 8: a returned path gets /descendant-or-self::node().
+  std::vector<std::string> paths = Extract("/site/people");
+  ASSERT_EQ(1u, paths.size());
+  EXPECT_EQ(
+      "child::site/child::people/descendant-or-self::node()", paths[0]);
+}
+
+TEST(PathExtraction, ForBindingNotMaterialized) {
+  // Line 16: E(q1, Γ, 0) — binding paths carry no dos; the returned
+  // variable path does (line 6).
+  std::vector<std::string> paths =
+      Extract("for $p in /site/people/person return $p/name");
+  EXPECT_TRUE(ContainsPath(paths, "child::site/child::people/child::person"))
+      << ToString(LPath{});
+  EXPECT_TRUE(ContainsPath(
+      paths,
+      "child::site/child::people/child::person/child::name/"
+      "descendant-or-self::node()"));
+}
+
+TEST(PathExtraction, LetCountNeedsNoSubtree) {
+  std::vector<std::string> paths = Extract(
+      "let $k := /site/people/person return count($k)");
+  // count() consumes nodes, not values: no dos anywhere.
+  for (const std::string& p : paths) {
+    EXPECT_EQ(std::string::npos, p.find("descendant-or-self")) << p;
+  }
+  EXPECT_TRUE(
+      ContainsPath(paths, "child::site/child::people/child::person"));
+}
+
+TEST(PathExtraction, WhereComparisonKeepsComparedSubtree) {
+  std::vector<std::string> paths = Extract(
+      "for $a in /site/auctions/auction where $a/price > 10 "
+      "return $a/loc/text()");
+  // The §5 heuristic pushes the condition into the binding qualifier.
+  bool qualified = false;
+  for (const std::string& p : paths) {
+    if (p.find("auction[") != std::string::npos &&
+        p.find("child::price/descendant-or-self::node()") !=
+            std::string::npos) {
+      qualified = true;
+    }
+  }
+  EXPECT_TRUE(qualified) << "paths:\n" << Join(paths, "\n");
+}
+
+TEST(PathExtraction, JoinConditionIsNotPushed) {
+  std::vector<std::string> paths = Extract(
+      "for $p in /site/people/person "
+      "for $t in /site/auctions/auction "
+      "where $t/seller = $p/id return $t/price/text()");
+  // The where references two variables: both sides must be extracted as
+  // global paths with their value subtrees.
+  EXPECT_TRUE(ContainsPath(
+      paths,
+      "child::site/child::auctions/child::auction/child::seller/"
+      "descendant-or-self::node()"));
+  EXPECT_TRUE(ContainsPath(
+      paths,
+      "child::site/child::people/child::person/child::id/"
+      "descendant-or-self::node()"));
+}
+
+TEST(PathExtraction, DescendantOrSelfIfHeuristic) {
+  // The §5 motivating shape: for y in Q//node return if C(y) then q
+  // else (): without the rewriting, the extracted binding path ends in
+  // descendant-or-self::node() and pruning degenerates.
+  std::vector<std::string> paths = Extract(
+      "for $y in /site/regions/descendant-or-self::node() "
+      "return if ($y/keyword) then $y/keyword else ()");
+  bool qualified = false;
+  for (const std::string& p : paths) {
+    if (p.find("descendant-or-self::node()[") != std::string::npos &&
+        p.find("child::keyword") != std::string::npos) {
+      qualified = true;
+    }
+  }
+  EXPECT_TRUE(qualified) << Join(paths, "\n");
+}
+
+TEST(PathExtraction, ConstructorAddsForPaths) {
+  // Line 5: constructing output inside a for keeps the iteration paths.
+  std::vector<std::string> paths = Extract(
+      "for $i in /site/items/item return <mark/>");
+  EXPECT_TRUE(
+      ContainsPath(paths, "child::site/child::items/child::item"));
+}
+
+TEST(PathExtraction, AttributeJoinViaVariables) {
+  std::vector<std::string> paths = Extract(
+      "for $p in /site/people/person "
+      "let $a := for $t in /site/auctions/auction "
+      "          where $t/@seller = $p/@id return $t "
+      "return count($a)");
+  // Attribute operands need no dos (values are inline).
+  EXPECT_TRUE(ContainsPath(
+      paths, "child::site/child::auctions/child::auction/self::node()"));
+  EXPECT_TRUE(ContainsPath(
+      paths, "child::site/child::people/child::person/self::node()"));
+}
+
+TEST(PathExtraction, SomeQuantifierQualifiesBinding) {
+  // `some` is existential: binding nodes that cannot satisfy the
+  // condition are irrelevant, so the qualifier applies.
+  std::vector<std::string> paths = Extract(
+      "some $x in /site//node() satisfies $x/zipcode = '123'");
+  bool qualified = false;
+  for (const std::string& p : paths) {
+    if (p.find("node()[") != std::string::npos &&
+        p.find("child::zipcode") != std::string::npos) {
+      qualified = true;
+    }
+  }
+  EXPECT_TRUE(qualified) << Join(paths, "\n");
+}
+
+TEST(PathExtraction, EveryQuantifierDoesNotQualify) {
+  // `every` is universal: failing nodes decide the answer and must stay.
+  std::vector<std::string> paths = Extract(
+      "every $x in /site/people/person satisfies $x/age > 10");
+  EXPECT_TRUE(ContainsPath(
+      paths, "child::site/child::people/child::person"))
+      << Join(paths, "\n");
+  for (const std::string& p : paths) {
+    EXPECT_EQ(std::string::npos, p.find("person[")) << p;
+  }
+}
+
+TEST(PathExtraction, FreeVariableFails) {
+  auto query = ParseXQuery("$free/name");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(ExtractPaths(**query).ok());
+}
+
+TEST(PathExtraction, RelativeTopLevelPathFails) {
+  auto query = ParseXQuery("people/person");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(ExtractPaths(**query).ok());
+}
+
+// --- End-to-end XQuery soundness ----------------------------------------
+
+constexpr char kSiteDtd[] = R"(
+  <!ELEMENT site (people, auctions)>
+  <!ELEMENT people (person*)>
+  <!ELEMENT person (name, age?, profile?)>
+  <!ELEMENT name (#PCDATA)>
+  <!ELEMENT age (#PCDATA)>
+  <!ELEMENT profile (interest*, education?)>
+  <!ELEMENT interest (#PCDATA)>
+  <!ELEMENT education (#PCDATA)>
+  <!ELEMENT auctions (auction*)>
+  <!ELEMENT auction (price, loc, note?)>
+  <!ELEMENT price (#PCDATA)>
+  <!ELEMENT loc (#PCDATA)>
+  <!ELEMENT note (#PCDATA)>
+  <!ATTLIST person id CDATA #REQUIRED>
+  <!ATTLIST auction seller CDATA #REQUIRED>
+)";
+
+constexpr char kSiteXml[] = R"(
+<site>
+  <people>
+    <person id="p0"><name>Alice</name><age>30</age>
+      <profile><interest>art</interest><interest>go</interest>
+      <education>phd</education></profile></person>
+    <person id="p1"><name>Bob</name></person>
+    <person id="p2"><name>Carol</name><age>41</age>
+      <profile><education>bsc</education></profile></person>
+  </people>
+  <auctions>
+    <auction seller="p0"><price>10</price><loc>rome</loc></auction>
+    <auction seller="p1"><price>25</price><loc>kyoto</loc>
+      <note>fragile</note></auction>
+    <auction seller="p0"><price>40</price><loc>oslo</loc></auction>
+  </auctions>
+</site>
+)";
+
+class XQuerySoundnessTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XQuerySoundnessTest, PrunedResultsMatch) {
+  Dtd dtd = std::move(ParseDtd(kSiteDtd, "site")).value();
+  Document doc = std::move(ParseXml(kSiteXml)).value();
+  Interpretation interp = std::move(Validate(doc, dtd)).value();
+
+  auto query = ParseXQuery(GetParam());
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+
+  auto projector = InferProjectorForQuery(dtd, **query);
+  ASSERT_TRUE(projector.ok()) << projector.status().ToString();
+  auto pruned = PruneDocument(doc, interp, *projector);
+  ASSERT_TRUE(pruned.ok());
+
+  XQueryEvaluator eval_orig(doc);
+  XQueryEvaluator eval_pruned(*pruned);
+  auto res_orig = eval_orig.Evaluate(**query);
+  ASSERT_TRUE(res_orig.ok()) << res_orig.status().ToString();
+  auto res_pruned = eval_pruned.Evaluate(**query);
+  ASSERT_TRUE(res_pruned.ok()) << res_pruned.status().ToString();
+  EXPECT_EQ(eval_orig.Serialize(*res_orig),
+            eval_pruned.Serialize(*res_pruned))
+      << "query: " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, XQuerySoundnessTest,
+    ::testing::Values(
+        "/site/people/person/name",
+        "for $p in /site/people/person return $p/name/text()",
+        "for $p in /site/people/person where $p/age > 35 return $p/name",
+        "for $a in /site/auctions/auction where $a/price >= 25 "
+        "return <hit loc=\"{$a/loc/text()}\"/>",
+        "let $k := /site/people/person return count($k)",
+        "for $p in /site/people/person "
+        "let $a := for $t in /site/auctions/auction "
+        "          where $t/@seller = $p/@id return $t "
+        "return <s name=\"{$p/name/text()}\">{count($a)}</s>",
+        "for $p in /site/people/person return "
+        "if ($p/profile/education) then $p/name/text() else ()",
+        "sum(/site/auctions/auction/price)",
+        "for $a in /site/auctions/auction order by $a/price descending "
+        "return $a/loc/text()",
+        "for $y in /site/descendant-or-self::node() "
+        "return if ($y/interest) then $y/interest/text() else ()",
+        "for $p in /site/people/person return "
+        "<person>{$p/name}{count($p/profile/interest)}</person>",
+        "count(/site/people/person[age])",
+        "for $a in /site/auctions/auction "
+        "where contains($a/loc, 'o') return $a/price/text()",
+        "for $p in /site/people/person where not($p/age) "
+        "return $p/name/text()"));
+
+TEST(XQueryProjection, SelectiveQueryPrunesSubstantially) {
+  Dtd dtd = std::move(ParseDtd(kSiteDtd, "site")).value();
+  Document doc = std::move(ParseXml(kSiteXml)).value();
+  Interpretation interp = std::move(Validate(doc, dtd)).value();
+  auto query =
+      ParseXQuery("for $p in /site/people/person return $p/name/text()");
+  ASSERT_TRUE(query.ok());
+  auto projector = InferProjectorForQuery(dtd, **query);
+  ASSERT_TRUE(projector.ok());
+  // Auctions, ages and profiles must be gone.
+  EXPECT_FALSE(projector->Contains(dtd.NameOfTag("auction")));
+  EXPECT_FALSE(projector->Contains(dtd.NameOfTag("profile")));
+  EXPECT_FALSE(projector->Contains(dtd.NameOfTag("age")));
+  auto pruned = PruneDocument(doc, interp, *projector);
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_LT(pruned->content_node_count(), doc.content_node_count() / 2);
+}
+
+}  // namespace
+}  // namespace xmlproj

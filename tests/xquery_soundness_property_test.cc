@@ -1,0 +1,110 @@
+// Randomized XQuery soundness: templated FLWR queries with random tags
+// over random grammars and documents must evaluate identically on the
+// original and the pruned document (extraction E + projector inference +
+// pruning, end to end).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "dtd/validator.h"
+#include "projection/pruner.h"
+#include "random_xml.h"
+#include "xml/serializer.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+#include "xquery/path_extraction.h"
+
+namespace xmlproj {
+namespace {
+
+using testing_random::DocGenerator;
+using testing_random::RandomDtd;
+using testing_random::kTags;
+using testing_random::kWords;
+
+std::string InstantiateTemplate(int which, const char* t1, const char* t2,
+                                const char* t3, const char* word) {
+  switch (which) {
+    case 0:
+      return StringPrintf("for $x in //%s return $x/%s", t1, t2);
+    case 1:
+      return StringPrintf(
+          "for $x in //%s where $x/%s = '%s' return $x", t1, t2, word);
+    case 2:
+      return StringPrintf(
+          "for $x in //%s return <r n=\"{count($x/%s)}\">{$x/%s}</r>", t1,
+          t2, t3);
+    case 3:
+      return StringPrintf("let $k := //%s return count($k)", t1);
+    case 4:
+      return StringPrintf(
+          "for $x in //%s return if ($x/%s) then $x/%s else <none/>", t1,
+          t2, t3);
+    case 5:
+      return StringPrintf(
+          "for $x in /%s/descendant-or-self::node() "
+          "return if ($x/%s) then $x/%s else ()",
+          kTags[0], t2, t2);
+    case 6:
+      return StringPrintf(
+          "for $x in //%s for $y in //%s where $x/%s = $y/%s "
+          "return <pair>{count($x/%s)}</pair>",
+          t1, t2, t3, t3, t3);
+    case 7:
+      return StringPrintf(
+          "count(//%s), sum(//%s), for $x in //%s order by $x/%s "
+          "return $x/%s/text()",
+          t1, t2, t1, t2, t2);
+    default:
+      return StringPrintf("/%s//%s", kTags[0], t1);
+  }
+}
+
+class XQueryRandomSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(XQueryRandomSoundness, PrunedEvaluationMatches) {
+  const uint64_t seed = 9000 + static_cast<uint64_t>(GetParam());
+  int tag_count = 0;
+  Dtd dtd = RandomDtd(seed, &tag_count);
+  DocGenerator doc_gen(dtd, seed * 131 + 1);
+  Document doc = std::move(doc_gen.Generate()).value();
+  if (doc.root() == kNullNode) GTEST_SKIP();
+  Interpretation interp = std::move(Validate(doc, dtd)).value();
+
+  Rng rng(seed * 977 + 3);
+  for (int which = 0; which < 9; ++which) {
+    const char* t1 = kTags[rng.Below(static_cast<uint64_t>(tag_count))];
+    const char* t2 = kTags[rng.Below(static_cast<uint64_t>(tag_count))];
+    const char* t3 = kTags[rng.Below(static_cast<uint64_t>(tag_count))];
+    const char* word =
+        kWords[rng.Below(sizeof(kWords) / sizeof(kWords[0]))];
+    std::string text = InstantiateTemplate(which, t1, t2, t3, word);
+    SCOPED_TRACE(text + "\nDTD:\n" + dtd.ToString());
+
+    auto query = ParseXQuery(text);
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    auto projector = InferProjectorForQuery(dtd, **query);
+    ASSERT_TRUE(projector.ok()) << projector.status().ToString();
+    auto pruned = PruneDocument(doc, interp, *projector);
+    ASSERT_TRUE(pruned.ok());
+
+    XQueryEvaluator eval_orig(doc);
+    XQueryEvaluator eval_pruned(*pruned);
+    auto res_orig = eval_orig.Evaluate(**query);
+    ASSERT_TRUE(res_orig.ok()) << res_orig.status().ToString();
+    auto res_pruned = eval_pruned.Evaluate(**query);
+    ASSERT_TRUE(res_pruned.ok()) << res_pruned.status().ToString();
+    EXPECT_EQ(eval_orig.Serialize(*res_orig),
+              eval_pruned.Serialize(*res_pruned))
+        << "doc: " << SerializeDocument(doc);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGrammars, XQueryRandomSoundness,
+                         ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace xmlproj
