@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pruning_throughput.dir/bench_pruning_throughput.cc.o"
+  "CMakeFiles/bench_pruning_throughput.dir/bench_pruning_throughput.cc.o.d"
+  "bench_pruning_throughput"
+  "bench_pruning_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pruning_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

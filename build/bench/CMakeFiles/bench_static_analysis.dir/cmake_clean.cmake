@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_static_analysis.dir/bench_static_analysis.cc.o"
+  "CMakeFiles/bench_static_analysis.dir/bench_static_analysis.cc.o.d"
+  "bench_static_analysis"
+  "bench_static_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_static_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_query_workload.dir/multi_query_workload.cpp.o"
+  "CMakeFiles/multi_query_workload.dir/multi_query_workload.cpp.o.d"
+  "multi_query_workload"
+  "multi_query_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_query_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

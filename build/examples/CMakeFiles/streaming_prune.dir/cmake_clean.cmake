@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_prune.dir/streaming_prune.cpp.o"
+  "CMakeFiles/streaming_prune.dir/streaming_prune.cpp.o.d"
+  "streaming_prune"
+  "streaming_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlprune_tool.dir/xmlprune_tool.cpp.o"
+  "CMakeFiles/xmlprune_tool.dir/xmlprune_tool.cpp.o.d"
+  "xmlprune_tool"
+  "xmlprune_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlprune_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

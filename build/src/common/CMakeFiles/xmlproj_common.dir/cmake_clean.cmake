@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlproj_common.dir/status.cc.o"
+  "CMakeFiles/xmlproj_common.dir/status.cc.o.d"
+  "CMakeFiles/xmlproj_common.dir/strings.cc.o"
+  "CMakeFiles/xmlproj_common.dir/strings.cc.o.d"
+  "libxmlproj_common.a"
+  "libxmlproj_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlproj_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxmlproj_common.a"
+)

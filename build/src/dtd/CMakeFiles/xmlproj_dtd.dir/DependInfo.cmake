@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dtd/content_model.cc" "src/dtd/CMakeFiles/xmlproj_dtd.dir/content_model.cc.o" "gcc" "src/dtd/CMakeFiles/xmlproj_dtd.dir/content_model.cc.o.d"
+  "/root/repo/src/dtd/dataguide.cc" "src/dtd/CMakeFiles/xmlproj_dtd.dir/dataguide.cc.o" "gcc" "src/dtd/CMakeFiles/xmlproj_dtd.dir/dataguide.cc.o.d"
+  "/root/repo/src/dtd/dtd.cc" "src/dtd/CMakeFiles/xmlproj_dtd.dir/dtd.cc.o" "gcc" "src/dtd/CMakeFiles/xmlproj_dtd.dir/dtd.cc.o.d"
+  "/root/repo/src/dtd/dtd_parser.cc" "src/dtd/CMakeFiles/xmlproj_dtd.dir/dtd_parser.cc.o" "gcc" "src/dtd/CMakeFiles/xmlproj_dtd.dir/dtd_parser.cc.o.d"
+  "/root/repo/src/dtd/validator.cc" "src/dtd/CMakeFiles/xmlproj_dtd.dir/validator.cc.o" "gcc" "src/dtd/CMakeFiles/xmlproj_dtd.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xmlproj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlproj_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlproj_dtd.dir/content_model.cc.o"
+  "CMakeFiles/xmlproj_dtd.dir/content_model.cc.o.d"
+  "CMakeFiles/xmlproj_dtd.dir/dataguide.cc.o"
+  "CMakeFiles/xmlproj_dtd.dir/dataguide.cc.o.d"
+  "CMakeFiles/xmlproj_dtd.dir/dtd.cc.o"
+  "CMakeFiles/xmlproj_dtd.dir/dtd.cc.o.d"
+  "CMakeFiles/xmlproj_dtd.dir/dtd_parser.cc.o"
+  "CMakeFiles/xmlproj_dtd.dir/dtd_parser.cc.o.d"
+  "CMakeFiles/xmlproj_dtd.dir/validator.cc.o"
+  "CMakeFiles/xmlproj_dtd.dir/validator.cc.o.d"
+  "libxmlproj_dtd.a"
+  "libxmlproj_dtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlproj_dtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/projection/projection.cc" "src/projection/CMakeFiles/xmlproj_projection.dir/projection.cc.o" "gcc" "src/projection/CMakeFiles/xmlproj_projection.dir/projection.cc.o.d"
+  "/root/repo/src/projection/projector_inference.cc" "src/projection/CMakeFiles/xmlproj_projection.dir/projector_inference.cc.o" "gcc" "src/projection/CMakeFiles/xmlproj_projection.dir/projector_inference.cc.o.d"
+  "/root/repo/src/projection/pruner.cc" "src/projection/CMakeFiles/xmlproj_projection.dir/pruner.cc.o" "gcc" "src/projection/CMakeFiles/xmlproj_projection.dir/pruner.cc.o.d"
+  "/root/repo/src/projection/type_inference.cc" "src/projection/CMakeFiles/xmlproj_projection.dir/type_inference.cc.o" "gcc" "src/projection/CMakeFiles/xmlproj_projection.dir/type_inference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xmlproj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlproj_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtd/CMakeFiles/xmlproj_dtd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xmlproj_xpath.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlproj_projection.dir/projection.cc.o"
+  "CMakeFiles/xmlproj_projection.dir/projection.cc.o.d"
+  "CMakeFiles/xmlproj_projection.dir/projector_inference.cc.o"
+  "CMakeFiles/xmlproj_projection.dir/projector_inference.cc.o.d"
+  "CMakeFiles/xmlproj_projection.dir/pruner.cc.o"
+  "CMakeFiles/xmlproj_projection.dir/pruner.cc.o.d"
+  "CMakeFiles/xmlproj_projection.dir/type_inference.cc.o"
+  "CMakeFiles/xmlproj_projection.dir/type_inference.cc.o.d"
+  "libxmlproj_projection.a"
+  "libxmlproj_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlproj_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

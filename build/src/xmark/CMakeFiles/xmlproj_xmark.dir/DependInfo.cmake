@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmark/generator.cc" "src/xmark/CMakeFiles/xmlproj_xmark.dir/generator.cc.o" "gcc" "src/xmark/CMakeFiles/xmlproj_xmark.dir/generator.cc.o.d"
+  "/root/repo/src/xmark/queries.cc" "src/xmark/CMakeFiles/xmlproj_xmark.dir/queries.cc.o" "gcc" "src/xmark/CMakeFiles/xmlproj_xmark.dir/queries.cc.o.d"
+  "/root/repo/src/xmark/usecases.cc" "src/xmark/CMakeFiles/xmlproj_xmark.dir/usecases.cc.o" "gcc" "src/xmark/CMakeFiles/xmlproj_xmark.dir/usecases.cc.o.d"
+  "/root/repo/src/xmark/workbench.cc" "src/xmark/CMakeFiles/xmlproj_xmark.dir/workbench.cc.o" "gcc" "src/xmark/CMakeFiles/xmlproj_xmark.dir/workbench.cc.o.d"
+  "/root/repo/src/xmark/xmark_dtd.cc" "src/xmark/CMakeFiles/xmlproj_xmark.dir/xmark_dtd.cc.o" "gcc" "src/xmark/CMakeFiles/xmlproj_xmark.dir/xmark_dtd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xmlproj_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmlproj_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/dtd/CMakeFiles/xmlproj_dtd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/xmlproj_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/projection/CMakeFiles/xmlproj_projection.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/xmlproj_xquery.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

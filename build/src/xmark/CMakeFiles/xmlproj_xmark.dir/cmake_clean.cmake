@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlproj_xmark.dir/generator.cc.o"
+  "CMakeFiles/xmlproj_xmark.dir/generator.cc.o.d"
+  "CMakeFiles/xmlproj_xmark.dir/queries.cc.o"
+  "CMakeFiles/xmlproj_xmark.dir/queries.cc.o.d"
+  "CMakeFiles/xmlproj_xmark.dir/usecases.cc.o"
+  "CMakeFiles/xmlproj_xmark.dir/usecases.cc.o.d"
+  "CMakeFiles/xmlproj_xmark.dir/workbench.cc.o"
+  "CMakeFiles/xmlproj_xmark.dir/workbench.cc.o.d"
+  "CMakeFiles/xmlproj_xmark.dir/xmark_dtd.cc.o"
+  "CMakeFiles/xmlproj_xmark.dir/xmark_dtd.cc.o.d"
+  "libxmlproj_xmark.a"
+  "libxmlproj_xmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlproj_xmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xmlproj_xmark.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlproj_xml.dir/document.cc.o"
+  "CMakeFiles/xmlproj_xml.dir/document.cc.o.d"
+  "CMakeFiles/xmlproj_xml.dir/parser.cc.o"
+  "CMakeFiles/xmlproj_xml.dir/parser.cc.o.d"
+  "CMakeFiles/xmlproj_xml.dir/serializer.cc.o"
+  "CMakeFiles/xmlproj_xml.dir/serializer.cc.o.d"
+  "libxmlproj_xml.a"
+  "libxmlproj_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlproj_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlproj_xpath.dir/approximate.cc.o"
+  "CMakeFiles/xmlproj_xpath.dir/approximate.cc.o.d"
+  "CMakeFiles/xmlproj_xpath.dir/ast.cc.o"
+  "CMakeFiles/xmlproj_xpath.dir/ast.cc.o.d"
+  "CMakeFiles/xmlproj_xpath.dir/evaluator.cc.o"
+  "CMakeFiles/xmlproj_xpath.dir/evaluator.cc.o.d"
+  "CMakeFiles/xmlproj_xpath.dir/parser.cc.o"
+  "CMakeFiles/xmlproj_xpath.dir/parser.cc.o.d"
+  "CMakeFiles/xmlproj_xpath.dir/xpathl.cc.o"
+  "CMakeFiles/xmlproj_xpath.dir/xpathl.cc.o.d"
+  "libxmlproj_xpath.a"
+  "libxmlproj_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlproj_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

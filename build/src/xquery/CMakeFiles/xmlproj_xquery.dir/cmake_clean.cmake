@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlproj_xquery.dir/ast.cc.o"
+  "CMakeFiles/xmlproj_xquery.dir/ast.cc.o.d"
+  "CMakeFiles/xmlproj_xquery.dir/evaluator.cc.o"
+  "CMakeFiles/xmlproj_xquery.dir/evaluator.cc.o.d"
+  "CMakeFiles/xmlproj_xquery.dir/parser.cc.o"
+  "CMakeFiles/xmlproj_xquery.dir/parser.cc.o.d"
+  "CMakeFiles/xmlproj_xquery.dir/path_extraction.cc.o"
+  "CMakeFiles/xmlproj_xquery.dir/path_extraction.cc.o.d"
+  "libxmlproj_xquery.a"
+  "libxmlproj_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlproj_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

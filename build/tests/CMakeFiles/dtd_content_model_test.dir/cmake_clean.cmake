@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtd_content_model_test.dir/dtd_content_model_test.cc.o"
+  "CMakeFiles/dtd_content_model_test.dir/dtd_content_model_test.cc.o.d"
+  "dtd_content_model_test"
+  "dtd_content_model_test.pdb"
+  "dtd_content_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtd_content_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtd_validator_test.dir/dtd_validator_test.cc.o"
+  "CMakeFiles/dtd_validator_test.dir/dtd_validator_test.cc.o.d"
+  "dtd_validator_test"
+  "dtd_validator_test.pdb"
+  "dtd_validator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtd_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

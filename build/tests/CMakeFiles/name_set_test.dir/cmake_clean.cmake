@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_set_test.dir/name_set_test.cc.o"
+  "CMakeFiles/name_set_test.dir/name_set_test.cc.o.d"
+  "name_set_test"
+  "name_set_test.pdb"
+  "name_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

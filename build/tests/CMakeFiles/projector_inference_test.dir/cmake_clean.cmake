@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/projector_inference_test.dir/projector_inference_test.cc.o"
+  "CMakeFiles/projector_inference_test.dir/projector_inference_test.cc.o.d"
+  "projector_inference_test"
+  "projector_inference_test.pdb"
+  "projector_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/projector_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

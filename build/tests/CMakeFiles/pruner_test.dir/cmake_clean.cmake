@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pruner_test.dir/pruner_test.cc.o"
+  "CMakeFiles/pruner_test.dir/pruner_test.cc.o.d"
+  "pruner_test"
+  "pruner_test.pdb"
+  "pruner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pruner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

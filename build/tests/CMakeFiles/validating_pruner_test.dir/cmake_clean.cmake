@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validating_pruner_test.dir/validating_pruner_test.cc.o"
+  "CMakeFiles/validating_pruner_test.dir/validating_pruner_test.cc.o.d"
+  "validating_pruner_test"
+  "validating_pruner_test.pdb"
+  "validating_pruner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validating_pruner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

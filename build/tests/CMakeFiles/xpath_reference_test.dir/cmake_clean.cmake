@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_reference_test.dir/xpath_reference_test.cc.o"
+  "CMakeFiles/xpath_reference_test.dir/xpath_reference_test.cc.o.d"
+  "xpath_reference_test"
+  "xpath_reference_test.pdb"
+  "xpath_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

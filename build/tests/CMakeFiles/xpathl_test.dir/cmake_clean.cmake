@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpathl_test.dir/xpathl_test.cc.o"
+  "CMakeFiles/xpathl_test.dir/xpathl_test.cc.o.d"
+  "xpathl_test"
+  "xpathl_test.pdb"
+  "xpathl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpathl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

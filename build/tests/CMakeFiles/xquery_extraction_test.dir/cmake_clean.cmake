@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_extraction_test.dir/xquery_extraction_test.cc.o"
+  "CMakeFiles/xquery_extraction_test.dir/xquery_extraction_test.cc.o.d"
+  "xquery_extraction_test"
+  "xquery_extraction_test.pdb"
+  "xquery_extraction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_extraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_soundness_property_test.dir/xquery_soundness_property_test.cc.o"
+  "CMakeFiles/xquery_soundness_property_test.dir/xquery_soundness_property_test.cc.o.d"
+  "xquery_soundness_property_test"
+  "xquery_soundness_property_test.pdb"
+  "xquery_soundness_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_soundness_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
