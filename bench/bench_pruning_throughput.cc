@@ -2,16 +2,37 @@
 // one-pass traversal whose time is linear in the document size (the paper:
 // computing the projector ~0.5s, pruning a 60MB document < 10s, constant
 // memory), and pruning-while-parsing costs no more than parsing alone.
+// On top of the single-document numbers, BM_PipelineCorpus* sweep the
+// parallel pipeline (projection/pipeline.h) across worker counts on a
+// multi-document XMark corpus.
 //
 // google-benchmark binary; bytes/sec rates make the linearity visible
-// across scales.
+// across scales. In addition to the google-benchmark output, the binary
+// runs a pipeline thread sweep and writes machine-readable results to
+// BENCH_pruning.json (the repo's perf trajectory). Extra flags, consumed
+// before google-benchmark sees the command line:
+//   --bench_json=PATH        output path (default BENCH_pruning.json)
+//   --sweep_docs=N           corpus size for the sweep (default 16)
+//   --sweep_scale=S          per-document xmlgen scale (default 0.002)
+//   --sweep_reps=R           repetitions per thread count, best-of (default 3)
+//   --sweep_max_threads=T    top of the 1..T sweep (default max(4, cores))
+//   --no_sweep               skip the sweep/JSON (pure google-benchmark run)
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "projection/pipeline.h"
 #include "projection/pruner.h"
 #include "projection/projection.h"
+#include "xmark/corpus.h"
 #include "xmark/generator.h"
 #include "xmark/xmark_dtd.h"
 #include "xml/parser.h"
@@ -127,7 +148,209 @@ void BM_Validate(benchmark::State& state) {
 }
 BENCHMARK(BM_Validate)->DenseRange(0, 2);
 
+// --- Parallel pipeline: corpus × merged workload projector --------------
+
+const std::vector<std::string>& PipelineCorpus() {
+  static const std::vector<std::string>* corpus = [] {
+    XMarkCorpusOptions options;
+    options.documents = 8;
+    options.scale = 0.002;
+    return new std::vector<std::string>(GenerateXMarkCorpus(options));
+  }();
+  return *corpus;
+}
+
+const NameSet& WorkloadMergedProjector() {
+  static const NameSet* projector = new NameSet(
+      std::move(WorkloadProjector(XmarkDtd(), XMarkDashboardWorkload()))
+          .value());
+  return *projector;
+}
+
+const std::vector<NameSet>& WorkloadPerQueryProjectors() {
+  static const std::vector<NameSet>* projectors =
+      new std::vector<NameSet>(std::move(WorkloadProjectors(
+                                             XmarkDtd(),
+                                             XMarkDashboardWorkload()))
+                                   .value());
+  return *projectors;
+}
+
+// Aggregate throughput of the fan-out across documents; range(0) is the
+// worker count. UseRealTime: the work happens on pool threads.
+void BM_PipelineCorpus(benchmark::State& state) {
+  const std::vector<std::string>& corpus = PipelineCorpus();
+  PipelineOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto results =
+        PruneCorpus(corpus, XmarkDtd(), WorkloadMergedProjector(), options);
+    if (!results.ok()) state.SkipWithError("pipeline failed");
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(CorpusBytes(corpus)));
+}
+BENCHMARK(BM_PipelineCorpus)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// Multi-query deployment: every document pruned once per query with the
+// per-query projectors (documents × queries independent tasks).
+void BM_PipelineMultiQuery(benchmark::State& state) {
+  const std::vector<std::string>& corpus = PipelineCorpus();
+  PipelineOptions options;
+  options.num_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto results = PruneCorpusPerQuery(corpus, XmarkDtd(),
+                                       WorkloadPerQueryProjectors(), options);
+    if (!results.ok()) state.SkipWithError("pipeline failed");
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(CorpusBytes(corpus) *
+                           WorkloadPerQueryProjectors().size()));
+}
+BENCHMARK(BM_PipelineMultiQuery)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+// --- Thread sweep + BENCH_pruning.json ----------------------------------
+
+struct SweepConfig {
+  std::string json_path = "BENCH_pruning.json";
+  int docs = 16;
+  double scale = 0.002;
+  int reps = 3;
+  int max_threads = 0;  // 0: max(4, hardware)
+  bool enabled = true;
+};
+
+struct SweepPoint {
+  int threads = 0;
+  double seconds = 0;
+  double bytes_per_second = 0;
+  double speedup = 1.0;
+};
+
+int RunSweep(SweepConfig config) {
+  config.docs = std::max(config.docs, 1);
+  config.reps = std::max(config.reps, 1);
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = config.docs;
+  corpus_options.scale = config.scale;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+  const size_t corpus_bytes = CorpusBytes(corpus);
+  const NameSet& projector = WorkloadMergedProjector();
+
+  int hardware = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  int max_threads =
+      config.max_threads > 0 ? config.max_threads : std::max(4, hardware);
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+  if (thread_counts.back() != max_threads) {
+    thread_counts.push_back(max_threads);
+  }
+
+  std::printf("\npipeline sweep: %d docs x %.1f KB = %.1f MB, best of %d\n",
+              config.docs, corpus_bytes / 1024.0 / config.docs,
+              corpus_bytes / (1024.0 * 1024.0), config.reps);
+  std::vector<SweepPoint> points;
+  for (int threads : thread_counts) {
+    PipelineOptions options;
+    options.num_threads = threads;
+    double best = 0;
+    for (int rep = 0; rep < config.reps; ++rep) {
+      auto start = std::chrono::steady_clock::now();
+      auto results = PruneCorpus(corpus, XmarkDtd(), projector, options);
+      auto stop = std::chrono::steady_clock::now();
+      if (!results.ok()) {
+        std::fprintf(stderr, "sweep failed at %d threads: %s\n", threads,
+                     results.status().ToString().c_str());
+        return 1;
+      }
+      double seconds = std::chrono::duration<double>(stop - start).count();
+      if (rep == 0 || seconds < best) best = seconds;
+    }
+    SweepPoint point;
+    point.threads = threads;
+    point.seconds = best;
+    point.bytes_per_second = static_cast<double>(corpus_bytes) / best;
+    point.speedup = points.empty() ? 1.0 : points[0].seconds / best;
+    points.push_back(point);
+    std::printf("  threads=%-2d  %8.1f ms  %7.1f MB/s  speedup %.2fx\n",
+                threads, best * 1e3,
+                point.bytes_per_second / (1024.0 * 1024.0), point.speedup);
+  }
+
+  std::FILE* out = std::fopen(config.json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", config.json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"pruning_pipeline\",\n"
+               "  \"workload\": \"xmark_multi_document\",\n"
+               "  \"documents\": %d,\n"
+               "  \"scale_per_document\": %g,\n"
+               "  \"corpus_bytes\": %zu,\n"
+               "  \"hardware_concurrency\": %d,\n"
+               "  \"repetitions\": %d,\n"
+               "  \"results\": [\n",
+               config.docs, config.scale, corpus_bytes, hardware,
+               config.reps);
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"threads\": %d, \"seconds\": %.6f, "
+                 "\"bytes_per_second\": %.1f, "
+                 "\"speedup_vs_1_thread\": %.3f}%s\n",
+                 points[i].threads, points[i].seconds,
+                 points[i].bytes_per_second, points[i].speedup,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", config.json_path.c_str());
+  return 0;
+}
+
+bool ParseSweepFlag(const char* arg, SweepConfig* config) {
+  auto value = [arg](const char* prefix) -> const char* {
+    size_t len = std::strlen(prefix);
+    return std::strncmp(arg, prefix, len) == 0 ? arg + len : nullptr;
+  };
+  if (const char* v = value("--bench_json=")) {
+    config->json_path = v;
+  } else if (const char* v = value("--sweep_docs=")) {
+    config->docs = std::atoi(v);
+  } else if (const char* v = value("--sweep_scale=")) {
+    config->scale = std::atof(v);
+  } else if (const char* v = value("--sweep_reps=")) {
+    config->reps = std::atoi(v);
+  } else if (const char* v = value("--sweep_max_threads=")) {
+    config->max_threads = std::atoi(v);
+  } else if (std::strcmp(arg, "--no_sweep") == 0) {
+    config->enabled = false;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 }  // namespace xmlproj
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  xmlproj::SweepConfig config;
+  // Peel off sweep flags; everything else goes to google-benchmark.
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (!xmlproj::ParseSweepFlag(argv[i], &config)) argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (config.enabled) return xmlproj::RunSweep(config);
+  return 0;
+}

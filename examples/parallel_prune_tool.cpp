@@ -1,0 +1,151 @@
+// parallel_prune_tool: fan a multi-document pruning workload across a
+// thread pool (projection/pipeline.h).
+//
+// Usage:
+//   parallel_prune_tool [--docs=N] [--scale=S] [--threads=T] [--validate]
+//                       [--per-query] [--sweep]
+//
+// Generates a corpus of N XMark documents (xmlgen scale S each), infers
+// the dashboard workload's projectors (merged by default, one task per
+// document; --per-query fans documents × queries with per-query
+// projectors), prunes the corpus on T workers (default: all cores) and
+// prints aggregate throughput and size reduction. --sweep instead times
+// thread counts 1..T and prints the speedup curve. --validate fuses DTD
+// validation of the input into the pruning pass.
+//
+// Each per-document pass is still the paper's single bufferless one-pass
+// traversal — parallelism is purely across documents/queries, so the
+// output is byte-identical to the sequential pruner's (see
+// tests/pipeline_test.cc).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "projection/pipeline.h"
+#include "xmark/corpus.h"
+#include "xmark/xmark_dtd.h"
+
+namespace {
+
+using namespace xmlproj;
+
+double TimeRun(const std::vector<std::string>& corpus, const Dtd& dtd,
+               const NameSet& merged, const std::vector<NameSet>& per_query,
+               bool use_per_query, const PipelineOptions& options,
+               std::vector<PipelineResult>* out) {
+  auto start = std::chrono::steady_clock::now();
+  auto results =
+      use_per_query
+          ? PruneCorpusPerQuery(corpus, dtd, per_query, options)
+          : PruneCorpus(corpus, dtd, merged, options);
+  auto stop = std::chrono::steady_clock::now();
+  if (!results.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n", results.status().ToString().c_str());
+    std::exit(1);
+  }
+  *out = std::move(results).value();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int docs = 8;
+  double scale = 0.002;
+  int threads = 0;  // hardware
+  bool validate = false;
+  bool per_query = false;
+  bool sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--docs=", 7) == 0) {
+      docs = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--scale=", 8) == 0) {
+      scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      threads = std::atoi(arg + 10);
+    } else if (std::strcmp(arg, "--validate") == 0) {
+      validate = true;
+    } else if (std::strcmp(arg, "--per-query") == 0) {
+      per_query = true;
+    } else if (std::strcmp(arg, "--sweep") == 0) {
+      sweep = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: parallel_prune_tool [--docs=N] [--scale=S] "
+                   "[--threads=T] [--validate] [--per-query] [--sweep]\n");
+      return 2;
+    }
+  }
+  if (docs < 1) docs = 1;
+  if (threads <= 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  auto dtd = LoadXMarkDtd();
+  if (!dtd.ok()) {
+    std::fprintf(stderr, "DTD: %s\n", dtd.status().ToString().c_str());
+    return 1;
+  }
+
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = docs;
+  corpus_options.scale = scale;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+  size_t in_bytes = CorpusBytes(corpus);
+  std::printf("corpus: %d XMark documents, %.2f MB total\n", docs,
+              in_bytes / (1024.0 * 1024.0));
+
+  auto merged = WorkloadProjector(*dtd, XMarkDashboardWorkload());
+  auto per_query_projectors =
+      WorkloadProjectors(*dtd, XMarkDashboardWorkload());
+  if (!merged.ok() || !per_query_projectors.ok()) {
+    std::fprintf(stderr, "projector inference failed\n");
+    return 1;
+  }
+  std::printf("workload: %zu queries, merged projector keeps %zu/%zu names"
+              "%s%s\n",
+              XMarkDashboardWorkload().size(), merged->Count(),
+              dtd->name_count(), per_query ? ", per-query fan-out" : "",
+              validate ? ", validating" : "");
+  size_t tasks =
+      per_query ? corpus.size() * per_query_projectors->size() : corpus.size();
+
+  PipelineOptions options;
+  options.validate = validate;
+  std::vector<PipelineResult> results;
+  if (sweep) {
+    double base = 0;
+    for (int t = 1; t <= threads; t = t < threads ? std::min(t * 2, threads)
+                                                  : threads + 1) {
+      options.num_threads = t;
+      double seconds = TimeRun(corpus, *dtd, *merged, *per_query_projectors,
+                               per_query, options, &results);
+      if (t == 1) base = seconds;
+      std::printf("  threads=%-2d  %8.1f ms  %7.1f MB/s  speedup %.2fx\n", t,
+                  seconds * 1e3, in_bytes / seconds / (1024.0 * 1024.0),
+                  base / seconds);
+    }
+  } else {
+    options.num_threads = threads;
+    double seconds = TimeRun(corpus, *dtd, *merged, *per_query_projectors,
+                             per_query, options, &results);
+    std::printf("%zu tasks on %d threads: %.1f ms, %.1f MB/s\n", tasks,
+                threads, seconds * 1e3,
+                in_bytes / seconds / (1024.0 * 1024.0));
+  }
+  size_t out_bytes = TotalOutputBytes(results);
+  std::printf("projected output: %.2f MB (%.1f%% of input%s)\n",
+              out_bytes / (1024.0 * 1024.0),
+              100.0 * static_cast<double>(out_bytes) /
+                  static_cast<double>(in_bytes * (per_query ? tasks / corpus.size() : 1)),
+              per_query ? " x queries" : "");
+  return 0;
+}

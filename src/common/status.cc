@@ -14,6 +14,8 @@ const char* StatusCodeName(StatusCode code) {
       return "UNSUPPORTED";
     case StatusCode::kNotFound:
       return "NOT_FOUND";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

@@ -27,6 +27,10 @@ enum class StatusCode {
   kUnsupported,
   // A lookup failed (unknown element name, unknown variable).
   kNotFound,
+  // The operation was abandoned before it ran (e.g. a pipeline task
+  // skipped after an earlier document failed, a task submitted to a
+  // shut-down thread pool).
+  kCancelled,
   kInternal,
 };
 
@@ -65,6 +69,9 @@ inline Status UnsupportedError(std::string message) {
 }
 inline Status NotFoundError(std::string message) {
   return Status(StatusCode::kNotFound, std::move(message));
+}
+inline Status CancelledError(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));

@@ -1,0 +1,45 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace xmlproj {
+
+ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
+    : queue_(queue_capacity) {
+  if (num_threads <= 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+std::future<Status> ThreadPool::Submit(std::function<Status()> task) {
+  Task entry;
+  entry.fn = std::move(task);
+  std::future<Status> done = entry.done.get_future();
+  if (!queue_.Push(std::move(entry))) {
+    // Pool already shut down: Push left `entry` untouched, so its promise
+    // is still ours to fulfill.
+    entry.done.set_value(CancelledError("thread pool is shut down"));
+  }
+  return done;
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  while (std::optional<Task> task = queue_.Pop()) {
+    task->done.set_value(task->fn());
+  }
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,127 @@
+// Task execution for the parallel pruning pipeline (and any future
+// multi-document machinery): a bounded MPMC work queue plus a fixed-size
+// thread pool whose tasks report completion through Status-carrying
+// futures — errors propagate by value, matching the library's
+// no-exceptions discipline (common/status.h).
+//
+// The queue is bounded so producers that outrun the workers block instead
+// of buffering unboundedly (the pipeline submits one task per document; a
+// million-document corpus must not materialize a million closures).
+
+#ifndef XMLPROJ_COMMON_THREAD_POOL_H_
+#define XMLPROJ_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xmlproj {
+
+// Bounded multi-producer multi-consumer FIFO. Push blocks while the queue
+// is full, Pop while it is empty; Close releases both sides.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks until there is room. Returns false — leaving `item` untouched —
+  // iff the queue has been closed.
+  bool Push(T&& item) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available. Returns nullopt once the queue is
+  // closed *and* drained (pending items are still delivered after Close).
+  std::optional<T> Pop() {
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+// Fixed-size worker pool. Submitted tasks return Status; the returned
+// future resolves to that Status (or kCancelled if the pool shut down
+// before the task could be queued). Destruction drains queued tasks and
+// joins the workers.
+class ThreadPool {
+ public:
+  // num_threads <= 0 selects hardware concurrency (at least 1).
+  explicit ThreadPool(int num_threads, size_t queue_capacity = 1024);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::future<Status> Submit(std::function<Status()> task);
+
+  // Stops accepting new tasks, runs everything already queued, joins.
+  // Idempotent; implied by the destructor.
+  void Shutdown();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Task {
+    std::function<Status()> fn;
+    std::promise<Status> done;
+  };
+
+  void WorkerLoop();
+
+  BoundedQueue<Task> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_COMMON_THREAD_POOL_H_

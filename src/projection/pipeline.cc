@@ -1,0 +1,146 @@
+#include "projection/pipeline.h"
+
+#include <atomic>
+#include <future>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlproj {
+namespace {
+
+// The fused per-document pass: SAX events from the parser flow through the
+// pruner straight into the serializer — no DOM, O(depth) state, exactly
+// the paper's one-pass deployment.
+Status RunOneTask(const PipelineTask& task, const Dtd& dtd, bool validate,
+                  PipelineResult* out) {
+  out->output.clear();
+  SerializingHandler sink(&out->output);
+  if (validate) {
+    ValidatingPruner pruner(dtd, *task.projector, &sink);
+    Status status = ParseXmlStream(*task.xml_text, &pruner);
+    out->stats = pruner.stats();
+    return status;
+  }
+  StreamingPruner pruner(dtd, *task.projector, &sink);
+  Status status = ParseXmlStream(*task.xml_text, &pruner);
+  out->stats = pruner.stats();
+  return status;
+}
+
+Status AnnotateTaskError(size_t index, const Status& status) {
+  return Status(status.code(), "pipeline task " + std::to_string(index) +
+                                   ": " + status.message());
+}
+
+Status CheckTasks(std::span<const PipelineTask> tasks) {
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (tasks[i].xml_text == nullptr || tasks[i].projector == nullptr) {
+      return InvalidError("pipeline task " + std::to_string(i) +
+                          " has a null document or projector");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<PipelineResult>> RunPruningPipeline(
+    std::span<const PipelineTask> tasks, const Dtd& dtd,
+    const PipelineOptions& options) {
+  XMLPROJ_RETURN_IF_ERROR(CheckTasks(tasks));
+  std::vector<PipelineResult> results(tasks.size());
+  if (tasks.empty()) return results;
+
+  int threads = options.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  if (threads == 1) {
+    // Reference sequential path: same pass, same order, no pool.
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      Status status =
+          RunOneTask(tasks[i], dtd, options.validate, &results[i]);
+      if (!status.ok()) return AnnotateTaskError(i, status);
+    }
+    return results;
+  }
+
+  std::atomic<bool> cancelled{false};
+  std::vector<std::future<Status>> done;
+  done.reserve(tasks.size());
+  {
+    ThreadPool pool(threads, options.queue_capacity);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      done.push_back(pool.Submit([&, i]() -> Status {
+        if (cancelled.load(std::memory_order_relaxed)) {
+          return CancelledError("skipped after an earlier task failed");
+        }
+        Status status =
+            RunOneTask(tasks[i], dtd, options.validate, &results[i]);
+        if (!status.ok()) {
+          cancelled.store(true, std::memory_order_relaxed);
+        }
+        return status;
+      }));
+    }
+    // Pool destructor drains and joins; every future below is ready.
+  }
+
+  // Report the lowest-indexed real failure (cancelled tasks only lose to
+  // the error that triggered the cancellation).
+  Status first_error;
+  Status first_cancelled;
+  for (size_t i = 0; i < done.size(); ++i) {
+    Status status = done[i].get();
+    if (status.ok()) continue;
+    if (status.code() == StatusCode::kCancelled) {
+      if (first_cancelled.ok()) first_cancelled = AnnotateTaskError(i, status);
+      continue;
+    }
+    if (first_error.ok()) first_error = AnnotateTaskError(i, status);
+  }
+  if (!first_error.ok()) return first_error;
+  // All non-OK statuses were cancellations with no originating error:
+  // cannot happen in this pipeline, but fail loudly rather than return
+  // partially-empty results.
+  if (!first_cancelled.ok()) return first_cancelled;
+  return results;
+}
+
+Result<std::vector<PipelineResult>> PruneCorpus(
+    std::span<const std::string> corpus, const Dtd& dtd,
+    const NameSet& projector, const PipelineOptions& options) {
+  std::vector<PipelineTask> tasks(corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    tasks[i].xml_text = &corpus[i];
+    tasks[i].projector = &projector;
+  }
+  return RunPruningPipeline(tasks, dtd, options);
+}
+
+Result<std::vector<PipelineResult>> PruneCorpusPerQuery(
+    std::span<const std::string> corpus, const Dtd& dtd,
+    std::span<const NameSet> projectors, const PipelineOptions& options) {
+  std::vector<PipelineTask> tasks(corpus.size() * projectors.size());
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    for (size_t q = 0; q < projectors.size(); ++q) {
+      PipelineTask& task = tasks[d * projectors.size() + q];
+      task.xml_text = &corpus[d];
+      task.projector = &projectors[q];
+    }
+  }
+  return RunPruningPipeline(tasks, dtd, options);
+}
+
+size_t TotalOutputBytes(std::span<const PipelineResult> results) {
+  size_t total = 0;
+  for (const PipelineResult& r : results) total += r.output.size();
+  return total;
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,79 @@
+// Parallel pruning pipeline: parse → [validate+]prune → serialize as one
+// fused SAX pass per document, fanned across a thread pool.
+//
+// The paper's pruner is a single bufferless one-pass traversal whose cost
+// disappears into parsing (§6) — a per-document property this pipeline
+// preserves verbatim: every task runs exactly the sequential
+// StreamingPruner / ValidatingPruner pass with O(depth) state. What is
+// parallel is the *corpus* dimension of the journal version's workloads —
+// many documents pruned for one merged workload projector, or one corpus
+// pruned per query with per-query projectors (projectors are closed under
+// union, §1.2, so both deployments are sound; Theorem 4.5 applies to each
+// document independently). Consequently the parallel output is
+// byte-for-byte the sequential output, in the same order
+// (tests/pipeline_test.cc diffs the two), and soundness is untouched.
+//
+// Error handling: the first failing document cancels the tasks still
+// queued (running passes finish their document); the pipeline returns the
+// lowest-indexed task error, annotated with the task index.
+
+#ifndef XMLPROJ_PROJECTION_PIPELINE_H_
+#define XMLPROJ_PROJECTION_PIPELINE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "dtd/name_set.h"
+#include "projection/pruner.h"
+
+namespace xmlproj {
+
+struct PipelineOptions {
+  // Worker threads; <= 0 selects hardware concurrency. 1 runs inline on
+  // the calling thread (no pool), which is the reference sequential path.
+  int num_threads = 0;
+  // Fuse DTD validation of the *input* into the pruning pass
+  // (ValidatingPruner instead of StreamingPruner).
+  bool validate = false;
+  // Bound on queued-but-unclaimed tasks; submission blocks beyond it.
+  size_t queue_capacity = 256;
+};
+
+// One unit of work: prune `xml_text` with `projector`. Both pointers are
+// borrowed and must outlive the pipeline call.
+struct PipelineTask {
+  const std::string* xml_text = nullptr;
+  const NameSet* projector = nullptr;
+};
+
+struct PipelineResult {
+  std::string output;  // serialized projected document
+  PruneStats stats;
+};
+
+// Runs every task through the fused parse → [validate+]prune → serialize
+// pass. results[i] corresponds to tasks[i] regardless of scheduling.
+Result<std::vector<PipelineResult>> RunPruningPipeline(
+    std::span<const PipelineTask> tasks, const Dtd& dtd,
+    const PipelineOptions& options = {});
+
+// Corpus × one (merged workload) projector: results align with `corpus`.
+Result<std::vector<PipelineResult>> PruneCorpus(
+    std::span<const std::string> corpus, const Dtd& dtd,
+    const NameSet& projector, const PipelineOptions& options = {});
+
+// Corpus × per-query projectors (the multi-query deployment): task and
+// result index is `doc * projectors.size() + query`.
+Result<std::vector<PipelineResult>> PruneCorpusPerQuery(
+    std::span<const std::string> corpus, const Dtd& dtd,
+    std::span<const NameSet> projectors, const PipelineOptions& options = {});
+
+// Aggregate helpers over pipeline results.
+size_t TotalOutputBytes(std::span<const PipelineResult> results);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_PROJECTION_PIPELINE_H_

@@ -1,0 +1,68 @@
+#include "xmark/corpus.h"
+
+#include "xmark/generator.h"
+#include "xmark/workbench.h"
+
+namespace xmlproj {
+
+std::vector<std::string> GenerateXMarkCorpus(
+    const XMarkCorpusOptions& options) {
+  std::vector<std::string> corpus;
+  corpus.reserve(static_cast<size_t>(options.documents));
+  for (int i = 0; i < options.documents; ++i) {
+    XMarkOptions doc_options;
+    doc_options.scale = options.scale;
+    doc_options.seed = options.seed + static_cast<uint64_t>(i);
+    corpus.push_back(GenerateXMarkText(doc_options));
+  }
+  return corpus;
+}
+
+size_t CorpusBytes(std::span<const std::string> corpus) {
+  size_t total = 0;
+  for (const std::string& doc : corpus) total += doc.size();
+  return total;
+}
+
+const std::vector<BenchmarkQuery>& XMarkDashboardWorkload() {
+  static const std::vector<BenchmarkQuery>* workload =
+      new std::vector<BenchmarkQuery>{
+          {"bids", QueryLanguage::kXQuery,
+           "for $a in /site/open_auctions/open_auction "
+           "return <bids>{count($a/bidder)}</bids>",
+           ""},
+          {"sellers", QueryLanguage::kXPath,
+           "/site/open_auctions/open_auction/seller", ""},
+          {"cheap", QueryLanguage::kXQuery,
+           "for $a in /site/closed_auctions/closed_auction "
+           "where $a/price < 40 return $a/price/text()",
+           ""},
+          {"gold", QueryLanguage::kXPath,
+           "//item[contains(description, 'gold')]/name", ""},
+      };
+  return *workload;
+}
+
+Result<std::vector<NameSet>> WorkloadProjectors(
+    const Dtd& dtd, std::span<const BenchmarkQuery> workload) {
+  std::vector<NameSet> projectors;
+  projectors.reserve(workload.size());
+  for (const BenchmarkQuery& query : workload) {
+    XMLPROJ_ASSIGN_OR_RETURN(NameSet one, AnalyzeBenchmarkQuery(query, dtd));
+    one.Add(dtd.root());
+    projectors.push_back(std::move(one));
+  }
+  return projectors;
+}
+
+Result<NameSet> WorkloadProjector(const Dtd& dtd,
+                                  std::span<const BenchmarkQuery> workload) {
+  XMLPROJ_ASSIGN_OR_RETURN(std::vector<NameSet> projectors,
+                           WorkloadProjectors(dtd, workload));
+  NameSet merged(dtd.name_count());
+  merged.Add(dtd.root());
+  for (const NameSet& one : projectors) merged |= one;
+  return merged;
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,52 @@
+// Multi-document XMark corpora and workload projectors for the parallel
+// pruning pipeline (projection/pipeline.h).
+//
+// The journal version's multi-query workloads prune one document for a
+// *bunch* of queries; serving heavy traffic means doing that for many
+// documents at once. These helpers generate a corpus of independent XMark
+// documents (distinct seeds, same scale) and the projectors — per query
+// and merged (projectors are closed under union, §1.2) — for a small
+// dashboard-style workload, shared by the throughput bench, the
+// parallel_prune_tool example, and the pipeline tests.
+
+#ifndef XMLPROJ_XMARK_CORPUS_H_
+#define XMLPROJ_XMARK_CORPUS_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dtd/dtd.h"
+#include "dtd/name_set.h"
+#include "xmark/queries.h"
+
+namespace xmlproj {
+
+struct XMarkCorpusOptions {
+  int documents = 8;
+  double scale = 0.002;      // per-document xmlgen scale (~0.2MB each)
+  uint64_t seed = 20060912;  // document i uses seed + i
+};
+
+// Serialized XMark documents, one per index.
+std::vector<std::string> GenerateXMarkCorpus(const XMarkCorpusOptions& options);
+
+size_t CorpusBytes(std::span<const std::string> corpus);
+
+// The mixed XPath + XQuery workload used by examples/multi_query_workload
+// (bids, sellers, cheap, gold).
+const std::vector<BenchmarkQuery>& XMarkDashboardWorkload();
+
+// Per-query projectors for `workload` against `dtd`, aligned by index.
+Result<std::vector<NameSet>> WorkloadProjectors(
+    const Dtd& dtd, std::span<const BenchmarkQuery> workload);
+
+// Union of the per-query projectors (one pruned document serves the whole
+// workload).
+Result<NameSet> WorkloadProjector(const Dtd& dtd,
+                                  std::span<const BenchmarkQuery> workload);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XMARK_CORPUS_H_

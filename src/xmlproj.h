@@ -16,10 +16,12 @@
 
 #include "common/memory_meter.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "dtd/dataguide.h"
 #include "dtd/dtd.h"
 #include "dtd/dtd_parser.h"
 #include "dtd/validator.h"
+#include "projection/pipeline.h"
 #include "projection/projection.h"
 #include "projection/projector_inference.h"
 #include "projection/pruner.h"

@@ -1,0 +1,235 @@
+// Tests for the parallel pruning pipeline (projection/pipeline.h).
+//
+// The load-bearing property: parallelism is across documents/queries, so
+// the parallel output must be byte-for-byte the sequential
+// StreamingPruner / ValidatingPruner output, in task order — Theorem 4.5
+// soundness then carries over to the parallel deployment unchanged. Also
+// covered: first-error cancellation (no deadlock, deterministic error),
+// the multi-query per-projector fan-out, and input validation.
+
+#include "projection/pipeline.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "projection/projection.h"
+#include "random_xml.h"
+#include "xmark/corpus.h"
+#include "xmark/xmark_dtd.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xmark/generator.h"
+
+namespace xmlproj {
+namespace {
+
+using testing_random::DocGenerator;
+using testing_random::QueryGenerator;
+using testing_random::RandomDtd;
+
+// The sequential reference: one fused StreamingPruner pass straight into
+// the serializer, exactly what each pipeline worker runs.
+std::string ReferencePrune(const std::string& xml_text, const Dtd& dtd,
+                           const NameSet& projector) {
+  std::string out;
+  SerializingHandler sink(&out);
+  StreamingPruner pruner(dtd, projector, &sink);
+  Status status = ParseXmlStream(xml_text, &pruner);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out;
+}
+
+std::string ReferenceValidatePrune(const std::string& xml_text,
+                                   const Dtd& dtd, const NameSet& projector) {
+  std::string out;
+  SerializingHandler sink(&out);
+  ValidatingPruner pruner(dtd, projector, &sink);
+  Status status = ParseXmlStream(xml_text, &pruner);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return out;
+}
+
+const Dtd& XmarkDtd() {
+  static const Dtd* dtd = new Dtd(std::move(LoadXMarkDtd()).value());
+  return *dtd;
+}
+
+TEST(PipelineTest, ParallelMatchesSequentialOnXMarkCorpus) {
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 6;
+  corpus_options.scale = 0.0005;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+  auto projector = WorkloadProjector(XmarkDtd(), XMarkDashboardWorkload());
+  ASSERT_TRUE(projector.ok()) << projector.status().ToString();
+
+  PipelineOptions parallel;
+  parallel.num_threads = 4;
+  auto results = PruneCorpus(corpus, XmarkDtd(), *projector, parallel);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    std::string expected = ReferencePrune(corpus[i], XmarkDtd(), *projector);
+    EXPECT_EQ((*results)[i].output, expected) << "document " << i;
+    EXPECT_LT((*results)[i].output.size(), corpus[i].size());
+    EXPECT_GT((*results)[i].stats.kept_nodes, 0u);
+  }
+}
+
+TEST(PipelineTest, ValidateModeMatchesValidatingPruner) {
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 4;
+  corpus_options.scale = 0.0005;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+  auto projector = WorkloadProjector(XmarkDtd(), XMarkDashboardWorkload());
+  ASSERT_TRUE(projector.ok()) << projector.status().ToString();
+
+  PipelineOptions parallel;
+  parallel.num_threads = 3;
+  parallel.validate = true;
+  auto results = PruneCorpus(corpus, XmarkDtd(), *projector, parallel);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ((*results)[i].output,
+              ReferenceValidatePrune(corpus[i], XmarkDtd(), *projector))
+        << "document " << i;
+  }
+}
+
+// Randomized grammars × documents × query-derived projectors: the
+// parallel pipeline must agree with the sequential pass on all of them.
+TEST(PipelineTest, ParallelMatchesSequentialOnRandomCorpora) {
+  int checked = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    int name_count = 0;
+    Dtd dtd = RandomDtd(seed, &name_count);
+    std::vector<std::string> corpus;
+    for (uint64_t d = 0; d < 5; ++d) {
+      DocGenerator gen(dtd, seed * 100 + d);
+      auto doc = gen.Generate();
+      ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+      corpus.push_back(SerializeDocument(*doc));
+    }
+    QueryGenerator queries(name_count, seed * 7 + 3);
+    auto analysis = AnalyzeXPath(dtd, queries.Generate());
+    if (!analysis.ok()) continue;  // query outside the supported fragment
+    NameSet projector = analysis->projector;
+    projector.Add(dtd.root());
+
+    PipelineOptions parallel;
+    parallel.num_threads = 4;
+    parallel.queue_capacity = 2;  // force submission back-pressure
+    auto results = PruneCorpus(corpus, dtd, projector, parallel);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    ASSERT_EQ(results->size(), corpus.size());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_EQ((*results)[i].output,
+                ReferencePrune(corpus[i], dtd, projector))
+          << "seed " << seed << " document " << i;
+    }
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(PipelineTest, PerQueryFanOutMatchesPerProjectorReference) {
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 3;
+  corpus_options.scale = 0.0005;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+  auto projectors = WorkloadProjectors(XmarkDtd(), XMarkDashboardWorkload());
+  ASSERT_TRUE(projectors.ok()) << projectors.status().ToString();
+  const size_t queries = projectors->size();
+  ASSERT_EQ(queries, XMarkDashboardWorkload().size());
+
+  PipelineOptions parallel;
+  parallel.num_threads = 4;
+  auto results = PruneCorpusPerQuery(corpus, XmarkDtd(), *projectors,
+                                     parallel);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), corpus.size() * queries);
+  for (size_t d = 0; d < corpus.size(); ++d) {
+    for (size_t q = 0; q < queries; ++q) {
+      EXPECT_EQ((*results)[d * queries + q].output,
+                ReferencePrune(corpus[d], XmarkDtd(), (*projectors)[q]))
+          << "document " << d << " query " << q;
+    }
+  }
+}
+
+TEST(PipelineTest, MalformedDocumentCancelsWithoutDeadlock) {
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 8;
+  corpus_options.scale = 0.0002;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+  corpus[3] = "<site><open_auctions>";  // never closed
+  auto projector = WorkloadProjector(XmarkDtd(), XMarkDashboardWorkload());
+  ASSERT_TRUE(projector.ok()) << projector.status().ToString();
+
+  PipelineOptions parallel;
+  parallel.num_threads = 4;
+  parallel.queue_capacity = 2;
+  auto results = PruneCorpus(corpus, XmarkDtd(), *projector, parallel);
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kParseError)
+      << results.status().ToString();
+  EXPECT_NE(results.status().message().find("pipeline task 3"),
+            std::string::npos)
+      << results.status().ToString();
+}
+
+TEST(PipelineTest, InvalidDocumentFailsValidateModeOnly) {
+  // Well-formed XML that violates the XMark DTD (bogus root): the plain
+  // pruner rejects it too (undeclared structure is an error), but the
+  // validating pass reports the precise validity violation.
+  std::vector<std::string> corpus = {"<site></site>", "<not_xmark/>"};
+  auto projector = WorkloadProjector(XmarkDtd(), XMarkDashboardWorkload());
+  ASSERT_TRUE(projector.ok());
+  PipelineOptions parallel;
+  parallel.num_threads = 2;
+  parallel.validate = true;
+  auto results = PruneCorpus(corpus, XmarkDtd(), *projector, parallel);
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kInvalid)
+      << results.status().ToString();
+}
+
+TEST(PipelineTest, SequentialPathAnnotatesFailingTask) {
+  std::vector<std::string> corpus = {"<site></site>", "<site><bad"};
+  auto projector = WorkloadProjector(XmarkDtd(), XMarkDashboardWorkload());
+  ASSERT_TRUE(projector.ok());
+  PipelineOptions sequential;
+  sequential.num_threads = 1;
+  auto results = PruneCorpus(corpus, XmarkDtd(), *projector, sequential);
+  ASSERT_FALSE(results.ok());
+  EXPECT_NE(results.status().message().find("pipeline task 1"),
+            std::string::npos)
+      << results.status().ToString();
+}
+
+TEST(PipelineTest, EmptyCorpusYieldsEmptyResults) {
+  auto projector = WorkloadProjector(XmarkDtd(), XMarkDashboardWorkload());
+  ASSERT_TRUE(projector.ok());
+  auto results = PruneCorpus({}, XmarkDtd(), *projector, {});
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());
+}
+
+TEST(PipelineTest, NullTaskPointersAreRejected) {
+  PipelineTask task;  // both pointers null
+  auto results =
+      RunPruningPipeline(std::span<const PipelineTask>(&task, 1), XmarkDtd());
+  ASSERT_FALSE(results.ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kInvalid);
+}
+
+TEST(PipelineTest, TotalOutputBytesSumsResults) {
+  std::vector<PipelineResult> results(2);
+  results[0].output = "<a/>";
+  results[1].output = "<bb/>";
+  EXPECT_EQ(TotalOutputBytes(results), 9u);
+}
+
+}  // namespace
+}  // namespace xmlproj

@@ -36,20 +36,26 @@ inline Dtd RandomDtd(uint64_t seed, int* name_count_out) {
     ids.push_back(std::move(builder.DeclareElement(kTags[i])).value());
   }
   for (int i = 0; i < n; ++i) {
-    ContentModel* m = builder.MutableContent(ids[i]);
+    // StringNameFor may declare a new production and reallocate the
+    // builder's production storage, so it must run before MutableContent
+    // hands out a pointer into that storage.
     int kind = rng.IntIn(0, 9);
     if (kind <= 1 || i == n - 1) {
       if (rng.Chance(1, 2)) {
         // PCDATA leaf.
-        m->set_root(m->Star(m->Name(builder.StringNameFor(ids[i]))));
+        NameId text = builder.StringNameFor(ids[i]);
+        ContentModel* m = builder.MutableContent(ids[i]);
+        m->set_root(m->Star(m->Name(text)));
       }
       // else EMPTY.
       continue;
     }
     if (kind == 2) {
       // Mixed content: (#PCDATA | x | y)*.
+      NameId text = builder.StringNameFor(ids[i]);
+      ContentModel* m = builder.MutableContent(ids[i]);
       std::vector<int32_t> alts;
-      alts.push_back(m->Name(builder.StringNameFor(ids[i])));
+      alts.push_back(m->Name(text));
       int extras = rng.IntIn(1, 2);
       for (int k = 0; k < extras; ++k) {
         alts.push_back(m->Name(ids[static_cast<size_t>(
@@ -59,6 +65,7 @@ inline Dtd RandomDtd(uint64_t seed, int* name_count_out) {
       continue;
     }
     // Sequence of 1..3 factors.
+    ContentModel* m = builder.MutableContent(ids[i]);
     std::vector<int32_t> factors;
     int nf = rng.IntIn(1, 3);
     for (int k = 0; k < nf; ++k) {
