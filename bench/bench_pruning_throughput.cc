@@ -9,14 +9,22 @@
 // google-benchmark binary; bytes/sec rates make the linearity visible
 // across scales. In addition to the google-benchmark output, the binary
 // runs a pipeline thread sweep and writes machine-readable results to
-// BENCH_pruning.json (the repo's perf trajectory). Extra flags, consumed
-// before google-benchmark sees the command line:
+// BENCH_pruning.json (the repo's perf trajectory) — including the corpus
+// pruning summary (Table 1 quantities) — plus a full MetricsRegistry dump
+// (stage latency histograms, pool queue stats; see README
+// "Observability") of one instrumented max-thread run. Extra flags,
+// consumed before google-benchmark sees the command line:
 //   --bench_json=PATH        output path (default BENCH_pruning.json)
+//   --metrics_json=PATH      registry dump path
+//                            (default BENCH_pruning.metrics.json)
 //   --sweep_docs=N           corpus size for the sweep (default 16)
 //   --sweep_scale=S          per-document xmlgen scale (default 0.002)
 //   --sweep_reps=R           repetitions per thread count, best-of (default 3)
 //   --sweep_max_threads=T    top of the 1..T sweep (default max(4, cores))
 //   --no_sweep               skip the sweep/JSON (pure google-benchmark run)
+//
+// The timed sweep runs are uninstrumented (metrics stay out of the
+// measurement); the instrumented run happens once afterwards.
 
 #include <algorithm>
 #include <chrono>
@@ -29,6 +37,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "projection/pipeline.h"
 #include "projection/pruner.h"
 #include "projection/projection.h"
@@ -216,6 +226,7 @@ BENCHMARK(BM_PipelineMultiQuery)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 struct SweepConfig {
   std::string json_path = "BENCH_pruning.json";
+  std::string metrics_json_path = "BENCH_pruning.metrics.json";
   int docs = 16;
   double scale = 0.002;
   int reps = 3;
@@ -259,15 +270,13 @@ int RunSweep(SweepConfig config) {
     options.num_threads = threads;
     double best = 0;
     for (int rep = 0; rep < config.reps; ++rep) {
-      auto start = std::chrono::steady_clock::now();
-      auto results = PruneCorpus(corpus, XmarkDtd(), projector, options);
-      auto stop = std::chrono::steady_clock::now();
-      if (!results.ok()) {
+      auto run = PruneCorpus(corpus, XmarkDtd(), projector, options);
+      if (!run.ok()) {
         std::fprintf(stderr, "sweep failed at %d threads: %s\n", threads,
-                     results.status().ToString().c_str());
+                     run.status().ToString().c_str());
         return 1;
       }
-      double seconds = std::chrono::duration<double>(stop - start).count();
+      double seconds = run->summary.wall_seconds;
       if (rep == 0 || seconds < best) best = seconds;
     }
     SweepPoint point;
@@ -280,6 +289,25 @@ int RunSweep(SweepConfig config) {
                 threads, best * 1e3,
                 point.bytes_per_second / (1024.0 * 1024.0), point.speedup);
   }
+
+  // One instrumented run at max threads: its summary lands in the sweep
+  // JSON (the Table 1 quantities), the full registry in the metrics dump.
+  MetricsRegistry registry;
+  PipelineOptions instrumented;
+  instrumented.num_threads = max_threads;
+  instrumented.metrics = &registry;
+  auto observed = PruneCorpus(corpus, XmarkDtd(), projector, instrumented);
+  if (!observed.ok()) {
+    std::fprintf(stderr, "instrumented run failed: %s\n",
+                 observed.status().ToString().c_str());
+    return 1;
+  }
+  const PipelineSummary& summary = observed->summary;
+  std::printf("pruning: %zu -> %zu nodes (%.1f%% kept), %zu -> %zu bytes "
+              "(%.1f%% kept)\n",
+              summary.input_nodes, summary.kept_nodes,
+              100.0 * summary.NodeRatio(), summary.input_bytes,
+              summary.output_bytes, 100.0 * summary.ByteRatio());
 
   std::FILE* out = std::fopen(config.json_path.c_str(), "w");
   if (out == nullptr) {
@@ -295,9 +323,22 @@ int RunSweep(SweepConfig config) {
                "  \"corpus_bytes\": %zu,\n"
                "  \"hardware_concurrency\": %d,\n"
                "  \"repetitions\": %d,\n"
+               "  \"pruning\": {\n"
+               "    \"tasks\": %zu,\n"
+               "    \"input_bytes\": %zu,\n"
+               "    \"output_bytes\": %zu,\n"
+               "    \"byte_ratio_kept\": %.4f,\n"
+               "    \"input_nodes\": %zu,\n"
+               "    \"kept_nodes\": %zu,\n"
+               "    \"node_ratio_kept\": %.4f\n"
+               "  },\n"
+               "  \"metrics_json\": \"%s\",\n"
                "  \"results\": [\n",
                config.docs, config.scale, corpus_bytes, hardware,
-               config.reps);
+               config.reps, summary.tasks, summary.input_bytes,
+               summary.output_bytes, summary.ByteRatio(),
+               summary.input_nodes, summary.kept_nodes, summary.NodeRatio(),
+               config.metrics_json_path.c_str());
   for (size_t i = 0; i < points.size(); ++i) {
     std::fprintf(out,
                  "    {\"threads\": %d, \"seconds\": %.6f, "
@@ -310,6 +351,15 @@ int RunSweep(SweepConfig config) {
   std::fprintf(out, "  ]\n}\n");
   std::fclose(out);
   std::printf("wrote %s\n", config.json_path.c_str());
+
+  std::string metrics_json;
+  AppendMetricsJson(registry, &metrics_json);
+  if (!WriteTextFile(config.metrics_json_path, metrics_json)) {
+    std::fprintf(stderr, "cannot write %s\n",
+                 config.metrics_json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", config.metrics_json_path.c_str());
   return 0;
 }
 
@@ -320,6 +370,8 @@ bool ParseSweepFlag(const char* arg, SweepConfig* config) {
   };
   if (const char* v = value("--bench_json=")) {
     config->json_path = v;
+  } else if (const char* v = value("--metrics_json=")) {
+    config->metrics_json_path = v;
   } else if (const char* v = value("--sweep_docs=")) {
     config->docs = std::atoi(v);
   } else if (const char* v = value("--sweep_scale=")) {

@@ -4,14 +4,25 @@
 // Usage:
 //   parallel_prune_tool [--docs=N] [--scale=S] [--threads=T] [--validate]
 //                       [--per-query] [--sweep]
+//                       [--metrics-out=PATH] [--trace-out=PATH]
+//                       [--prometheus-out=PATH]
 //
 // Generates a corpus of N XMark documents (xmlgen scale S each), infers
 // the dashboard workload's projectors (merged by default, one task per
 // document; --per-query fans documents × queries with per-query
 // projectors), prunes the corpus on T workers (default: all cores) and
-// prints aggregate throughput and size reduction. --sweep instead times
-// thread counts 1..T and prints the speedup curve. --validate fuses DTD
-// validation of the input into the pruning pass.
+// prints aggregate throughput, size reduction, and the corpus pruning
+// summary. --sweep instead times thread counts 1..T and prints the
+// speedup curve. --validate fuses DTD validation of the input into the
+// pruning pass.
+//
+// Observability (README "Observability"): --metrics-out writes the
+// MetricsRegistry JSON dump (stage latency histograms, pruning counters,
+// thread-pool queue stats), --prometheus-out the same registry in
+// Prometheus text format, and --trace-out a Chrome-trace/Perfetto JSON
+// with per-task queue-wait/parse/prune/serialize spans. Any of these
+// flags enables instrumentation; with all absent the run is
+// uninstrumented (no clock reads on the hot path).
 //
 // Each per-document pass is still the paper's single bufferless one-pass
 // traversal — parallelism is purely across documents/queries, so the
@@ -19,7 +30,6 @@
 // tests/pipeline_test.cc).
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +37,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "projection/pipeline.h"
 #include "xmark/corpus.h"
 #include "xmark/xmark_dtd.h"
@@ -35,22 +48,75 @@ namespace {
 
 using namespace xmlproj;
 
-double TimeRun(const std::vector<std::string>& corpus, const Dtd& dtd,
+double RunOnce(const std::vector<std::string>& corpus, const Dtd& dtd,
                const NameSet& merged, const std::vector<NameSet>& per_query,
                bool use_per_query, const PipelineOptions& options,
-               std::vector<PipelineResult>* out) {
-  auto start = std::chrono::steady_clock::now();
+               PipelineRun* out) {
   auto results =
       use_per_query
           ? PruneCorpusPerQuery(corpus, dtd, per_query, options)
           : PruneCorpus(corpus, dtd, merged, options);
-  auto stop = std::chrono::steady_clock::now();
   if (!results.ok()) {
     std::fprintf(stderr, "pipeline: %s\n", results.status().ToString().c_str());
     std::exit(1);
   }
   *out = std::move(results).value();
-  return std::chrono::duration<double>(stop - start).count();
+  return out->summary.wall_seconds;
+}
+
+void PrintSummary(const PipelineSummary& s) {
+  std::printf("\ncorpus pruning summary (Table 1 quantities):\n");
+  std::printf("  tasks                %zu\n", s.tasks);
+  std::printf("  input bytes          %zu (%.2f MB)\n", s.input_bytes,
+              s.input_bytes / (1024.0 * 1024.0));
+  std::printf("  output bytes         %zu (%.1f%% kept)\n", s.output_bytes,
+              100.0 * s.ByteRatio());
+  std::printf("  nodes                %zu -> %zu (%.1f%% kept)\n",
+              s.input_nodes, s.kept_nodes, 100.0 * s.NodeRatio());
+  std::printf("  text bytes           %zu -> %zu\n", s.input_text_bytes,
+              s.kept_text_bytes);
+  std::printf("  wall seconds         %.4f\n", s.wall_seconds);
+}
+
+void PrintStageTable(MetricsRegistry& registry) {
+  struct Row {
+    const char* label;
+    const char* metric;
+  };
+  const Row rows[] = {
+      {"queue-wait", "xmlproj_stage_queue_wait_ns"},
+      {"parse", "xmlproj_stage_parse_ns"},
+      {"prune", "xmlproj_stage_prune_ns"},
+      {"serialize", "xmlproj_stage_serialize_ns"},
+      {"task total", "xmlproj_stage_task_ns"},
+  };
+  std::printf("\nper-task stage latency (ms):\n");
+  std::printf("  %-12s %8s %9s %9s %9s\n", "stage", "count", "mean", "p50",
+              "p90");
+  for (const Row& row : rows) {
+    const Histogram* h = registry.GetHistogram(row.metric);
+    if (h->Count() == 0) continue;
+    std::printf("  %-12s %8llu %9.3f %9.3f %9.3f\n", row.label,
+                static_cast<unsigned long long>(h->Count()), h->Mean() / 1e6,
+                h->ApproxPercentile(0.5) / 1e6, h->ApproxPercentile(0.9) / 1e6);
+  }
+  std::printf("thread pool: queue depth peak %lld, busy %.1f ms over %lld "
+              "tasks\n",
+              static_cast<long long>(
+                  registry.GetGauge("xmlproj_pool_queue_depth_peak")->Value()),
+              registry.GetCounter("xmlproj_pool_busy_ns_total")->Value() / 1e6,
+              static_cast<long long>(
+                  registry.GetCounter("xmlproj_pool_tasks_total")->Value()));
+}
+
+bool DumpToFile(const char* what, const std::string& path,
+                const std::string& content) {
+  if (!WriteTextFile(path, content)) {
+    std::fprintf(stderr, "cannot write %s file %s\n", what, path.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%s)\n", path.c_str(), what);
+  return true;
 }
 
 }  // namespace
@@ -62,6 +128,9 @@ int main(int argc, char** argv) {
   bool validate = false;
   bool per_query = false;
   bool sweep = false;
+  std::string metrics_out;
+  std::string prometheus_out;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--docs=", 7) == 0) {
@@ -76,10 +145,18 @@ int main(int argc, char** argv) {
       per_query = true;
     } else if (std::strcmp(arg, "--sweep") == 0) {
       sweep = true;
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--prometheus-out=", 17) == 0) {
+      prometheus_out = arg + 17;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      trace_out = arg + 12;
     } else {
       std::fprintf(stderr,
                    "usage: parallel_prune_tool [--docs=N] [--scale=S] "
-                   "[--threads=T] [--validate] [--per-query] [--sweep]\n");
+                   "[--threads=T] [--validate] [--per-query] [--sweep]\n"
+                   "                           [--metrics-out=PATH] "
+                   "[--prometheus-out=PATH] [--trace-out=PATH]\n");
       return 2;
     }
   }
@@ -118,16 +195,25 @@ int main(int argc, char** argv) {
   size_t tasks =
       per_query ? corpus.size() * per_query_projectors->size() : corpus.size();
 
+  const bool instrument =
+      !metrics_out.empty() || !prometheus_out.empty() || !trace_out.empty();
+  MetricsRegistry registry;
+  TraceCollector trace;
   PipelineOptions options;
   options.validate = validate;
-  std::vector<PipelineResult> results;
+  if (instrument) {
+    options.metrics = &registry;
+    if (!trace_out.empty()) options.trace = &trace;
+  }
+
+  PipelineRun run;
   if (sweep) {
     double base = 0;
     for (int t = 1; t <= threads; t = t < threads ? std::min(t * 2, threads)
                                                   : threads + 1) {
       options.num_threads = t;
-      double seconds = TimeRun(corpus, *dtd, *merged, *per_query_projectors,
-                               per_query, options, &results);
+      double seconds = RunOnce(corpus, *dtd, *merged, *per_query_projectors,
+                               per_query, options, &run);
       if (t == 1) base = seconds;
       std::printf("  threads=%-2d  %8.1f ms  %7.1f MB/s  speedup %.2fx\n", t,
                   seconds * 1e3, in_bytes / seconds / (1024.0 * 1024.0),
@@ -135,17 +221,30 @@ int main(int argc, char** argv) {
     }
   } else {
     options.num_threads = threads;
-    double seconds = TimeRun(corpus, *dtd, *merged, *per_query_projectors,
-                             per_query, options, &results);
+    double seconds = RunOnce(corpus, *dtd, *merged, *per_query_projectors,
+                             per_query, options, &run);
     std::printf("%zu tasks on %d threads: %.1f ms, %.1f MB/s\n", tasks,
                 threads, seconds * 1e3,
                 in_bytes / seconds / (1024.0 * 1024.0));
   }
-  size_t out_bytes = TotalOutputBytes(results);
-  std::printf("projected output: %.2f MB (%.1f%% of input%s)\n",
-              out_bytes / (1024.0 * 1024.0),
-              100.0 * static_cast<double>(out_bytes) /
-                  static_cast<double>(in_bytes * (per_query ? tasks / corpus.size() : 1)),
-              per_query ? " x queries" : "");
-  return 0;
+  PrintSummary(run.summary);
+  if (instrument) PrintStageTable(registry);
+
+  bool io_ok = true;
+  if (!metrics_out.empty()) {
+    std::string json;
+    AppendMetricsJson(registry, &json);
+    io_ok = DumpToFile("metrics JSON", metrics_out, json) && io_ok;
+  }
+  if (!prometheus_out.empty()) {
+    std::string text;
+    AppendPrometheusText(registry, &text);
+    io_ok = DumpToFile("Prometheus metrics", prometheus_out, text) && io_ok;
+  }
+  if (!trace_out.empty()) {
+    std::string json;
+    trace.AppendChromeTraceJson(&json);
+    io_ok = DumpToFile("Chrome trace", trace_out, json) && io_ok;
+  }
+  return io_ok ? 0 : 1;
 }

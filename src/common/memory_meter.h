@@ -11,6 +11,7 @@
 #define XMLPROJ_COMMON_MEMORY_METER_H_
 
 #include <algorithm>
+#include <cassert>
 #include <cstddef>
 
 namespace xmlproj {
@@ -21,7 +22,13 @@ class MemoryMeter {
     current_ += bytes;
     peak_ = std::max(peak_, current_);
   }
-  void Sub(size_t bytes) { current_ -= std::min(bytes, current_); }
+  // Releasing more than is currently accounted indicates a double release
+  // in an evaluator; debug builds fail loudly, release builds clamp so a
+  // benchmark never reports negative memory.
+  void Sub(size_t bytes) {
+    assert(bytes <= current_ && "MemoryMeter::Sub underflow (double release?)");
+    current_ -= std::min(bytes, current_);
+  }
 
   // Sets a floor (e.g. the loaded document size) contributing to the peak.
   void AddBaseline(size_t bytes) {

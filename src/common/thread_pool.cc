@@ -4,8 +4,11 @@
 
 namespace xmlproj {
 
-ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
-    : queue_(queue_capacity) {
+ThreadPool::ThreadPool(int num_threads, size_t queue_capacity,
+                       ThreadPoolMetrics metrics)
+    : queue_(queue_capacity),
+      metrics_(metrics),
+      instrumented_(metrics.enabled()) {
   if (num_threads <= 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -17,15 +20,29 @@ ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
 
 ThreadPool::~ThreadPool() { Shutdown(); }
 
+void ThreadPool::SampleQueueDepth() {
+  int64_t depth = static_cast<int64_t>(queue_.size());
+  if (metrics_.queue_depth != nullptr) metrics_.queue_depth->Set(depth);
+  if (metrics_.queue_depth_peak != nullptr) {
+    metrics_.queue_depth_peak->SetMax(depth);
+  }
+  if (metrics_.trace != nullptr) {
+    metrics_.trace->AddCounterEvent("queue depth", MonotonicNowNs(), depth);
+  }
+}
+
 std::future<Status> ThreadPool::Submit(std::function<Status()> task) {
   Task entry;
   entry.fn = std::move(task);
+  if (instrumented_) entry.submit_ns = MonotonicNowNs();
   std::future<Status> done = entry.done.get_future();
   if (!queue_.Push(std::move(entry))) {
     // Pool already shut down: Push left `entry` untouched, so its promise
     // is still ours to fulfill.
     entry.done.set_value(CancelledError("thread pool is shut down"));
+    return done;
   }
+  if (instrumented_) SampleQueueDepth();
   return done;
 }
 
@@ -38,7 +55,22 @@ void ThreadPool::Shutdown() {
 
 void ThreadPool::WorkerLoop() {
   while (std::optional<Task> task = queue_.Pop()) {
+    if (!instrumented_) {
+      task->done.set_value(task->fn());
+      continue;
+    }
+    SampleQueueDepth();
+    uint64_t start_ns = MonotonicNowNs();
+    if (metrics_.queue_wait_ns != nullptr && start_ns > task->submit_ns) {
+      metrics_.queue_wait_ns->Record(start_ns - task->submit_ns);
+    }
     task->done.set_value(task->fn());
+    uint64_t run_ns = MonotonicNowNs() - start_ns;
+    if (metrics_.run_ns != nullptr) metrics_.run_ns->Record(run_ns);
+    if (metrics_.busy_ns_total != nullptr) {
+      metrics_.busy_ns_total->Increment(run_ns);
+    }
+    if (metrics_.tasks_total != nullptr) metrics_.tasks_total->Increment();
   }
 }
 

@@ -12,6 +12,7 @@
 #define XMLPROJ_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -21,6 +22,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xmlproj {
 
@@ -89,6 +92,30 @@ class BoundedQueue {
   bool closed_ = false;
 };
 
+// Optional telemetry sinks for a ThreadPool. Every pointer is nullable;
+// a default-constructed struct (no sinks) keeps the pool on its original
+// uninstrumented path — no clock reads, no extra queue locking. Callers
+// resolve the metrics from a MetricsRegistry once and pass the handles in.
+struct ThreadPoolMetrics {
+  Counter* tasks_total = nullptr;     // tasks executed
+  Counter* busy_ns_total = nullptr;   // summed task run time (worker
+                                      // utilization = busy / (wall×threads))
+  Histogram* queue_wait_ns = nullptr;  // submit → dequeue latency
+  Histogram* run_ns = nullptr;         // task execution latency
+  Gauge* queue_depth = nullptr;        // sampled after each push/pop
+  Gauge* queue_depth_peak = nullptr;   // high-water mark of the above
+  // Queue-depth counter events ("C" phase) land here, plotting back
+  // pressure over time next to the pipeline's stage spans.
+  TraceCollector* trace = nullptr;
+
+  bool enabled() const {
+    return tasks_total != nullptr || busy_ns_total != nullptr ||
+           queue_wait_ns != nullptr || run_ns != nullptr ||
+           queue_depth != nullptr || queue_depth_peak != nullptr ||
+           trace != nullptr;
+  }
+};
+
 // Fixed-size worker pool. Submitted tasks return Status; the returned
 // future resolves to that Status (or kCancelled if the pool shut down
 // before the task could be queued). Destruction drains queued tasks and
@@ -96,7 +123,8 @@ class BoundedQueue {
 class ThreadPool {
  public:
   // num_threads <= 0 selects hardware concurrency (at least 1).
-  explicit ThreadPool(int num_threads, size_t queue_capacity = 1024);
+  explicit ThreadPool(int num_threads, size_t queue_capacity = 1024,
+                      ThreadPoolMetrics metrics = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -114,11 +142,15 @@ class ThreadPool {
   struct Task {
     std::function<Status()> fn;
     std::promise<Status> done;
+    uint64_t submit_ns = 0;  // only stamped when metrics are enabled
   };
 
   void WorkerLoop();
+  void SampleQueueDepth();
 
   BoundedQueue<Task> queue_;
+  const ThreadPoolMetrics metrics_;
+  const bool instrumented_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,160 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace xmlproj {
+namespace {
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(int64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+void AppendQuoted(const std::string& name, std::string* out) {
+  // Metric names are library-chosen identifiers; they never contain
+  // JSON-significant characters, so quoting suffices.
+  out->push_back('"');
+  out->append(name);
+  out->push_back('"');
+}
+
+std::string PrometheusName(const std::string& name) {
+  std::string safe = name;
+  for (char& c : safe) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return safe;
+}
+
+void AppendHistogramJson(const Histogram& hist, std::string* out) {
+  char buf[48];
+  out->append("{\"count\":");
+  AppendU64(hist.Count(), out);
+  out->append(",\"sum\":");
+  AppendU64(hist.Sum(), out);
+  out->append(",\"min\":");
+  AppendU64(hist.Min(), out);
+  out->append(",\"max\":");
+  AppendU64(hist.Max(), out);
+  std::snprintf(buf, sizeof(buf), ",\"mean\":%.3f", hist.Mean());
+  out->append(buf);
+  out->append(",\"p50\":");
+  AppendU64(hist.ApproxPercentile(0.50), out);
+  out->append(",\"p90\":");
+  AppendU64(hist.ApproxPercentile(0.90), out);
+  out->append(",\"p99\":");
+  AppendU64(hist.ApproxPercentile(0.99), out);
+  out->append(",\"buckets\":[");
+  bool first = true;
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    uint64_t n = hist.BucketCount(i);
+    if (n == 0) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    out->append("{\"le\":");
+    AppendU64(Histogram::BucketUpperBound(i), out);
+    out->append(",\"count\":");
+    AppendU64(n, out);
+    out->push_back('}');
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+void AppendMetricsJson(const MetricsRegistry& registry, std::string* out) {
+  out->append("{\n  \"counters\": {");
+  bool first = true;
+  registry.ForEachCounter([&](const std::string& name, const Counter& c) {
+    out->append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(name, out);
+    out->append(": ");
+    AppendU64(c.Value(), out);
+  });
+  out->append(first ? "},\n" : "\n  },\n");
+
+  out->append("  \"gauges\": {");
+  first = true;
+  registry.ForEachGauge([&](const std::string& name, const Gauge& g) {
+    out->append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(name, out);
+    out->append(": ");
+    AppendI64(g.Value(), out);
+  });
+  out->append(first ? "},\n" : "\n  },\n");
+
+  out->append("  \"histograms\": {");
+  first = true;
+  registry.ForEachHistogram([&](const std::string& name, const Histogram& h) {
+    out->append(first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(name, out);
+    out->append(": ");
+    AppendHistogramJson(h, out);
+  });
+  out->append(first ? "}\n" : "\n  }\n");
+  out->append("}\n");
+}
+
+void AppendPrometheusText(const MetricsRegistry& registry, std::string* out) {
+  registry.ForEachCounter([&](const std::string& name, const Counter& c) {
+    std::string safe = PrometheusName(name);
+    out->append("# TYPE ").append(safe).append(" counter\n");
+    out->append(safe).push_back(' ');
+    AppendU64(c.Value(), out);
+    out->push_back('\n');
+  });
+  registry.ForEachGauge([&](const std::string& name, const Gauge& g) {
+    std::string safe = PrometheusName(name);
+    out->append("# TYPE ").append(safe).append(" gauge\n");
+    out->append(safe).push_back(' ');
+    AppendI64(g.Value(), out);
+    out->push_back('\n');
+  });
+  registry.ForEachHistogram([&](const std::string& name, const Histogram& h) {
+    std::string safe = PrometheusName(name);
+    out->append("# TYPE ").append(safe).append(" histogram\n");
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      uint64_t n = h.BucketCount(i);
+      if (n == 0) continue;
+      cumulative += n;
+      out->append(safe).append("_bucket{le=\"");
+      AppendU64(Histogram::BucketUpperBound(i), out);
+      out->append("\"} ");
+      AppendU64(cumulative, out);
+      out->push_back('\n');
+    }
+    out->append(safe).append("_bucket{le=\"+Inf\"} ");
+    AppendU64(h.Count(), out);
+    out->push_back('\n');
+    out->append(safe).append("_sum ");
+    AppendU64(h.Sum(), out);
+    out->push_back('\n');
+    out->append(safe).append("_count ");
+    AppendU64(h.Count(), out);
+    out->push_back('\n');
+  });
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  bool ok = written == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace xmlproj

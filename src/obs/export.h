@@ -1,0 +1,35 @@
+// Exporters for MetricsRegistry snapshots: a JSON document (machine
+// consumption, bench trajectories) and Prometheus text exposition format
+// (scrapers). Both walk the registry under its lock reading relaxed
+// atomics — values are per-metric consistent, not a cross-metric
+// snapshot, which is the usual contract for pull-based metrics.
+//
+// Like the rest of obs/, this depends only on the standard library;
+// file-write failures are reported as bool, not Status.
+
+#ifndef XMLPROJ_OBS_EXPORT_H_
+#define XMLPROJ_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace xmlproj {
+
+// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+// mean,p50,p90,p99,buckets:[{"le":N,"count":N},...]}}} — buckets with a
+// zero count are omitted.
+void AppendMetricsJson(const MetricsRegistry& registry, std::string* out);
+
+// Prometheus text format: counters as `<name> <value>`, gauges likewise,
+// histograms as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.
+// Metric names are expected to already be Prometheus-safe ([a-zA-Z0-9_:]);
+// any other character is rewritten to '_'.
+void AppendPrometheusText(const MetricsRegistry& registry, std::string* out);
+
+// Convenience for tools: writes `content` to `path`, false on any error.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_OBS_EXPORT_H_

@@ -1,0 +1,85 @@
+#include "obs/metrics.h"
+
+namespace xmlproj {
+
+uint64_t Histogram::ApproxPercentile(double p) const {
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the target sample, 1-based rounding up (the median of three
+  // samples is the second); p=1 maps onto the last sample.
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (static_cast<double>(rank) < p * static_cast<double>(total)) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    seen += BucketCount(i);
+    if (seen >= rank) {
+      // Clamp the bucket bound into the observed range so the estimate
+      // never exceeds the true max (the top bucket can be very wide).
+      uint64_t bound = BucketUpperBound(i);
+      uint64_t max = Max();
+      return bound < max ? bound : max;
+    }
+  }
+  return Max();
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  for (size_t i = 0; i < kBuckets; ++i) {
+    uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.Count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.Sum(), std::memory_order_relaxed);
+  if (other.Count() != 0) {
+    AtomicMin(&min_, other.min_.load(std::memory_order_relaxed));
+    AtomicMax(&max_, other.max_.load(std::memory_order_relaxed));
+  }
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  if (&other == this) return;  // self-merge would deadlock on mu_
+  other.ForEachCounter([this](const std::string& name, const Counter& c) {
+    GetCounter(name)->MergeFrom(c);
+  });
+  other.ForEachGauge([this](const std::string& name, const Gauge& g) {
+    GetGauge(name)->MergeFrom(g);
+  });
+  other.ForEachHistogram([this](const std::string& name, const Histogram& h) {
+    GetHistogram(name)->MergeFrom(h);
+  });
+}
+
+}  // namespace xmlproj

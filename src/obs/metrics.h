@@ -1,0 +1,262 @@
+// Observability primitives: counters, gauges, and latency histograms,
+// collected in a MetricsRegistry and exported via obs/export.h.
+//
+// The paper's value proposition is quantitative — pruning ratios
+// (Table 1), query time (Fig. 4), peak memory (Fig. 5) — so the pipeline
+// publishes those quantities as first-class metrics instead of ad-hoc
+// printf. Design constraints, in order:
+//
+//  - ~zero cost when disabled: every instrumentation site takes a nullable
+//    pointer; a null registry/metric skips even the clock read.
+//  - lock-cheap on the hot path: Counter is sharded across cache lines
+//    (each thread owns a shard index), Gauge/Histogram use relaxed
+//    atomics; only registration (name -> metric lookup) takes a mutex,
+//    and callers are expected to resolve metrics once, outside loops.
+//  - mergeable: counters and histograms add, gauges take the max (the
+//    only gauges we merge are peaks). This lets per-shard or per-run
+//    registries fold into one.
+//
+// This library deliberately depends on nothing but the C++ standard
+// library (not even common/status.h), so lower layers such as
+// common/thread_pool.h can report into it without a dependency cycle.
+
+#ifndef XMLPROJ_OBS_METRICS_H_
+#define XMLPROJ_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace xmlproj {
+
+// Monotonic nanoseconds (steady_clock). The single time base for all
+// metrics and trace timestamps.
+inline uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Monotonically increasing counter, sharded to keep concurrent Increment
+// calls off each other's cache lines.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(uint64_t n = 1) {
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void MergeFrom(const Counter& other) { Increment(other.Value()); }
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+
+  // Threads round-robin onto shards once, at first use.
+  static size_t ShardIndex() {
+    static std::atomic<size_t> next{0};
+    thread_local const size_t index =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return index;
+  }
+
+  Shard shards_[kShards];
+};
+
+// Point-in-time signed value (queue depth, worker count, peak bytes).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+
+  // Raises the gauge to `v` if below it (peak tracking).
+  void SetMax(int64_t v) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (current < v &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  // Merging keeps the larger reading: the gauges this library merges are
+  // peaks (queue depth, memory), where max is the meaningful fold.
+  void MergeFrom(const Gauge& other) { SetMax(other.Value()); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram over non-negative values (latencies in ns, byte
+// sizes). Bucket i counts values whose bit width is i, i.e. bucket 0 is
+// exactly {0} and bucket i>0 spans [2^(i-1), 2^i - 1] — boundaries are
+// compile-time fixed, so any two histograms merge bucket-by-bucket.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;  // bit widths 0..64
+
+  Histogram() {
+    min_.store(UINT64_MAX, std::memory_order_relaxed);
+  }
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    AtomicMin(&min_, value);
+    AtomicMax(&max_, value);
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Min/Max are 0 while the histogram is empty.
+  uint64_t Min() const {
+    uint64_t v = min_.load(std::memory_order_relaxed);
+    return v == UINT64_MAX ? 0 : v;
+  }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const {
+    uint64_t n = Count();
+    return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+  }
+
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  // Inclusive upper bound of bucket i (0, 1, 3, 7, ..., UINT64_MAX).
+  static uint64_t BucketUpperBound(size_t i) {
+    if (i == 0) return 0;
+    if (i >= 64) return UINT64_MAX;
+    return (uint64_t{1} << i) - 1;
+  }
+
+  static size_t BucketIndex(uint64_t value) {
+    size_t width = 0;
+    while (value != 0) {
+      ++width;
+      value >>= 1;
+    }
+    return width;
+  }
+
+  // Upper bound of the bucket containing the p-quantile (p in [0,1]); the
+  // usual fixed-bucket estimate, exact enough for p50/p90/p99 summaries.
+  uint64_t ApproxPercentile(double p) const;
+
+  void MergeFrom(const Histogram& other);
+
+ private:
+  static void AtomicMin(std::atomic<uint64_t>* slot, uint64_t v) {
+    uint64_t current = slot->load(std::memory_order_relaxed);
+    while (v < current &&
+           !slot->compare_exchange_weak(current, v,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<uint64_t>* slot, uint64_t v) {
+    uint64_t current = slot->load(std::memory_order_relaxed);
+    while (v > current &&
+           !slot->compare_exchange_weak(current, v,
+                                        std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_;
+  std::atomic<uint64_t> max_{0};
+};
+
+// Named metrics, one instance per pipeline run / process / shard.
+// Get* registers on first use and returns a stable pointer; resolve once
+// and hold the pointer across the hot loop. All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // Folds `other` into this registry: counters/histograms add, gauges
+  // take the max (see Gauge::MergeFrom). Metrics absent here are created.
+  void MergeFrom(const MetricsRegistry& other);
+
+  // Iteration for exporters, in name order. The callback must not call
+  // back into the registry.
+  template <typename Fn>  // Fn(const std::string&, const Counter&)
+  void ForEachCounter(Fn fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, metric] : counters_) fn(name, *metric);
+  }
+  template <typename Fn>  // Fn(const std::string&, const Gauge&)
+  void ForEachGauge(Fn fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, metric] : gauges_) fn(name, *metric);
+  }
+  template <typename Fn>  // Fn(const std::string&, const Histogram&)
+  void ForEachHistogram(Fn fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, metric] : histograms_) fn(name, *metric);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// RAII latency sample: records elapsed nanoseconds into `hist` on
+// destruction. A null histogram skips the clock reads entirely.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(Histogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ns_ = MonotonicNowNs();
+  }
+  ~ScopedLatencyTimer() {
+    if (hist_ != nullptr) hist_->Record(MonotonicNowNs() - start_ns_);
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_OBS_METRICS_H_

@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace xmlproj {
+namespace {
+
+// Trace event names/categories are library-chosen identifiers, but escape
+// the JSON-significant characters anyway so a hostile name cannot corrupt
+// the file.
+void AppendJsonString(std::string_view text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Chrome trace timestamps are microseconds; keep ns precision as a
+// decimal fraction.
+void AppendMicros(uint64_t ns, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  out->append(buf);
+}
+
+}  // namespace
+
+int TraceCollector::TidLocked() {
+  auto [it, inserted] = tids_.emplace(std::this_thread::get_id(),
+                                      static_cast<int>(tids_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+void TraceCollector::AddCompleteEvent(std::string name, std::string category,
+                                      uint64_t start_ns, uint64_t duration_ns,
+                                      std::vector<TraceArg> args) {
+  Event event;
+  event.name = std::move(name);
+  event.category = std::move(category);
+  event.phase = 'X';
+  event.ts_ns = Rebase(start_ns);
+  event.dur_ns = duration_ns;
+  event.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mu_);
+  event.tid = TidLocked();
+  events_.push_back(std::move(event));
+}
+
+void TraceCollector::AddCounterEvent(std::string name, uint64_t ts_ns,
+                                     int64_t value) {
+  Event event;
+  event.name = std::move(name);
+  event.phase = 'C';
+  event.ts_ns = Rebase(ts_ns);
+  event.counter_value = value;
+  std::lock_guard<std::mutex> lock(mu_);
+  event.tid = TidLocked();
+  events_.push_back(std::move(event));
+}
+
+size_t TraceCollector::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void TraceCollector::AppendChromeTraceJson(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out->append("{\"traceEvents\":[\n");
+  char buf[64];
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const Event& event = events_[i];
+    out->append("{\"name\":");
+    AppendJsonString(event.name, out);
+    if (!event.category.empty()) {
+      out->append(",\"cat\":");
+      AppendJsonString(event.category, out);
+    }
+    std::snprintf(buf, sizeof(buf), ",\"ph\":\"%c\",\"pid\":1,\"tid\":%d",
+                  event.phase, event.tid);
+    out->append(buf);
+    out->append(",\"ts\":");
+    AppendMicros(event.ts_ns, out);
+    if (event.phase == 'X') {
+      out->append(",\"dur\":");
+      AppendMicros(event.dur_ns, out);
+    }
+    if (event.phase == 'C') {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%" PRId64 "}",
+                    event.counter_value);
+      out->append(buf);
+    } else if (!event.args.empty()) {
+      out->append(",\"args\":{");
+      for (size_t a = 0; a < event.args.size(); ++a) {
+        if (a != 0) out->push_back(',');
+        AppendJsonString(event.args[a].key, out);
+        std::snprintf(buf, sizeof(buf), ":%" PRId64, event.args[a].value);
+        out->append(buf);
+      }
+      out->push_back('}');
+    }
+    out->push_back('}');
+    if (i + 1 < events_.size()) out->push_back(',');
+    out->push_back('\n');
+  }
+  out->append("]}\n");
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,84 @@
+// Span-style stage tracing for the pruning pipeline.
+//
+// A TraceCollector accumulates complete ("X") and counter ("C") events —
+// pipeline stages (`parse`, `validate+prune`, `serialize`, `queue-wait`)
+// and thread-pool queue depth — and serializes them in the Chrome Trace
+// Event JSON format, loadable in chrome://tracing and Perfetto. One event
+// object per line, so the file doubles as JSON-lines for ad-hoc grep/jq.
+//
+// All timestamps are absolute MonotonicNowNs() values (obs/metrics.h);
+// the collector rebases them onto its construction time so traces start
+// near t=0. Appending an event takes a mutex — events are per *task*
+// (a handful per document), not per SAX event, so this is off the hot
+// path; a null TraceCollector* at the instrumentation site disables
+// tracing with zero cost.
+
+#ifndef XMLPROJ_OBS_TRACE_H_
+#define XMLPROJ_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace xmlproj {
+
+// One "key": integer argument attached to a trace event (e.g. task index).
+struct TraceArg {
+  std::string key;
+  int64_t value = 0;
+};
+
+class TraceCollector {
+ public:
+  TraceCollector() : epoch_ns_(MonotonicNowNs()) {}
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  // Complete event ("ph":"X") on the calling thread's track.
+  // `start_ns` is an absolute MonotonicNowNs() timestamp.
+  void AddCompleteEvent(std::string name, std::string category,
+                        uint64_t start_ns, uint64_t duration_ns,
+                        std::vector<TraceArg> args = {});
+
+  // Counter event ("ph":"C"): plots `value` over time (e.g. queue depth).
+  void AddCounterEvent(std::string name, uint64_t ts_ns, int64_t value);
+
+  size_t event_count() const;
+
+  // Serializes {"traceEvents":[...]} with one event per line.
+  void AppendChromeTraceJson(std::string* out) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    char phase = 'X';
+    uint64_t ts_ns = 0;  // rebased to the collector epoch
+    uint64_t dur_ns = 0;
+    int tid = 0;
+    int64_t counter_value = 0;
+    std::vector<TraceArg> args;
+  };
+
+  uint64_t Rebase(uint64_t abs_ns) const {
+    return abs_ns > epoch_ns_ ? abs_ns - epoch_ns_ : 0;
+  }
+  // Small stable per-collector thread numbering, so tracks read
+  // "worker 0..N" rather than opaque platform ids. Caller holds mu_.
+  int TidLocked();
+
+  const uint64_t epoch_ns_;
+  mutable std::mutex mu_;
+  std::map<std::thread::id, int> tids_;
+  std::vector<Event> events_;
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_OBS_TRACE_H_

@@ -1,6 +1,7 @@
 #include "projection/pipeline.h"
 
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <utility>
 
@@ -10,6 +11,155 @@
 
 namespace xmlproj {
 namespace {
+
+// Resolved metric handles for one pipeline run; null handles (the
+// default) short-circuit every instrumentation site. Metric names are
+// Prometheus-safe and documented in README "Observability".
+struct PipelineMetrics {
+  Counter* tasks_total = nullptr;
+  Counter* errors_total = nullptr;
+  Counter* input_bytes_total = nullptr;
+  Counter* output_bytes_total = nullptr;
+  Counter* input_nodes_total = nullptr;
+  Counter* kept_nodes_total = nullptr;
+  Counter* input_text_bytes_total = nullptr;
+  Counter* kept_text_bytes_total = nullptr;
+  Histogram* parse_ns = nullptr;
+  Histogram* prune_ns = nullptr;
+  Histogram* serialize_ns = nullptr;
+  Histogram* task_ns = nullptr;
+  Histogram* queue_wait_ns = nullptr;
+
+  static PipelineMetrics Resolve(MetricsRegistry* registry) {
+    PipelineMetrics m;
+    if (registry == nullptr) return m;
+    m.tasks_total = registry->GetCounter("xmlproj_pipeline_tasks_total");
+    m.errors_total = registry->GetCounter("xmlproj_pipeline_errors_total");
+    m.input_bytes_total =
+        registry->GetCounter("xmlproj_pipeline_input_bytes_total");
+    m.output_bytes_total =
+        registry->GetCounter("xmlproj_pipeline_output_bytes_total");
+    m.input_nodes_total =
+        registry->GetCounter("xmlproj_pipeline_input_nodes_total");
+    m.kept_nodes_total =
+        registry->GetCounter("xmlproj_pipeline_kept_nodes_total");
+    m.input_text_bytes_total =
+        registry->GetCounter("xmlproj_pipeline_input_text_bytes_total");
+    m.kept_text_bytes_total =
+        registry->GetCounter("xmlproj_pipeline_kept_text_bytes_total");
+    m.parse_ns = registry->GetHistogram("xmlproj_stage_parse_ns");
+    m.prune_ns = registry->GetHistogram("xmlproj_stage_prune_ns");
+    m.serialize_ns = registry->GetHistogram("xmlproj_stage_serialize_ns");
+    m.task_ns = registry->GetHistogram("xmlproj_stage_task_ns");
+    m.queue_wait_ns = registry->GetHistogram("xmlproj_stage_queue_wait_ns");
+    return m;
+  }
+};
+
+ThreadPoolMetrics ResolvePoolMetrics(MetricsRegistry* registry,
+                                     TraceCollector* trace) {
+  ThreadPoolMetrics m;
+  if (registry != nullptr) {
+    m.tasks_total = registry->GetCounter("xmlproj_pool_tasks_total");
+    m.busy_ns_total = registry->GetCounter("xmlproj_pool_busy_ns_total");
+    m.queue_wait_ns = registry->GetHistogram("xmlproj_pool_task_wait_ns");
+    m.run_ns = registry->GetHistogram("xmlproj_pool_task_run_ns");
+    m.queue_depth = registry->GetGauge("xmlproj_pool_queue_depth");
+    m.queue_depth_peak = registry->GetGauge("xmlproj_pool_queue_depth_peak");
+  }
+  m.trace = trace;
+  return m;
+}
+
+// SAX passthrough that accumulates the time spent in its downstream
+// handler. Chaining two of these around the pruner and the serializer
+// attributes the fused pass to parse / prune / serialize: time inside the
+// serializer is "serialize", time inside the pruner minus that is
+// "prune", and the rest of the pass is "parse". Only inserted when
+// metrics or tracing are enabled — it costs two clock reads per SAX
+// event.
+class TimingSaxFilter : public SaxHandler {
+ public:
+  explicit TimingSaxFilter(SaxHandler* downstream)
+      : downstream_(downstream) {}
+
+  uint64_t elapsed_ns() const { return elapsed_ns_; }
+
+  Status StartDocument() override {
+    uint64_t t0 = MonotonicNowNs();
+    Status status = downstream_->StartDocument();
+    elapsed_ns_ += MonotonicNowNs() - t0;
+    return status;
+  }
+  Status EndDocument() override {
+    uint64_t t0 = MonotonicNowNs();
+    Status status = downstream_->EndDocument();
+    elapsed_ns_ += MonotonicNowNs() - t0;
+    return status;
+  }
+  Status StartElement(std::string_view tag,
+                      const std::vector<SaxAttribute>& attributes) override {
+    uint64_t t0 = MonotonicNowNs();
+    Status status = downstream_->StartElement(tag, attributes);
+    elapsed_ns_ += MonotonicNowNs() - t0;
+    return status;
+  }
+  Status EndElement(std::string_view tag) override {
+    uint64_t t0 = MonotonicNowNs();
+    Status status = downstream_->EndElement(tag);
+    elapsed_ns_ += MonotonicNowNs() - t0;
+    return status;
+  }
+  Status Characters(std::string_view text) override {
+    uint64_t t0 = MonotonicNowNs();
+    Status status = downstream_->Characters(text);
+    elapsed_ns_ += MonotonicNowNs() - t0;
+    return status;
+  }
+  Status Doctype(std::string_view name,
+                 std::string_view internal_subset) override {
+    uint64_t t0 = MonotonicNowNs();
+    Status status = downstream_->Doctype(name, internal_subset);
+    elapsed_ns_ += MonotonicNowNs() - t0;
+    return status;
+  }
+
+ private:
+  SaxHandler* downstream_;
+  uint64_t elapsed_ns_ = 0;
+};
+
+// Attributes one fused pass to parse / prune / serialize from the two
+// TimingSaxFilter readings (`downstream_ns` = time inside the pruner and
+// everything below it, `serialize_ns` = time inside the serializer), and
+// publishes histogram samples plus, when tracing, three spans tiling
+// [start, start+total]. The stages interleave per SAX event in reality;
+// the spans show the accumulated attribution laid out sequentially.
+void RecordStageSplit(const PipelineMetrics& metrics, TraceCollector* trace,
+                      size_t index, uint64_t start_ns, uint64_t total_ns,
+                      uint64_t downstream_ns, uint64_t serialize_ns,
+                      bool validate) {
+  // Clamp: the filters' own clock overhead can nudge readings past total.
+  if (downstream_ns > total_ns) downstream_ns = total_ns;
+  if (serialize_ns > downstream_ns) serialize_ns = downstream_ns;
+  uint64_t parse_ns = total_ns - downstream_ns;
+  uint64_t prune_ns = downstream_ns - serialize_ns;
+  if (metrics.parse_ns != nullptr) {
+    metrics.parse_ns->Record(parse_ns);
+    metrics.prune_ns->Record(prune_ns);
+    metrics.serialize_ns->Record(serialize_ns);
+    metrics.task_ns->Record(total_ns);
+  }
+  if (trace != nullptr) {
+    std::vector<TraceArg> args = {{"task", static_cast<int64_t>(index)}};
+    trace->AddCompleteEvent("parse", "stage", start_ns, parse_ns, args);
+    trace->AddCompleteEvent(validate ? "validate+prune" : "prune", "stage",
+                            start_ns + parse_ns, prune_ns, args);
+    trace->AddCompleteEvent("serialize", "stage",
+                            start_ns + parse_ns + prune_ns, serialize_ns,
+                            args);
+  }
+}
 
 // The fused per-document pass: SAX events from the parser flow through the
 // pruner straight into the serializer — no DOM, O(depth) state, exactly
@@ -30,6 +180,62 @@ Status RunOneTask(const PipelineTask& task, const Dtd& dtd, bool validate,
   return status;
 }
 
+// Instrumented variant of the fused pass: same event flow with timing
+// filters spliced in. `submit_ns` of 0 means the task never queued
+// (sequential path), so no queue-wait is reported.
+Status RunOneTaskInstrumented(const PipelineTask& task, const Dtd& dtd,
+                              bool validate, const PipelineMetrics& metrics,
+                              TraceCollector* trace, size_t index,
+                              uint64_t submit_ns, PipelineResult* out) {
+  uint64_t start_ns = MonotonicNowNs();
+  if (submit_ns != 0 && start_ns > submit_ns) {
+    uint64_t wait_ns = start_ns - submit_ns;
+    if (metrics.queue_wait_ns != nullptr) {
+      metrics.queue_wait_ns->Record(wait_ns);
+    }
+    if (trace != nullptr) {
+      trace->AddCompleteEvent("queue-wait", "pool", submit_ns, wait_ns,
+                              {{"task", static_cast<int64_t>(index)}});
+    }
+  }
+
+  out->output.clear();
+  SerializingHandler sink(&out->output);
+  TimingSaxFilter serialize_timer(&sink);
+  Status status;
+  if (validate) {
+    ValidatingPruner pruner(dtd, *task.projector, &serialize_timer);
+    TimingSaxFilter prune_timer(&pruner);
+    status = ParseXmlStream(*task.xml_text, &prune_timer);
+    out->stats = pruner.stats();
+    uint64_t total_ns = MonotonicNowNs() - start_ns;
+    RecordStageSplit(metrics, trace, index, start_ns, total_ns,
+                     prune_timer.elapsed_ns(), serialize_timer.elapsed_ns(),
+                     /*validate=*/true);
+  } else {
+    StreamingPruner pruner(dtd, *task.projector, &serialize_timer);
+    TimingSaxFilter prune_timer(&pruner);
+    status = ParseXmlStream(*task.xml_text, &prune_timer);
+    out->stats = pruner.stats();
+    uint64_t total_ns = MonotonicNowNs() - start_ns;
+    RecordStageSplit(metrics, trace, index, start_ns, total_ns,
+                     prune_timer.elapsed_ns(), serialize_timer.elapsed_ns(),
+                     /*validate=*/false);
+  }
+
+  if (metrics.tasks_total != nullptr) {
+    metrics.tasks_total->Increment();
+    metrics.input_bytes_total->Increment(task.xml_text->size());
+    metrics.output_bytes_total->Increment(out->output.size());
+    metrics.input_nodes_total->Increment(out->stats.input_nodes);
+    metrics.kept_nodes_total->Increment(out->stats.kept_nodes);
+    metrics.input_text_bytes_total->Increment(out->stats.input_text_bytes);
+    metrics.kept_text_bytes_total->Increment(out->stats.kept_text_bytes);
+    if (!status.ok()) metrics.errors_total->Increment();
+  }
+  return status;
+}
+
 Status AnnotateTaskError(size_t index, const Status& status) {
   return Status(status.code(), "pipeline task " + std::to_string(index) +
                                    ": " + status.message());
@@ -47,74 +253,116 @@ Status CheckTasks(std::span<const PipelineTask> tasks) {
 
 }  // namespace
 
-Result<std::vector<PipelineResult>> RunPruningPipeline(
-    std::span<const PipelineTask> tasks, const Dtd& dtd,
-    const PipelineOptions& options) {
+void PipelineSummary::AddTask(size_t task_input_bytes,
+                              const PipelineResult& result) {
+  ++tasks;
+  input_bytes += task_input_bytes;
+  output_bytes += result.output.size();
+  input_nodes += result.stats.input_nodes;
+  kept_nodes += result.stats.kept_nodes;
+  input_text_bytes += result.stats.input_text_bytes;
+  kept_text_bytes += result.stats.kept_text_bytes;
+}
+
+Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
+                                       const Dtd& dtd,
+                                       const PipelineOptions& options) {
   XMLPROJ_RETURN_IF_ERROR(CheckTasks(tasks));
-  std::vector<PipelineResult> results(tasks.size());
-  if (tasks.empty()) return results;
+  PipelineRun run;
+  run.results.resize(tasks.size());
+  if (tasks.empty()) return run;
+
+  const bool instrumented =
+      options.metrics != nullptr || options.trace != nullptr;
+  const PipelineMetrics metrics = PipelineMetrics::Resolve(options.metrics);
+  TraceCollector* trace = options.trace;
+  auto wall_start = std::chrono::steady_clock::now();
 
   int threads = options.num_threads;
   if (threads <= 0) {
     threads = static_cast<int>(
         std::max(1u, std::thread::hardware_concurrency()));
   }
+  if (options.metrics != nullptr) {
+    options.metrics->GetGauge("xmlproj_pipeline_threads")->Set(threads);
+  }
 
   if (threads == 1) {
     // Reference sequential path: same pass, same order, no pool.
     for (size_t i = 0; i < tasks.size(); ++i) {
       Status status =
-          RunOneTask(tasks[i], dtd, options.validate, &results[i]);
+          instrumented
+              ? RunOneTaskInstrumented(tasks[i], dtd, options.validate,
+                                       metrics, trace, i, /*submit_ns=*/0,
+                                       &run.results[i])
+              : RunOneTask(tasks[i], dtd, options.validate, &run.results[i]);
       if (!status.ok()) return AnnotateTaskError(i, status);
     }
-    return results;
+  } else {
+    std::atomic<bool> cancelled{false};
+    std::vector<std::future<Status>> done;
+    done.reserve(tasks.size());
+    {
+      ThreadPool pool(threads, options.queue_capacity,
+                      instrumented ? ResolvePoolMetrics(options.metrics, trace)
+                                   : ThreadPoolMetrics{});
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        uint64_t submit_ns = instrumented ? MonotonicNowNs() : 0;
+        done.push_back(pool.Submit([&, i, submit_ns]() -> Status {
+          if (cancelled.load(std::memory_order_relaxed)) {
+            return CancelledError("skipped after an earlier task failed");
+          }
+          Status status =
+              instrumented
+                  ? RunOneTaskInstrumented(tasks[i], dtd, options.validate,
+                                           metrics, trace, i, submit_ns,
+                                           &run.results[i])
+                  : RunOneTask(tasks[i], dtd, options.validate,
+                               &run.results[i]);
+          if (!status.ok()) {
+            cancelled.store(true, std::memory_order_relaxed);
+          }
+          return status;
+        }));
+      }
+      // Pool destructor drains and joins; every future below is ready.
+    }
+
+    // Report the lowest-indexed real failure (cancelled tasks only lose to
+    // the error that triggered the cancellation).
+    Status first_error;
+    Status first_cancelled;
+    for (size_t i = 0; i < done.size(); ++i) {
+      Status status = done[i].get();
+      if (status.ok()) continue;
+      if (status.code() == StatusCode::kCancelled) {
+        if (first_cancelled.ok()) {
+          first_cancelled = AnnotateTaskError(i, status);
+        }
+        continue;
+      }
+      if (first_error.ok()) first_error = AnnotateTaskError(i, status);
+    }
+    if (!first_error.ok()) return first_error;
+    // All non-OK statuses were cancellations with no originating error:
+    // cannot happen in this pipeline, but fail loudly rather than return
+    // partially-empty results.
+    if (!first_cancelled.ok()) return first_cancelled;
   }
 
-  std::atomic<bool> cancelled{false};
-  std::vector<std::future<Status>> done;
-  done.reserve(tasks.size());
-  {
-    ThreadPool pool(threads, options.queue_capacity);
-    for (size_t i = 0; i < tasks.size(); ++i) {
-      done.push_back(pool.Submit([&, i]() -> Status {
-        if (cancelled.load(std::memory_order_relaxed)) {
-          return CancelledError("skipped after an earlier task failed");
-        }
-        Status status =
-            RunOneTask(tasks[i], dtd, options.validate, &results[i]);
-        if (!status.ok()) {
-          cancelled.store(true, std::memory_order_relaxed);
-        }
-        return status;
-      }));
-    }
-    // Pool destructor drains and joins; every future below is ready.
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    run.summary.AddTask(tasks[i].xml_text->size(), run.results[i]);
   }
-
-  // Report the lowest-indexed real failure (cancelled tasks only lose to
-  // the error that triggered the cancellation).
-  Status first_error;
-  Status first_cancelled;
-  for (size_t i = 0; i < done.size(); ++i) {
-    Status status = done[i].get();
-    if (status.ok()) continue;
-    if (status.code() == StatusCode::kCancelled) {
-      if (first_cancelled.ok()) first_cancelled = AnnotateTaskError(i, status);
-      continue;
-    }
-    if (first_error.ok()) first_error = AnnotateTaskError(i, status);
-  }
-  if (!first_error.ok()) return first_error;
-  // All non-OK statuses were cancellations with no originating error:
-  // cannot happen in this pipeline, but fail loudly rather than return
-  // partially-empty results.
-  if (!first_cancelled.ok()) return first_cancelled;
-  return results;
+  run.summary.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return run;
 }
 
-Result<std::vector<PipelineResult>> PruneCorpus(
-    std::span<const std::string> corpus, const Dtd& dtd,
-    const NameSet& projector, const PipelineOptions& options) {
+Result<PipelineRun> PruneCorpus(std::span<const std::string> corpus,
+                                const Dtd& dtd, const NameSet& projector,
+                                const PipelineOptions& options) {
   std::vector<PipelineTask> tasks(corpus.size());
   for (size_t i = 0; i < corpus.size(); ++i) {
     tasks[i].xml_text = &corpus[i];
@@ -123,9 +371,10 @@ Result<std::vector<PipelineResult>> PruneCorpus(
   return RunPruningPipeline(tasks, dtd, options);
 }
 
-Result<std::vector<PipelineResult>> PruneCorpusPerQuery(
-    std::span<const std::string> corpus, const Dtd& dtd,
-    std::span<const NameSet> projectors, const PipelineOptions& options) {
+Result<PipelineRun> PruneCorpusPerQuery(std::span<const std::string> corpus,
+                                        const Dtd& dtd,
+                                        std::span<const NameSet> projectors,
+                                        const PipelineOptions& options) {
   std::vector<PipelineTask> tasks(corpus.size() * projectors.size());
   for (size_t d = 0; d < corpus.size(); ++d) {
     for (size_t q = 0; q < projectors.size(); ++q) {

@@ -16,6 +16,13 @@
 // Error handling: the first failing document cancels the tasks still
 // queued (running passes finish their document); the pipeline returns the
 // lowest-indexed task error, annotated with the task index.
+//
+// Observability: every run folds per-task PruneStats into a
+// PipelineSummary (the paper's Table 1 quantities at corpus scale), and
+// PipelineOptions can attach a MetricsRegistry (stage latency histograms,
+// pruning counters, thread-pool queue stats) and a TraceCollector
+// (per-task queue-wait/parse/prune/serialize spans for Perfetto). Both
+// are opt-in; with neither attached the hot path reads no clocks.
 
 #ifndef XMLPROJ_PROJECTION_PIPELINE_H_
 #define XMLPROJ_PROJECTION_PIPELINE_H_
@@ -27,6 +34,8 @@
 #include "common/status.h"
 #include "dtd/dtd.h"
 #include "dtd/name_set.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "projection/pruner.h"
 
 namespace xmlproj {
@@ -40,6 +49,14 @@ struct PipelineOptions {
   bool validate = false;
   // Bound on queued-but-unclaimed tasks; submission blocks beyond it.
   size_t queue_capacity = 256;
+  // Optional telemetry. When `metrics` is set the pipeline publishes the
+  // xmlproj_pipeline_* / xmlproj_stage_* / xmlproj_pool_* metrics (see
+  // README "Observability") into it; when `trace` is set every task emits
+  // queue-wait / parse / [validate+]prune / serialize spans. Both null
+  // (the default) keeps the hot path free of clock reads — the
+  // instrumentation is compiled in but costs nothing disabled.
+  MetricsRegistry* metrics = nullptr;
+  TraceCollector* trace = nullptr;
 };
 
 // One unit of work: prune `xml_text` with `projector`. Both pointers are
@@ -54,22 +71,59 @@ struct PipelineResult {
   PruneStats stats;
 };
 
+// Corpus-level totals: per-task PruneStats folded together plus the byte
+// sizes of inputs and projected outputs — exactly the Table 1 quantities
+// (nodes kept/dropped, size reduction), measured over the whole run.
+struct PipelineSummary {
+  size_t tasks = 0;
+  size_t input_bytes = 0;   // sum of task input XML sizes
+  size_t output_bytes = 0;  // sum of serialized projected outputs
+  size_t input_nodes = 0;
+  size_t kept_nodes = 0;
+  size_t input_text_bytes = 0;
+  size_t kept_text_bytes = 0;
+  double wall_seconds = 0;  // whole-run wall time, all tasks
+
+  // Fraction kept (Table 1's "pruning ratio" is 1 - these).
+  double NodeRatio() const {
+    return input_nodes == 0 ? 1.0
+                            : static_cast<double>(kept_nodes) /
+                                  static_cast<double>(input_nodes);
+  }
+  double ByteRatio() const {
+    return input_bytes == 0 ? 1.0
+                            : static_cast<double>(output_bytes) /
+                                  static_cast<double>(input_bytes);
+  }
+
+  void AddTask(size_t task_input_bytes, const PipelineResult& result);
+};
+
+// A pipeline run: per-task results (aligned with the submitted tasks
+// regardless of scheduling) plus the corpus-level summary, so callers no
+// longer fold per-task stats themselves.
+struct PipelineRun {
+  std::vector<PipelineResult> results;
+  PipelineSummary summary;
+};
+
 // Runs every task through the fused parse → [validate+]prune → serialize
-// pass. results[i] corresponds to tasks[i] regardless of scheduling.
-Result<std::vector<PipelineResult>> RunPruningPipeline(
-    std::span<const PipelineTask> tasks, const Dtd& dtd,
-    const PipelineOptions& options = {});
+// pass. run.results[i] corresponds to tasks[i].
+Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
+                                       const Dtd& dtd,
+                                       const PipelineOptions& options = {});
 
 // Corpus × one (merged workload) projector: results align with `corpus`.
-Result<std::vector<PipelineResult>> PruneCorpus(
-    std::span<const std::string> corpus, const Dtd& dtd,
-    const NameSet& projector, const PipelineOptions& options = {});
+Result<PipelineRun> PruneCorpus(std::span<const std::string> corpus,
+                                const Dtd& dtd, const NameSet& projector,
+                                const PipelineOptions& options = {});
 
 // Corpus × per-query projectors (the multi-query deployment): task and
 // result index is `doc * projectors.size() + query`.
-Result<std::vector<PipelineResult>> PruneCorpusPerQuery(
-    std::span<const std::string> corpus, const Dtd& dtd,
-    std::span<const NameSet> projectors, const PipelineOptions& options = {});
+Result<PipelineRun> PruneCorpusPerQuery(std::span<const std::string> corpus,
+                                        const Dtd& dtd,
+                                        std::span<const NameSet> projectors,
+                                        const PipelineOptions& options = {});
 
 // Aggregate helpers over pipeline results.
 size_t TotalOutputBytes(std::span<const PipelineResult> results);

@@ -172,12 +172,26 @@ TEST(MemoryMeter, BaselineContributesToPeak) {
   EXPECT_EQ(1000u, meter.current());
 }
 
-TEST(MemoryMeter, SubClampsAtZero) {
+// Over-releasing is an accounting bug (double release): debug builds
+// assert, release builds clamp at zero so benches never go negative.
+#ifdef NDEBUG
+TEST(MemoryMeter, SubClampsAtZeroInReleaseBuilds) {
   MemoryMeter meter;
   meter.Add(5);
   meter.Sub(50);
   EXPECT_EQ(0u, meter.current());
 }
+#elif defined(GTEST_HAS_DEATH_TEST) && GTEST_HAS_DEATH_TEST
+TEST(MemoryMeterDeathTest, SubUnderflowAssertsInDebugBuilds) {
+  EXPECT_DEATH(
+      {
+        MemoryMeter meter;
+        meter.Add(5);
+        meter.Sub(50);
+      },
+      "underflow");
+}
+#endif
 
 TEST(MemoryMeter, MeteredBytesGuard) {
   MemoryMeter meter;

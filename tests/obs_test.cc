@@ -1,0 +1,339 @@
+// Tests for the observability subsystem (obs/): counter/gauge/histogram
+// semantics incl. merge, concurrent increments, registry behavior, trace
+// serialization, and exporter golden output.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlproj {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAdds) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Counter, MergeAdds) {
+  Counter a;
+  Counter b;
+  a.Increment(10);
+  b.Increment(32);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Value(), 42u);
+  EXPECT_EQ(b.Value(), 32u);  // source unchanged
+}
+
+TEST(Gauge, SetAddSubAndMax) {
+  Gauge g;
+  g.Set(5);
+  g.Add(10);
+  g.Sub(3);
+  EXPECT_EQ(g.Value(), 12);
+  g.SetMax(7);  // below current: no change
+  EXPECT_EQ(g.Value(), 12);
+  g.SetMax(100);
+  EXPECT_EQ(g.Value(), 100);
+}
+
+TEST(Gauge, MergeTakesMax) {
+  Gauge a;
+  Gauge b;
+  a.Set(10);
+  b.Set(3);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Value(), 10);
+  b.Set(99);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Value(), 99);
+}
+
+TEST(Histogram, BucketBoundariesAreFixedPowersOfTwo) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11u);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1023u);
+  EXPECT_EQ(Histogram::BucketUpperBound(64), UINT64_MAX);
+}
+
+TEST(Histogram, RecordTracksCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Min(), 0u);  // empty: min reported as 0
+  h.Record(10);
+  h.Record(1000);
+  h.Record(3);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 1013u);
+  EXPECT_EQ(h.Min(), 3u);
+  EXPECT_EQ(h.Max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1013.0 / 3.0);
+}
+
+TEST(Histogram, ApproxPercentileIsBucketBoundClampedToMax) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(10);    // bucket le=15
+  for (int i = 0; i < 10; ++i) h.Record(5000);  // bucket le=8191, max=5000
+  EXPECT_EQ(h.ApproxPercentile(0.5), 15u);
+  EXPECT_EQ(h.ApproxPercentile(0.9), 15u);
+  // Top percentile lands in the wide bucket; clamped to observed max.
+  EXPECT_EQ(h.ApproxPercentile(0.99), 5000u);
+  EXPECT_EQ(h.ApproxPercentile(1.0), 5000u);
+}
+
+TEST(Histogram, MergeAddsBucketwiseAndFoldsMinMax) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(1);
+  b.Record(100000);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Count(), 4u);
+  EXPECT_EQ(a.Sum(), 100031u);
+  EXPECT_EQ(a.Min(), 1u);
+  EXPECT_EQ(a.Max(), 100000u);
+  EXPECT_EQ(a.BucketCount(Histogram::BucketIndex(10)), 1u);
+  EXPECT_EQ(a.BucketCount(Histogram::BucketIndex(1)), 1u);
+}
+
+TEST(Histogram, MergeFromEmptyLeavesMinMaxIntact) {
+  Histogram a;
+  Histogram empty;
+  a.Record(7);
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.Count(), 1u);
+  EXPECT_EQ(a.Min(), 7u);
+  EXPECT_EQ(a.Max(), 7u);
+}
+
+TEST(Histogram, ConcurrentRecordsAreLossless) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) * 1000 + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, GetReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  EXPECT_EQ(registry.GetCounter("c"), c);
+  EXPECT_NE(registry.GetCounter("c2"), c);
+  Gauge* g = registry.GetGauge("g");
+  EXPECT_EQ(registry.GetGauge("g"), g);
+  Histogram* h = registry.GetHistogram("h");
+  EXPECT_EQ(registry.GetHistogram("h"), h);
+  // Same name in different metric families is allowed and distinct.
+  registry.GetCounter("same");
+  registry.GetGauge("same");
+}
+
+TEST(MetricsRegistry, MergeFoldsAllFamilies) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("c")->Increment(1);
+  b.GetCounter("c")->Increment(2);
+  b.GetCounter("only_b")->Increment(5);
+  a.GetGauge("peak")->Set(10);
+  b.GetGauge("peak")->Set(99);
+  a.GetHistogram("h")->Record(8);
+  b.GetHistogram("h")->Record(16);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("c")->Value(), 3u);
+  EXPECT_EQ(a.GetCounter("only_b")->Value(), 5u);
+  EXPECT_EQ(a.GetGauge("peak")->Value(), 99);
+  EXPECT_EQ(a.GetHistogram("h")->Count(), 2u);
+  // Self-merge is a documented no-op, not a deadlock.
+  a.MergeFrom(a);
+  EXPECT_EQ(a.GetCounter("c")->Value(), 3u);
+}
+
+TEST(ScopedLatencyTimer, RecordsOneSampleAndNullIsNoop) {
+  Histogram h;
+  { ScopedLatencyTimer timer(&h); }
+  EXPECT_EQ(h.Count(), 1u);
+  { ScopedLatencyTimer timer(nullptr); }  // must not crash
+}
+
+// --- Exporters ---------------------------------------------------------------
+
+TEST(Export, MetricsJsonGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("xmlproj_tasks_total")->Increment(3);
+  registry.GetGauge("xmlproj_queue_depth")->Set(-2);
+  Histogram* h = registry.GetHistogram("xmlproj_latency_ns");
+  h->Record(0);
+  h->Record(5);
+  h->Record(5);
+  std::string json;
+  AppendMetricsJson(registry, &json);
+  const char* expected =
+      "{\n"
+      "  \"counters\": {\n"
+      "    \"xmlproj_tasks_total\": 3\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"xmlproj_queue_depth\": -2\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"xmlproj_latency_ns\": {\"count\":3,\"sum\":10,\"min\":0,"
+      "\"max\":5,\"mean\":3.333,\"p50\":5,\"p90\":5,\"p99\":5,"
+      "\"buckets\":[{\"le\":0,\"count\":1},{\"le\":7,\"count\":2}]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(json, expected);
+}
+
+TEST(Export, EmptyRegistryJsonIsValid) {
+  MetricsRegistry registry;
+  std::string json;
+  AppendMetricsJson(registry, &json);
+  EXPECT_EQ(json,
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+TEST(Export, PrometheusTextGolden) {
+  MetricsRegistry registry;
+  registry.GetCounter("xmlproj_tasks_total")->Increment(7);
+  registry.GetGauge("xmlproj_threads")->Set(4);
+  Histogram* h = registry.GetHistogram("xmlproj_wait_ns");
+  h->Record(1);
+  h->Record(3);
+  h->Record(3);
+  std::string text;
+  AppendPrometheusText(registry, &text);
+  const char* expected =
+      "# TYPE xmlproj_tasks_total counter\n"
+      "xmlproj_tasks_total 7\n"
+      "# TYPE xmlproj_threads gauge\n"
+      "xmlproj_threads 4\n"
+      "# TYPE xmlproj_wait_ns histogram\n"
+      "xmlproj_wait_ns_bucket{le=\"1\"} 1\n"
+      "xmlproj_wait_ns_bucket{le=\"3\"} 3\n"
+      "xmlproj_wait_ns_bucket{le=\"+Inf\"} 3\n"
+      "xmlproj_wait_ns_sum 7\n"
+      "xmlproj_wait_ns_count 3\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(Export, PrometheusNameSanitization) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird.name-1")->Increment();
+  std::string text;
+  AppendPrometheusText(registry, &text);
+  EXPECT_NE(text.find("weird_name_1 1\n"), std::string::npos) << text;
+}
+
+TEST(Export, WriteTextFileRoundTripsAndFailsOnBadPath) {
+  std::string path = ::testing::TempDir() + "/obs_export_test.txt";
+  ASSERT_TRUE(WriteTextFile(path, "hello\n"));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[16] = {};
+  size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "hello\n");
+  EXPECT_FALSE(WriteTextFile("/nonexistent_dir_xyz/file", "x"));
+}
+
+// --- Trace -------------------------------------------------------------------
+
+TEST(Trace, EventsSerializeToChromeFormat) {
+  TraceCollector trace;
+  uint64_t t0 = MonotonicNowNs();
+  trace.AddCompleteEvent("parse", "stage", t0, 1500,
+                         {{"task", 7}});
+  trace.AddCounterEvent("queue depth", t0, 3);
+  EXPECT_EQ(trace.event_count(), 2u);
+  std::string json;
+  trace.AppendChromeTraceJson(&json);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"stage\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"task\":7}"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":3}"), std::string::npos);
+  // Braces/brackets balance: the output parses as JSON.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Trace, ThreadsGetStableSmallTids) {
+  TraceCollector trace;
+  trace.AddCompleteEvent("main1", "t", MonotonicNowNs(), 1);
+  trace.AddCompleteEvent("main2", "t", MonotonicNowNs(), 1);
+  std::thread other([&trace] {
+    trace.AddCompleteEvent("worker", "t", MonotonicNowNs(), 1);
+  });
+  other.join();
+  std::string json;
+  trace.AppendChromeTraceJson(&json);
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(Trace, EscapesJsonSignificantCharactersInNames) {
+  TraceCollector trace;
+  trace.AddCompleteEvent("we\"ird\\name", "c", MonotonicNowNs(), 1);
+  std::string json;
+  trace.AppendChromeTraceJson(&json);
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(Trace, TimestampsRebaseOntoCollectorEpoch) {
+  TraceCollector trace;
+  // A timestamp before the collector existed clamps to 0, not underflow.
+  trace.AddCompleteEvent("early", "c", 0, 1);
+  std::string json;
+  trace.AppendChromeTraceJson(&json);
+  EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmlproj

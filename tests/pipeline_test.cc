@@ -9,6 +9,7 @@
 
 #include "projection/pipeline.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -68,12 +69,12 @@ TEST(PipelineTest, ParallelMatchesSequentialOnXMarkCorpus) {
   parallel.num_threads = 4;
   auto results = PruneCorpus(corpus, XmarkDtd(), *projector, parallel);
   ASSERT_TRUE(results.ok()) << results.status().ToString();
-  ASSERT_EQ(results->size(), corpus.size());
+  ASSERT_EQ(results->results.size(), corpus.size());
   for (size_t i = 0; i < corpus.size(); ++i) {
     std::string expected = ReferencePrune(corpus[i], XmarkDtd(), *projector);
-    EXPECT_EQ((*results)[i].output, expected) << "document " << i;
-    EXPECT_LT((*results)[i].output.size(), corpus[i].size());
-    EXPECT_GT((*results)[i].stats.kept_nodes, 0u);
+    EXPECT_EQ(results->results[i].output, expected) << "document " << i;
+    EXPECT_LT(results->results[i].output.size(), corpus[i].size());
+    EXPECT_GT(results->results[i].stats.kept_nodes, 0u);
   }
 }
 
@@ -91,7 +92,7 @@ TEST(PipelineTest, ValidateModeMatchesValidatingPruner) {
   auto results = PruneCorpus(corpus, XmarkDtd(), *projector, parallel);
   ASSERT_TRUE(results.ok()) << results.status().ToString();
   for (size_t i = 0; i < corpus.size(); ++i) {
-    EXPECT_EQ((*results)[i].output,
+    EXPECT_EQ(results->results[i].output,
               ReferenceValidatePrune(corpus[i], XmarkDtd(), *projector))
         << "document " << i;
   }
@@ -122,9 +123,9 @@ TEST(PipelineTest, ParallelMatchesSequentialOnRandomCorpora) {
     parallel.queue_capacity = 2;  // force submission back-pressure
     auto results = PruneCorpus(corpus, dtd, projector, parallel);
     ASSERT_TRUE(results.ok()) << results.status().ToString();
-    ASSERT_EQ(results->size(), corpus.size());
+    ASSERT_EQ(results->results.size(), corpus.size());
     for (size_t i = 0; i < corpus.size(); ++i) {
-      EXPECT_EQ((*results)[i].output,
+      EXPECT_EQ(results->results[i].output,
                 ReferencePrune(corpus[i], dtd, projector))
           << "seed " << seed << " document " << i;
     }
@@ -148,10 +149,10 @@ TEST(PipelineTest, PerQueryFanOutMatchesPerProjectorReference) {
   auto results = PruneCorpusPerQuery(corpus, XmarkDtd(), *projectors,
                                      parallel);
   ASSERT_TRUE(results.ok()) << results.status().ToString();
-  ASSERT_EQ(results->size(), corpus.size() * queries);
+  ASSERT_EQ(results->results.size(), corpus.size() * queries);
   for (size_t d = 0; d < corpus.size(); ++d) {
     for (size_t q = 0; q < queries; ++q) {
-      EXPECT_EQ((*results)[d * queries + q].output,
+      EXPECT_EQ(results->results[d * queries + q].output,
                 ReferencePrune(corpus[d], XmarkDtd(), (*projectors)[q]))
           << "document " << d << " query " << q;
     }
@@ -213,7 +214,8 @@ TEST(PipelineTest, EmptyCorpusYieldsEmptyResults) {
   ASSERT_TRUE(projector.ok());
   auto results = PruneCorpus({}, XmarkDtd(), *projector, {});
   ASSERT_TRUE(results.ok());
-  EXPECT_TRUE(results->empty());
+  EXPECT_TRUE(results->results.empty());
+  EXPECT_EQ(results->summary.tasks, 0u);
 }
 
 TEST(PipelineTest, NullTaskPointersAreRejected) {
@@ -229,6 +231,141 @@ TEST(PipelineTest, TotalOutputBytesSumsResults) {
   results[0].output = "<a/>";
   results[1].output = "<bb/>";
   EXPECT_EQ(TotalOutputBytes(results), 9u);
+}
+
+// The summary returned with the run must equal the sequential fold of the
+// per-task stats — callers no longer fold themselves, so this is the
+// contract that keeps corpus-level telemetry honest.
+TEST(PipelineTest, SummaryEqualsSequentialFoldOfTaskStats) {
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 5;
+  corpus_options.scale = 0.0005;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+  auto projector = WorkloadProjector(XmarkDtd(), XMarkDashboardWorkload());
+  ASSERT_TRUE(projector.ok()) << projector.status().ToString();
+
+  PipelineOptions parallel;
+  parallel.num_threads = 4;
+  auto run = PruneCorpus(corpus, XmarkDtd(), *projector, parallel);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  PipelineSummary fold;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    fold.AddTask(corpus[i].size(), run->results[i]);
+  }
+  const PipelineSummary& summary = run->summary;
+  EXPECT_EQ(summary.tasks, fold.tasks);
+  EXPECT_EQ(summary.tasks, corpus.size());
+  EXPECT_EQ(summary.input_bytes, fold.input_bytes);
+  EXPECT_EQ(summary.input_bytes, CorpusBytes(corpus));
+  EXPECT_EQ(summary.output_bytes, fold.output_bytes);
+  EXPECT_EQ(summary.output_bytes, TotalOutputBytes(run->results));
+  EXPECT_EQ(summary.input_nodes, fold.input_nodes);
+  EXPECT_EQ(summary.kept_nodes, fold.kept_nodes);
+  EXPECT_EQ(summary.input_text_bytes, fold.input_text_bytes);
+  EXPECT_EQ(summary.kept_text_bytes, fold.kept_text_bytes);
+  EXPECT_GT(summary.wall_seconds, 0.0);
+  EXPECT_GT(summary.NodeRatio(), 0.0);
+  EXPECT_LT(summary.NodeRatio(), 1.0);
+  EXPECT_LT(summary.ByteRatio(), 1.0);
+
+  // Same corpus sequentially: identical totals (wall time aside).
+  PipelineOptions sequential;
+  sequential.num_threads = 1;
+  auto seq = PruneCorpus(corpus, XmarkDtd(), *projector, sequential);
+  ASSERT_TRUE(seq.ok()) << seq.status().ToString();
+  EXPECT_EQ(seq->summary.input_nodes, summary.input_nodes);
+  EXPECT_EQ(seq->summary.kept_nodes, summary.kept_nodes);
+  EXPECT_EQ(seq->summary.output_bytes, summary.output_bytes);
+}
+
+// With a registry attached, the pipeline counters must agree with the
+// summary, and the stage histograms must hold one sample per task.
+TEST(PipelineTest, MetricsRegistryMatchesSummary) {
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 4;
+  corpus_options.scale = 0.0005;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+  auto projector = WorkloadProjector(XmarkDtd(), XMarkDashboardWorkload());
+  ASSERT_TRUE(projector.ok()) << projector.status().ToString();
+
+  MetricsRegistry registry;
+  PipelineOptions parallel;
+  parallel.num_threads = 3;
+  parallel.metrics = &registry;
+  auto run = PruneCorpus(corpus, XmarkDtd(), *projector, parallel);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  const PipelineSummary& summary = run->summary;
+  EXPECT_EQ(registry.GetCounter("xmlproj_pipeline_tasks_total")->Value(),
+            summary.tasks);
+  EXPECT_EQ(registry.GetCounter("xmlproj_pipeline_input_bytes_total")->Value(),
+            summary.input_bytes);
+  EXPECT_EQ(
+      registry.GetCounter("xmlproj_pipeline_output_bytes_total")->Value(),
+      summary.output_bytes);
+  EXPECT_EQ(registry.GetCounter("xmlproj_pipeline_input_nodes_total")->Value(),
+            summary.input_nodes);
+  EXPECT_EQ(registry.GetCounter("xmlproj_pipeline_kept_nodes_total")->Value(),
+            summary.kept_nodes);
+  EXPECT_EQ(registry.GetCounter("xmlproj_pipeline_errors_total")->Value(), 0u);
+  EXPECT_EQ(registry.GetGauge("xmlproj_pipeline_threads")->Value(), 3);
+
+  for (const char* stage :
+       {"xmlproj_stage_parse_ns", "xmlproj_stage_prune_ns",
+        "xmlproj_stage_serialize_ns", "xmlproj_stage_task_ns"}) {
+    EXPECT_EQ(registry.GetHistogram(stage)->Count(), summary.tasks) << stage;
+  }
+  // Stage attribution tiles the task: parse+prune+serialize == task total.
+  EXPECT_EQ(registry.GetHistogram("xmlproj_stage_parse_ns")->Sum() +
+                registry.GetHistogram("xmlproj_stage_prune_ns")->Sum() +
+                registry.GetHistogram("xmlproj_stage_serialize_ns")->Sum(),
+            registry.GetHistogram("xmlproj_stage_task_ns")->Sum());
+  // Pool telemetry: every task ran on a worker.
+  EXPECT_EQ(registry.GetCounter("xmlproj_pool_tasks_total")->Value(),
+            summary.tasks);
+  EXPECT_EQ(registry.GetHistogram("xmlproj_pool_task_wait_ns")->Count(),
+            summary.tasks);
+
+  // Instrumentation must not perturb the output.
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(run->results[i].output,
+              ReferencePrune(corpus[i], XmarkDtd(), *projector))
+        << "document " << i;
+  }
+}
+
+// Tracing emits queue-wait plus the three stage spans per task, and the
+// chrome trace serialization is well-formed JSON.
+TEST(PipelineTest, TraceCollectorRecordsStageSpans) {
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 3;
+  corpus_options.scale = 0.0005;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+  auto projector = WorkloadProjector(XmarkDtd(), XMarkDashboardWorkload());
+  ASSERT_TRUE(projector.ok()) << projector.status().ToString();
+
+  TraceCollector trace;
+  PipelineOptions parallel;
+  parallel.num_threads = 2;
+  parallel.trace = &trace;
+  auto run = PruneCorpus(corpus, XmarkDtd(), *projector, parallel);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  // Per task: queue-wait + parse + prune + serialize, plus pool queue
+  // depth counter events.
+  EXPECT_GE(trace.event_count(), corpus.size() * 4);
+  std::string json;
+  trace.AppendChromeTraceJson(&json);
+  for (const char* needle :
+       {"\"traceEvents\"", "\"queue-wait\"", "\"parse\"", "\"prune\"",
+        "\"serialize\"", "\"queue depth\"", "\"ph\":\"X\"", "\"ph\":\"C\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
 }
 
 }  // namespace
