@@ -3,40 +3,53 @@
 //
 // Usage:
 //   parallel_prune_tool [--docs=N] [--scale=S] [--threads=T] [--validate]
-//                       [--per-query] [--sweep]
+//                       [--per-query] [--sweep] [--input=PATH ...]
+//                       [--policy=failfast|isolate|retry] [--retries=N]
+//                       [--max-bytes=N] [--deadline-ms=N] [--degrade]
+//                       [--failpoints=SPEC] [--failures-out=PATH]
 //                       [--metrics-out=PATH] [--trace-out=PATH]
 //                       [--prometheus-out=PATH]
 //
-// Generates a corpus of N XMark documents (xmlgen scale S each), infers
-// the dashboard workload's projectors (merged by default, one task per
-// document; --per-query fans documents × queries with per-query
+// Generates a corpus of N XMark documents (xmlgen scale S each) — or, with
+// one or more --input flags, reads the corpus from XML files instead —
+// infers the dashboard workload's projectors (merged by default, one task
+// per document; --per-query fans documents × queries with per-query
 // projectors), prunes the corpus on T workers (default: all cores) and
 // prints aggregate throughput, size reduction, and the corpus pruning
 // summary. --sweep instead times thread counts 1..T and prints the
 // speedup curve. --validate fuses DTD validation of the input into the
 // pruning pass.
 //
-// Observability (README "Observability"): --metrics-out writes the
-// MetricsRegistry JSON dump (stage latency histograms, pruning counters,
-// thread-pool queue stats), --prometheus-out the same registry in
-// Prometheus text format, and --trace-out a Chrome-trace/Perfetto JSON
-// with per-task queue-wait/parse/prune/serialize spans. Any of these
-// flags enables instrumentation; with all absent the run is
-// uninstrumented (no clock reads on the hot path).
+// Fault tolerance (README "Fault tolerance"): --policy selects the error
+// policy (failfast is the default; isolate quarantines failing documents
+// and prints a TaskFailure report; retry adds bounded retries for
+// transient faults, --retries attempts per task). --max-bytes and
+// --deadline-ms set the per-task resource budget, --degrade enables the
+// identity-pass fallback for off-grammar documents, and --failpoints arms
+// the deterministic fault injector (same spec syntax as the
+// XMLPROJ_FAILPOINTS environment variable, which is honored when the flag
+// is absent). --failures-out writes the TaskFailure report as JSON.
 //
-// Each per-document pass is still the paper's single bufferless one-pass
-// traversal — parallelism is purely across documents/queries, so the
-// output is byte-identical to the sequential pruner's (see
-// tests/pipeline_test.cc).
+// Observability (README "Observability"): --metrics-out writes the
+// MetricsRegistry JSON dump, --prometheus-out the same registry in
+// Prometheus text format, and --trace-out a Chrome-trace/Perfetto JSON.
+//
+// Exit codes: 0 success; 1 pipeline failure; 2 bad flag or usage;
+// 3 missing/unreadable input file; 4 empty corpus; 5 setup (DTD or
+// projector inference) failure; 6 telemetry/report write failure.
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -48,6 +61,120 @@ namespace {
 
 using namespace xmlproj;
 
+constexpr int kExitPipelineFailure = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInputFile = 3;
+constexpr int kExitEmptyCorpus = 4;
+constexpr int kExitSetupFailure = 5;
+constexpr int kExitTelemetryWrite = 6;
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: parallel_prune_tool [--docs=N] [--scale=S] [--threads=T]\n"
+      "                           [--validate] [--per-query] [--sweep]\n"
+      "                           [--input=PATH ...]\n"
+      "                           [--policy=failfast|isolate|retry]\n"
+      "                           [--retries=N] [--max-bytes=N]\n"
+      "                           [--deadline-ms=N] [--degrade]\n"
+      "                           [--failpoints=SPEC] [--failures-out=PATH]\n"
+      "                           [--metrics-out=PATH] [--trace-out=PATH]\n"
+      "                           [--prometheus-out=PATH]\n");
+}
+
+// Strict numeric flag parsing: the whole value must consume, no silent
+// atoi-style truncation of "4x" to 4.
+bool ParseLong(const char* text, long* out) {
+  if (*text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const char* text, double* out) {
+  if (*text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+int BadFlag(const char* flag, const char* value, const char* expected) {
+  std::fprintf(stderr, "parallel_prune_tool: bad value '%s' for %s (%s)\n",
+               value, flag, expected);
+  return kExitUsage;
+}
+
+bool ReadInputFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return false;
+  *out = std::move(buffer).str();
+  return true;
+}
+
+void AppendJsonEscaped(const std::string& text, std::string* out) {
+  for (char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// TaskFailure report as JSON, the artifact the CI chaos job uploads.
+std::string FailureReportJson(const PipelineRun& run) {
+  std::string json = "{\n";
+  json += "  \"failed\": " + std::to_string(run.summary.failed) + ",\n";
+  json += "  \"degraded\": " + std::to_string(run.summary.degraded) + ",\n";
+  json += "  \"retries\": " + std::to_string(run.summary.retries) + ",\n";
+  json += "  \"failures\": [";
+  for (size_t i = 0; i < run.failures.size(); ++i) {
+    const TaskFailure& f = run.failures[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {\"task\": " + std::to_string(f.task) + ", \"stage\": \"" +
+            f.stage + "\", \"code\": \"" + StatusCodeName(f.status.code()) +
+            "\", \"attempts\": " + std::to_string(f.attempts) +
+            ", \"peak_bytes\": " + std::to_string(f.peak_bytes) +
+            ", \"message\": \"";
+    AppendJsonEscaped(f.status.message(), &json);
+    json += "\"}";
+  }
+  json += run.failures.empty() ? "]\n" : "\n  ]\n";
+  json += "}\n";
+  return json;
+}
+
+void PrintFailureReport(const PipelineRun& run) {
+  if (run.failures.empty()) return;
+  std::printf("\nquarantined tasks (%zu):\n", run.failures.size());
+  for (const TaskFailure& f : run.failures) {
+    std::printf("  task %-4zu stage=%-9s attempts=%d%s%s  %s\n", f.task,
+                f.stage.c_str(), f.attempts,
+                f.peak_bytes != 0 ? " peak_bytes=" : "",
+                f.peak_bytes != 0 ? std::to_string(f.peak_bytes).c_str() : "",
+                f.status.ToString().c_str());
+  }
+}
+
 double RunOnce(const std::vector<std::string>& corpus, const Dtd& dtd,
                const NameSet& merged, const std::vector<NameSet>& per_query,
                bool use_per_query, const PipelineOptions& options,
@@ -58,7 +185,7 @@ double RunOnce(const std::vector<std::string>& corpus, const Dtd& dtd,
           : PruneCorpus(corpus, dtd, merged, options);
   if (!results.ok()) {
     std::fprintf(stderr, "pipeline: %s\n", results.status().ToString().c_str());
-    std::exit(1);
+    std::exit(kExitPipelineFailure);
   }
   *out = std::move(results).value();
   return out->summary.wall_seconds;
@@ -66,7 +193,12 @@ double RunOnce(const std::vector<std::string>& corpus, const Dtd& dtd,
 
 void PrintSummary(const PipelineSummary& s) {
   std::printf("\ncorpus pruning summary (Table 1 quantities):\n");
-  std::printf("  tasks                %zu\n", s.tasks);
+  std::printf("  tasks completed      %zu\n", s.tasks);
+  if (s.failed != 0 || s.degraded != 0 || s.retries != 0) {
+    std::printf("  quarantined          %zu\n", s.failed);
+    std::printf("  degraded (identity)  %zu\n", s.degraded);
+    std::printf("  retries              %zu\n", s.retries);
+  }
   std::printf("  input bytes          %zu (%.2f MB)\n", s.input_bytes,
               s.input_bytes / (1024.0 * 1024.0));
   std::printf("  output bytes         %zu (%.1f%% kept)\n", s.output_bytes,
@@ -122,29 +254,78 @@ bool DumpToFile(const char* what, const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  int docs = 8;
+  long docs = 8;
   double scale = 0.002;
-  int threads = 0;  // hardware
+  long threads = 0;  // hardware
   bool validate = false;
   bool per_query = false;
   bool sweep = false;
+  std::vector<std::string> input_paths;
+  ErrorPolicy policy = ErrorPolicy::kFailFast;
+  long retries = 3;
+  long max_bytes = 0;
+  long deadline_ms = 0;
+  bool degrade = false;
+  std::string failpoints;
+  std::string failures_out;
   std::string metrics_out;
   std::string prometheus_out;
   std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--docs=", 7) == 0) {
-      docs = std::atoi(arg + 7);
+      if (!ParseLong(arg + 7, &docs) || docs < 0) {
+        return BadFlag("--docs", arg + 7, "expected an integer >= 0");
+      }
     } else if (std::strncmp(arg, "--scale=", 8) == 0) {
-      scale = std::atof(arg + 8);
+      if (!ParseDouble(arg + 8, &scale) || scale <= 0) {
+        return BadFlag("--scale", arg + 8, "expected a number > 0");
+      }
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      threads = std::atoi(arg + 10);
+      if (!ParseLong(arg + 10, &threads) || threads < 0) {
+        return BadFlag("--threads", arg + 10, "expected an integer >= 0");
+      }
     } else if (std::strcmp(arg, "--validate") == 0) {
       validate = true;
     } else if (std::strcmp(arg, "--per-query") == 0) {
       per_query = true;
     } else if (std::strcmp(arg, "--sweep") == 0) {
       sweep = true;
+    } else if (std::strncmp(arg, "--input=", 8) == 0) {
+      if (arg[8] == '\0') {
+        return BadFlag("--input", "", "expected a file path");
+      }
+      input_paths.emplace_back(arg + 8);
+    } else if (std::strncmp(arg, "--policy=", 9) == 0) {
+      const char* value = arg + 9;
+      if (std::strcmp(value, "failfast") == 0) {
+        policy = ErrorPolicy::kFailFast;
+      } else if (std::strcmp(value, "isolate") == 0) {
+        policy = ErrorPolicy::kIsolate;
+      } else if (std::strcmp(value, "retry") == 0) {
+        policy = ErrorPolicy::kRetry;
+      } else {
+        return BadFlag("--policy", value,
+                       "expected failfast, isolate, or retry");
+      }
+    } else if (std::strncmp(arg, "--retries=", 10) == 0) {
+      if (!ParseLong(arg + 10, &retries) || retries < 1) {
+        return BadFlag("--retries", arg + 10, "expected an integer >= 1");
+      }
+    } else if (std::strncmp(arg, "--max-bytes=", 12) == 0) {
+      if (!ParseLong(arg + 12, &max_bytes) || max_bytes < 0) {
+        return BadFlag("--max-bytes", arg + 12, "expected an integer >= 0");
+      }
+    } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
+      if (!ParseLong(arg + 14, &deadline_ms) || deadline_ms < 0) {
+        return BadFlag("--deadline-ms", arg + 14, "expected an integer >= 0");
+      }
+    } else if (std::strcmp(arg, "--degrade") == 0) {
+      degrade = true;
+    } else if (std::strncmp(arg, "--failpoints=", 13) == 0) {
+      failpoints = arg + 13;
+    } else if (std::strncmp(arg, "--failures-out=", 15) == 0) {
+      failures_out = arg + 15;
     } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
       metrics_out = arg + 14;
     } else if (std::strncmp(arg, "--prometheus-out=", 17) == 0) {
@@ -152,40 +333,74 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       trace_out = arg + 12;
     } else {
-      std::fprintf(stderr,
-                   "usage: parallel_prune_tool [--docs=N] [--scale=S] "
-                   "[--threads=T] [--validate] [--per-query] [--sweep]\n"
-                   "                           [--metrics-out=PATH] "
-                   "[--prometheus-out=PATH] [--trace-out=PATH]\n");
-      return 2;
+      std::fprintf(stderr, "parallel_prune_tool: unknown flag '%s'\n", arg);
+      PrintUsage();
+      return kExitUsage;
     }
   }
-  if (docs < 1) docs = 1;
   if (threads <= 0) {
-    threads = static_cast<int>(
+    threads = static_cast<long>(
         std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  // Fault injector: --failpoints wins; otherwise honor XMLPROJ_FAILPOINTS.
+  FaultInjector flag_injector;
+  FaultInjector* fault = nullptr;
+  if (!failpoints.empty()) {
+    Status armed = flag_injector.ArmFromSpec(failpoints);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "parallel_prune_tool: bad --failpoints spec: %s\n",
+                   armed.ToString().c_str());
+      return kExitUsage;
+    }
+    fault = &flag_injector;
+  } else {
+    fault = FaultInjector::FromEnv();
   }
 
   auto dtd = LoadXMarkDtd();
   if (!dtd.ok()) {
     std::fprintf(stderr, "DTD: %s\n", dtd.status().ToString().c_str());
-    return 1;
+    return kExitSetupFailure;
   }
 
-  XMarkCorpusOptions corpus_options;
-  corpus_options.documents = docs;
-  corpus_options.scale = scale;
-  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
-  size_t in_bytes = CorpusBytes(corpus);
-  std::printf("corpus: %d XMark documents, %.2f MB total\n", docs,
-              in_bytes / (1024.0 * 1024.0));
+  std::vector<std::string> corpus;
+  size_t in_bytes = 0;
+  if (!input_paths.empty()) {
+    for (const std::string& path : input_paths) {
+      std::string text;
+      if (!ReadInputFile(path, &text)) {
+        std::fprintf(stderr,
+                     "parallel_prune_tool: cannot read input file '%s'\n",
+                     path.c_str());
+        return kExitInputFile;
+      }
+      corpus.push_back(std::move(text));
+    }
+    in_bytes = CorpusBytes(corpus);
+    std::printf("corpus: %zu input files, %.2f MB total\n", corpus.size(),
+                in_bytes / (1024.0 * 1024.0));
+  } else {
+    XMarkCorpusOptions corpus_options;
+    corpus_options.documents = static_cast<int>(docs);
+    corpus_options.scale = scale;
+    corpus = GenerateXMarkCorpus(corpus_options);
+    in_bytes = CorpusBytes(corpus);
+    std::printf("corpus: %ld XMark documents, %.2f MB total\n", docs,
+                in_bytes / (1024.0 * 1024.0));
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "parallel_prune_tool: the corpus is empty "
+                         "(use --docs=N or --input=PATH)\n");
+    return kExitEmptyCorpus;
+  }
 
   auto merged = WorkloadProjector(*dtd, XMarkDashboardWorkload());
   auto per_query_projectors =
       WorkloadProjectors(*dtd, XMarkDashboardWorkload());
   if (!merged.ok() || !per_query_projectors.ok()) {
     std::fprintf(stderr, "projector inference failed\n");
-    return 1;
+    return kExitSetupFailure;
   }
   std::printf("workload: %zu queries, merged projector keeps %zu/%zu names"
               "%s%s\n",
@@ -201,6 +416,12 @@ int main(int argc, char** argv) {
   TraceCollector trace;
   PipelineOptions options;
   options.validate = validate;
+  options.policy = policy;
+  options.retry.max_attempts = static_cast<int>(retries);
+  options.budget.max_bytes = static_cast<size_t>(max_bytes);
+  options.budget.deadline_ms = static_cast<uint64_t>(deadline_ms);
+  options.degrade_on_invalid = degrade;
+  options.fault = fault;
   if (instrument) {
     options.metrics = &registry;
     if (!trace_out.empty()) options.trace = &trace;
@@ -209,28 +430,33 @@ int main(int argc, char** argv) {
   PipelineRun run;
   if (sweep) {
     double base = 0;
-    for (int t = 1; t <= threads; t = t < threads ? std::min(t * 2, threads)
-                                                  : threads + 1) {
-      options.num_threads = t;
+    for (long t = 1; t <= threads; t = t < threads ? std::min(t * 2, threads)
+                                                   : threads + 1) {
+      options.num_threads = static_cast<int>(t);
       double seconds = RunOnce(corpus, *dtd, *merged, *per_query_projectors,
                                per_query, options, &run);
       if (t == 1) base = seconds;
-      std::printf("  threads=%-2d  %8.1f ms  %7.1f MB/s  speedup %.2fx\n", t,
+      std::printf("  threads=%-2ld  %8.1f ms  %7.1f MB/s  speedup %.2fx\n", t,
                   seconds * 1e3, in_bytes / seconds / (1024.0 * 1024.0),
                   base / seconds);
     }
   } else {
-    options.num_threads = threads;
+    options.num_threads = static_cast<int>(threads);
     double seconds = RunOnce(corpus, *dtd, *merged, *per_query_projectors,
                              per_query, options, &run);
-    std::printf("%zu tasks on %d threads: %.1f ms, %.1f MB/s\n", tasks,
+    std::printf("%zu tasks on %ld threads: %.1f ms, %.1f MB/s\n", tasks,
                 threads, seconds * 1e3,
                 in_bytes / seconds / (1024.0 * 1024.0));
   }
   PrintSummary(run.summary);
+  PrintFailureReport(run);
   if (instrument) PrintStageTable(registry);
 
   bool io_ok = true;
+  if (!failures_out.empty()) {
+    io_ok = DumpToFile("failure report", failures_out, FailureReportJson(run))
+            && io_ok;
+  }
   if (!metrics_out.empty()) {
     std::string json;
     AppendMetricsJson(registry, &json);
@@ -246,5 +472,5 @@ int main(int argc, char** argv) {
     trace.AppendChromeTraceJson(&json);
     io_ok = DumpToFile("Chrome trace", trace_out, json) && io_ok;
   }
-  return io_ok ? 0 : 1;
+  return io_ok ? 0 : kExitTelemetryWrite;
 }

@@ -16,6 +16,12 @@ const char* StatusCodeName(StatusCode code) {
       return "NOT_FOUND";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
     case StatusCode::kInternal:
       return "INTERNAL";
   }

@@ -31,6 +31,14 @@ enum class StatusCode {
   // skipped after an earlier document failed, a task submitted to a
   // shut-down thread pool).
   kCancelled,
+  // A per-task resource budget was exhausted (e.g. the pruning pass hit
+  // its byte cap). Retrying without raising the budget will fail again.
+  kResourceExhausted,
+  // A per-task wall-clock deadline passed before the operation finished.
+  kDeadlineExceeded,
+  // A transient failure (e.g. an I/O hiccup): retrying the same operation
+  // may succeed. The pipeline's kRetry policy retries exactly this code.
+  kUnavailable,
   kInternal,
 };
 
@@ -72,6 +80,15 @@ inline Status NotFoundError(std::string message) {
 }
 inline Status CancelledError(std::string message) {
   return Status(StatusCode::kCancelled, std::move(message));
+}
+inline Status ResourceExhaustedError(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+inline Status DeadlineExceededError(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+inline Status UnavailableError(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 inline Status InternalError(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));

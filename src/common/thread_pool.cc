@@ -5,10 +5,11 @@
 namespace xmlproj {
 
 ThreadPool::ThreadPool(int num_threads, size_t queue_capacity,
-                       ThreadPoolMetrics metrics)
+                       ThreadPoolMetrics metrics, FaultInjector* fault)
     : queue_(queue_capacity),
       metrics_(metrics),
-      instrumented_(metrics.enabled()) {
+      instrumented_(metrics.enabled()),
+      fault_(fault) {
   if (num_threads <= 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
@@ -46,15 +47,51 @@ std::future<Status> ThreadPool::Submit(std::function<Status()> task) {
   return done;
 }
 
-void ThreadPool::Shutdown() {
-  queue_.Close();
+void ThreadPool::Join() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
 }
 
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  Join();
+}
+
+bool ThreadPool::Shutdown(std::chrono::milliseconds drain_timeout) {
+  uint64_t deadline_ns =
+      MonotonicNowNs() +
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(drain_timeout)
+              .count());
+  cancel_after_ns_.store(deadline_ns, std::memory_order_relaxed);
+  queue_.Close();
+  Join();
+  return cancelled_tasks_.load(std::memory_order_relaxed) == 0;
+}
+
 void ThreadPool::WorkerLoop() {
   while (std::optional<Task> task = queue_.Pop()) {
+    // Deadline shutdown: queued tasks past the drain deadline resolve to
+    // kCancelled instead of running. One relaxed load in the common case.
+    uint64_t cancel_after = cancel_after_ns_.load(std::memory_order_relaxed);
+    if (cancel_after != UINT64_MAX && MonotonicNowNs() >= cancel_after) {
+      cancelled_tasks_.fetch_add(1, std::memory_order_relaxed);
+      task->done.set_value(
+          CancelledError("thread pool drain deadline passed before this "
+                         "task could run"));
+      continue;
+    }
+    if (fault_ != nullptr) {
+      Status injected = fault_->MaybeFail("pool.task");
+      if (!injected.ok()) {
+        // Worker-level failure: the task never runs; its future carries
+        // the injected status. Delay-only fires fall through and run the
+        // task late (a slow worker).
+        task->done.set_value(std::move(injected));
+        continue;
+      }
+    }
     if (!instrumented_) {
       task->done.set_value(task->fn());
       continue;

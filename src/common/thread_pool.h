@@ -11,6 +11,8 @@
 #ifndef XMLPROJ_COMMON_THREAD_POOL_H_
 #define XMLPROJ_COMMON_THREAD_POOL_H_
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -21,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -119,12 +122,20 @@ struct ThreadPoolMetrics {
 // Fixed-size worker pool. Submitted tasks return Status; the returned
 // future resolves to that Status (or kCancelled if the pool shut down
 // before the task could be queued). Destruction drains queued tasks and
-// joins the workers.
+// joins the workers. Every future a Submit call ever returned resolves —
+// a task is run, cancelled, or failed by an injected fault, never
+// silently dropped.
+//
+// `fault` (optional) arms the "pool.task" failpoint: each fire either
+// delays the task (delay-only spec — a slow worker) or resolves its
+// future with the injected Status without running it (a worker-level
+// failure). See common/fault.h.
 class ThreadPool {
  public:
   // num_threads <= 0 selects hardware concurrency (at least 1).
   explicit ThreadPool(int num_threads, size_t queue_capacity = 1024,
-                      ThreadPoolMetrics metrics = {});
+                      ThreadPoolMetrics metrics = {},
+                      FaultInjector* fault = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -133,10 +144,25 @@ class ThreadPool {
   std::future<Status> Submit(std::function<Status()> task);
 
   // Stops accepting new tasks, runs everything already queued, joins.
-  // Idempotent; implied by the destructor.
+  // Idempotent; implied by the destructor. Tasks submitted concurrently
+  // with (or after) Shutdown resolve to kCancelled instead of hanging.
   void Shutdown();
 
+  // Bounded drain: stops accepting new tasks and gives queued tasks until
+  // `drain_timeout` from now to *start*; tasks still queued past the
+  // deadline resolve to kCancelled without running. Returns true iff
+  // everything queued ran. In-flight tasks are never interrupted (there
+  // is no safe way to kill a thread), so a genuinely wedged task still
+  // blocks the join — the deadline bounds queued work, which is what
+  // grows unboundedly under load.
+  bool Shutdown(std::chrono::milliseconds drain_timeout);
+
   int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Tasks resolved to kCancelled by a deadline Shutdown.
+  uint64_t cancelled_tasks() const {
+    return cancelled_tasks_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Task {
@@ -147,10 +173,17 @@ class ThreadPool {
 
   void WorkerLoop();
   void SampleQueueDepth();
+  void Join();
 
   BoundedQueue<Task> queue_;
   const ThreadPoolMetrics metrics_;
   const bool instrumented_;
+  FaultInjector* const fault_;
+  // Monotonic-ns deadline after which queued tasks are cancelled instead
+  // of run; UINT64_MAX = no deadline (the common case — workers then skip
+  // the clock read entirely).
+  std::atomic<uint64_t> cancel_after_ns_{UINT64_MAX};
+  std::atomic<uint64_t> cancelled_tasks_{0};
   std::vector<std::thread> workers_;
 };
 

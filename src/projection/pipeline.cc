@@ -3,8 +3,12 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <optional>
+#include <thread>
 #include <utility>
 
+#include "common/memory_meter.h"
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -24,6 +28,12 @@ struct PipelineMetrics {
   Counter* kept_nodes_total = nullptr;
   Counter* input_text_bytes_total = nullptr;
   Counter* kept_text_bytes_total = nullptr;
+  // Fault-tolerance counters (README "Fault tolerance").
+  Counter* retries_total = nullptr;
+  Counter* isolated_total = nullptr;
+  Counter* degraded_total = nullptr;
+  Counter* deadline_exceeded_total = nullptr;
+  Counter* resource_exhausted_total = nullptr;
   Histogram* parse_ns = nullptr;
   Histogram* prune_ns = nullptr;
   Histogram* serialize_ns = nullptr;
@@ -47,6 +57,15 @@ struct PipelineMetrics {
         registry->GetCounter("xmlproj_pipeline_input_text_bytes_total");
     m.kept_text_bytes_total =
         registry->GetCounter("xmlproj_pipeline_kept_text_bytes_total");
+    m.retries_total = registry->GetCounter("xmlproj_pipeline_retries_total");
+    m.isolated_total =
+        registry->GetCounter("xmlproj_pipeline_isolated_total");
+    m.degraded_total =
+        registry->GetCounter("xmlproj_pipeline_degraded_total");
+    m.deadline_exceeded_total =
+        registry->GetCounter("xmlproj_pipeline_deadline_exceeded_total");
+    m.resource_exhausted_total =
+        registry->GetCounter("xmlproj_pipeline_resource_exhausted_total");
     m.parse_ns = registry->GetHistogram("xmlproj_stage_parse_ns");
     m.prune_ns = registry->GetHistogram("xmlproj_stage_prune_ns");
     m.serialize_ns = registry->GetHistogram("xmlproj_stage_serialize_ns");
@@ -129,6 +148,141 @@ class TimingSaxFilter : public SaxHandler {
   uint64_t elapsed_ns_ = 0;
 };
 
+// Per-open-element bookkeeping charge for the budget meter: the pruner /
+// validator / parser stacks each keep O(1) state per open element.
+constexpr size_t kStackFrameBytes = 64;
+
+// SAX filter enforcing a TaskBudget over the fused pass. Placed outermost
+// (right below the parser) so it sees every event, pruned or kept:
+//
+//  - wall-clock deadline: one steady-clock read before each event (only
+//    when a deadline is configured), converting a stalled pass into
+//    kDeadlineExceeded at event granularity;
+//  - byte cap: after each event, the growth of the serialized output plus
+//    the open-element stack charge is fed to a MemoryMeter; crossing the
+//    cap aborts with kResourceExhausted within one event of the cap (the
+//    overshoot is bounded by a single event's output).
+class BudgetGuard : public SaxHandler {
+ public:
+  BudgetGuard(SaxHandler* downstream, const std::string* output,
+              const TaskBudget& budget)
+      : downstream_(downstream),
+        output_(output),
+        max_bytes_(budget.max_bytes),
+        deadline_ms_(budget.deadline_ms) {
+    if (budget.deadline_ms > 0) {
+      deadline_ns_ =
+          MonotonicNowNs() + budget.deadline_ms * uint64_t{1000000};
+    }
+  }
+
+  size_t peak_bytes() const { return meter_.peak(); }
+
+  Status StartDocument() override {
+    XMLPROJ_RETURN_IF_ERROR(CheckDeadline());
+    XMLPROJ_RETURN_IF_ERROR(downstream_->StartDocument());
+    return Account(0, 0);
+  }
+  Status EndDocument() override {
+    XMLPROJ_RETURN_IF_ERROR(CheckDeadline());
+    XMLPROJ_RETURN_IF_ERROR(downstream_->EndDocument());
+    return Account(0, 0);
+  }
+  Status StartElement(std::string_view tag,
+                      const std::vector<SaxAttribute>& attributes) override {
+    XMLPROJ_RETURN_IF_ERROR(CheckDeadline());
+    XMLPROJ_RETURN_IF_ERROR(downstream_->StartElement(tag, attributes));
+    return Account(tag.size() + kStackFrameBytes, 0);
+  }
+  Status EndElement(std::string_view tag) override {
+    XMLPROJ_RETURN_IF_ERROR(CheckDeadline());
+    XMLPROJ_RETURN_IF_ERROR(downstream_->EndElement(tag));
+    return Account(0, tag.size() + kStackFrameBytes);
+  }
+  Status Characters(std::string_view text) override {
+    XMLPROJ_RETURN_IF_ERROR(CheckDeadline());
+    XMLPROJ_RETURN_IF_ERROR(downstream_->Characters(text));
+    return Account(0, 0);
+  }
+  Status Doctype(std::string_view name,
+                 std::string_view internal_subset) override {
+    XMLPROJ_RETURN_IF_ERROR(CheckDeadline());
+    XMLPROJ_RETURN_IF_ERROR(downstream_->Doctype(name, internal_subset));
+    return Account(0, 0);
+  }
+
+ private:
+  Status CheckDeadline() {
+    if (deadline_ns_ != 0 && MonotonicNowNs() > deadline_ns_) {
+      return DeadlineExceededError(
+          StringPrintf("task exceeded its %llu ms deadline",
+                       static_cast<unsigned long long>(deadline_ms_)));
+    }
+    return Status::Ok();
+  }
+
+  Status Account(size_t add_bytes, size_t sub_bytes) {
+    if (add_bytes > 0) meter_.Add(add_bytes);
+    if (sub_bytes > 0) meter_.Sub(sub_bytes);
+    size_t produced = output_->size();
+    if (produced > accounted_output_) {
+      meter_.Add(produced - accounted_output_);
+      accounted_output_ = produced;
+    }
+    if (max_bytes_ != 0 && meter_.current() > max_bytes_) {
+      return ResourceExhaustedError(StringPrintf(
+          "task memory budget exhausted: %zu bytes metered, cap %zu",
+          meter_.current(), max_bytes_));
+    }
+    return Status::Ok();
+  }
+
+  SaxHandler* downstream_;
+  const std::string* output_;
+  const size_t max_bytes_;
+  const uint64_t deadline_ms_;
+  uint64_t deadline_ns_ = 0;
+  size_t accounted_output_ = 0;
+  MemoryMeter meter_;
+};
+
+// Stat-counting passthrough for the degraded identity pass: every node is
+// "kept", so the result's PruneStats stay meaningful in the summary.
+class CountingPassthrough : public SaxHandler {
+ public:
+  explicit CountingPassthrough(SaxHandler* downstream)
+      : downstream_(downstream) {}
+
+  const PruneStats& stats() const { return stats_; }
+
+  Status StartDocument() override { return downstream_->StartDocument(); }
+  Status EndDocument() override { return downstream_->EndDocument(); }
+  Status StartElement(std::string_view tag,
+                      const std::vector<SaxAttribute>& attributes) override {
+    ++stats_.input_nodes;
+    ++stats_.kept_nodes;
+    return downstream_->StartElement(tag, attributes);
+  }
+  Status EndElement(std::string_view tag) override {
+    return downstream_->EndElement(tag);
+  }
+  Status Characters(std::string_view text) override {
+    ++stats_.input_nodes;
+    ++stats_.kept_nodes;
+    stats_.input_text_bytes += text.size();
+    stats_.kept_text_bytes += text.size();
+    return downstream_->Characters(text);
+  }
+  Status Doctype(std::string_view name,
+                 std::string_view internal_subset) override {
+    return downstream_->Doctype(name, internal_subset);
+  }
+
+ private:
+  SaxHandler* downstream_;
+  PruneStats stats_;
+};
+
 // Attributes one fused pass to parse / prune / serialize from the two
 // TimingSaxFilter readings (`downstream_ns` = time inside the pruner and
 // everything below it, `serialize_ns` = time inside the serializer), and
@@ -161,84 +315,214 @@ void RecordStageSplit(const PipelineMetrics& metrics, TraceCollector* trace,
   }
 }
 
-// The fused per-document pass: SAX events from the parser flow through the
-// pruner straight into the serializer — no DOM, O(depth) state, exactly
-// the paper's one-pass deployment.
-Status RunOneTask(const PipelineTask& task, const Dtd& dtd, bool validate,
-                  PipelineResult* out) {
-  out->output.clear();
-  SerializingHandler sink(&out->output);
-  if (validate) {
-    ValidatingPruner pruner(dtd, *task.projector, &sink);
-    Status status = ParseXmlStream(*task.xml_text, &pruner);
-    out->stats = pruner.stats();
-    return status;
+// Everything one task execution needs, resolved once per run.
+struct TaskEnv {
+  const Dtd* dtd = nullptr;
+  bool validate = false;
+  ErrorPolicy policy = ErrorPolicy::kFailFast;
+  RetryOptions retry;
+  TaskBudget budget;
+  bool degrade = false;
+  FaultInjector* fault = nullptr;
+  PipelineMetrics metrics;
+  TraceCollector* trace = nullptr;
+  bool instrumented = false;
+};
+
+struct TaskOutcome {
+  Status status;
+  int attempts = 1;
+  bool degraded = false;
+  size_t peak_bytes = 0;
+};
+
+// One attempt of the fused per-document pass: SAX events from the parser
+// flow through the (optional) budget guard and the pruner straight into
+// the serializer — no DOM, O(depth) state, exactly the paper's one-pass
+// deployment. `identity` replaces the pruner with a counting passthrough
+// (the degraded no-prune fallback). Timing filters are spliced in only
+// when instrumented; `submit_ns` of 0 suppresses the queue-wait sample.
+Status RunAttempt(const TaskEnv& env, const PipelineTask& task, size_t index,
+                  uint64_t submit_ns, bool identity, PipelineResult* out,
+                  size_t* peak_bytes) {
+  XMLPROJ_RETURN_IF_ERROR(XMLPROJ_FAULT_HIT(env.fault, "pipeline.task"));
+
+  uint64_t start_ns = 0;
+  if (env.instrumented) {
+    start_ns = MonotonicNowNs();
+    if (submit_ns != 0 && start_ns > submit_ns) {
+      uint64_t wait_ns = start_ns - submit_ns;
+      if (env.metrics.queue_wait_ns != nullptr) {
+        env.metrics.queue_wait_ns->Record(wait_ns);
+      }
+      if (env.trace != nullptr) {
+        env.trace->AddCompleteEvent("queue-wait", "pool", submit_ns, wait_ns,
+                                    {{"task", static_cast<int64_t>(index)}});
+      }
+    }
   }
-  StreamingPruner pruner(dtd, *task.projector, &sink);
-  Status status = ParseXmlStream(*task.xml_text, &pruner);
-  out->stats = pruner.stats();
+
+  out->output.clear();
+  out->stats = PruneStats{};
+  out->degraded = false;
+
+  XmlParseOptions parse_options;
+  parse_options.fault = env.fault;
+
+  SerializingHandler sink(&out->output);
+  TimingSaxFilter serialize_timer(&sink);
+  SaxHandler* serialize_target =
+      env.instrumented ? static_cast<SaxHandler*>(&serialize_timer) : &sink;
+
+  uint64_t downstream_ns = 0;
+  uint64_t serialize_ns = 0;
+  auto run_pass = [&](SaxHandler* pass_root) -> Status {
+    TimingSaxFilter prune_timer(pass_root);
+    SaxHandler* top =
+        env.instrumented ? static_cast<SaxHandler*>(&prune_timer) : pass_root;
+    std::optional<BudgetGuard> guard;
+    if (env.budget.active()) {
+      guard.emplace(top, &out->output, env.budget);
+      top = &*guard;
+    }
+    Status status = ParseXmlStream(*task.xml_text, top, parse_options);
+    if (guard.has_value()) *peak_bytes = guard->peak_bytes();
+    downstream_ns = prune_timer.elapsed_ns();
+    serialize_ns = serialize_timer.elapsed_ns();
+    return status;
+  };
+
+  Status status;
+  if (identity) {
+    CountingPassthrough pass(serialize_target);
+    status = run_pass(&pass);
+    out->stats = pass.stats();
+  } else if (env.validate) {
+    ValidatingPruner pruner(*env.dtd, *task.projector, serialize_target);
+    pruner.set_fault_injector(env.fault);
+    status = run_pass(&pruner);
+    out->stats = pruner.stats();
+  } else {
+    StreamingPruner pruner(*env.dtd, *task.projector, serialize_target);
+    pruner.set_fault_injector(env.fault);
+    status = run_pass(&pruner);
+    out->stats = pruner.stats();
+  }
+
+  if (env.instrumented) {
+    uint64_t total_ns = MonotonicNowNs() - start_ns;
+    RecordStageSplit(env.metrics, env.trace, index, start_ns, total_ns,
+                     downstream_ns, serialize_ns,
+                     /*validate=*/env.validate && !identity);
+  }
   return status;
 }
 
-// Instrumented variant of the fused pass: same event flow with timing
-// filters spliced in. `submit_ns` of 0 means the task never queued
-// (sequential path), so no queue-wait is reported.
-Status RunOneTaskInstrumented(const PipelineTask& task, const Dtd& dtd,
-                              bool validate, const PipelineMetrics& metrics,
-                              TraceCollector* trace, size_t index,
-                              uint64_t submit_ns, PipelineResult* out) {
-  uint64_t start_ns = MonotonicNowNs();
-  if (submit_ns != 0 && start_ns > submit_ns) {
-    uint64_t wait_ns = start_ns - submit_ns;
-    if (metrics.queue_wait_ns != nullptr) {
-      metrics.queue_wait_ns->Record(wait_ns);
+// Runs one task to its final outcome: the retry loop (kRetry only), the
+// degraded identity fallback, and the per-task metric publication. On a
+// non-OK outcome `out` is left cleared.
+TaskOutcome ExecuteTask(const TaskEnv& env, const PipelineTask& task,
+                        size_t index, uint64_t submit_ns,
+                        PipelineResult* out) {
+  TaskOutcome outcome;
+  const int max_attempts = env.policy == ErrorPolicy::kRetry
+                               ? std::max(1, env.retry.max_attempts)
+                               : 1;
+  double backoff_ms = static_cast<double>(env.retry.backoff_ms);
+  for (int attempt = 1;; ++attempt) {
+    outcome.status = RunAttempt(env, task, index,
+                                attempt == 1 ? submit_ns : 0,
+                                /*identity=*/false, out, &outcome.peak_bytes);
+    outcome.attempts = attempt;
+    // Only kUnavailable is transient: a parse error or budget blowout
+    // will fail identically on every attempt.
+    if (outcome.status.ok() || attempt >= max_attempts ||
+        outcome.status.code() != StatusCode::kUnavailable) {
+      break;
     }
-    if (trace != nullptr) {
-      trace->AddCompleteEvent("queue-wait", "pool", submit_ns, wait_ns,
-                              {{"task", static_cast<int64_t>(index)}});
+    if (env.metrics.retries_total != nullptr) {
+      env.metrics.retries_total->Increment();
+    }
+    if (backoff_ms >= 1.0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int64_t>(backoff_ms)));
+    }
+    backoff_ms *= env.retry.multiplier;
+  }
+
+  if (!outcome.status.ok() && env.degrade &&
+      (outcome.status.code() == StatusCode::kInvalid ||
+       outcome.status.code() == StatusCode::kNotFound)) {
+    // The document does not fit the DTD, so type-based projection is
+    // inapplicable — but the document itself may be fine. Identity pass:
+    // the query still answers, just without the memory savings.
+    PipelineResult fallback;
+    size_t fallback_peak = 0;
+    Status fallback_status = RunAttempt(env, task, index, 0,
+                                        /*identity=*/true, &fallback,
+                                        &fallback_peak);
+    if (fallback_status.ok()) {
+      *out = std::move(fallback);
+      out->degraded = true;
+      outcome.degraded = true;
+      outcome.status = Status::Ok();
+      if (env.metrics.degraded_total != nullptr) {
+        env.metrics.degraded_total->Increment();
+      }
     }
   }
 
-  out->output.clear();
-  SerializingHandler sink(&out->output);
-  TimingSaxFilter serialize_timer(&sink);
-  Status status;
-  if (validate) {
-    ValidatingPruner pruner(dtd, *task.projector, &serialize_timer);
-    TimingSaxFilter prune_timer(&pruner);
-    status = ParseXmlStream(*task.xml_text, &prune_timer);
-    out->stats = pruner.stats();
-    uint64_t total_ns = MonotonicNowNs() - start_ns;
-    RecordStageSplit(metrics, trace, index, start_ns, total_ns,
-                     prune_timer.elapsed_ns(), serialize_timer.elapsed_ns(),
-                     /*validate=*/true);
-  } else {
-    StreamingPruner pruner(dtd, *task.projector, &serialize_timer);
-    TimingSaxFilter prune_timer(&pruner);
-    status = ParseXmlStream(*task.xml_text, &prune_timer);
-    out->stats = pruner.stats();
-    uint64_t total_ns = MonotonicNowNs() - start_ns;
-    RecordStageSplit(metrics, trace, index, start_ns, total_ns,
-                     prune_timer.elapsed_ns(), serialize_timer.elapsed_ns(),
-                     /*validate=*/false);
+  if (!outcome.status.ok()) {
+    out->output.clear();
+    out->stats = PruneStats{};
+    out->degraded = false;
   }
 
-  if (metrics.tasks_total != nullptr) {
-    metrics.tasks_total->Increment();
-    metrics.input_bytes_total->Increment(task.xml_text->size());
-    metrics.output_bytes_total->Increment(out->output.size());
-    metrics.input_nodes_total->Increment(out->stats.input_nodes);
-    metrics.kept_nodes_total->Increment(out->stats.kept_nodes);
-    metrics.input_text_bytes_total->Increment(out->stats.input_text_bytes);
-    metrics.kept_text_bytes_total->Increment(out->stats.kept_text_bytes);
-    if (!status.ok()) metrics.errors_total->Increment();
+  if (env.metrics.tasks_total != nullptr) {
+    env.metrics.tasks_total->Increment();
+    env.metrics.input_bytes_total->Increment(task.xml_text->size());
+    env.metrics.output_bytes_total->Increment(out->output.size());
+    env.metrics.input_nodes_total->Increment(out->stats.input_nodes);
+    env.metrics.kept_nodes_total->Increment(out->stats.kept_nodes);
+    env.metrics.input_text_bytes_total->Increment(out->stats.input_text_bytes);
+    env.metrics.kept_text_bytes_total->Increment(out->stats.kept_text_bytes);
+    if (!outcome.status.ok()) {
+      env.metrics.errors_total->Increment();
+      if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+        env.metrics.deadline_exceeded_total->Increment();
+      }
+      if (outcome.status.code() == StatusCode::kResourceExhausted) {
+        env.metrics.resource_exhausted_total->Increment();
+      }
+    }
   }
-  return status;
+  return outcome;
 }
 
 Status AnnotateTaskError(size_t index, const Status& status) {
   return Status(status.code(), "pipeline task " + std::to_string(index) +
                                    ": " + status.message());
+}
+
+const char* StageForStatus(StatusCode code, bool validate) {
+  switch (code) {
+    case StatusCode::kParseError:
+      return "parse";
+    case StatusCode::kInvalid:
+      return validate ? "validate" : "prune";
+    case StatusCode::kNotFound:
+      return "prune";
+    case StatusCode::kResourceExhausted:
+      return "budget";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline";
+    case StatusCode::kUnavailable:
+      return "io";
+    case StatusCode::kCancelled:
+      return "pool";
+    default:
+      return "task";
+  }
 }
 
 Status CheckTasks(std::span<const PipelineTask> tasks) {
@@ -274,8 +558,17 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
 
   const bool instrumented =
       options.metrics != nullptr || options.trace != nullptr;
-  const PipelineMetrics metrics = PipelineMetrics::Resolve(options.metrics);
-  TraceCollector* trace = options.trace;
+  TaskEnv env;
+  env.dtd = &dtd;
+  env.validate = options.validate;
+  env.policy = options.policy;
+  env.retry = options.retry;
+  env.budget = options.budget;
+  env.degrade = options.degrade_on_invalid;
+  env.fault = options.fault;
+  env.metrics = PipelineMetrics::Resolve(options.metrics);
+  env.trace = options.trace;
+  env.instrumented = instrumented;
   auto wall_start = std::chrono::steady_clock::now();
 
   int threads = options.num_threads;
@@ -287,16 +580,20 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
     options.metrics->GetGauge("xmlproj_pipeline_threads")->Set(threads);
   }
 
+  // Per-task final status and outcome detail, index-aligned with `tasks`
+  // (workers write disjoint slots).
+  std::vector<Status> finals(tasks.size());
+  std::vector<TaskOutcome> outcomes(tasks.size());
+
   if (threads == 1) {
     // Reference sequential path: same pass, same order, no pool.
     for (size_t i = 0; i < tasks.size(); ++i) {
-      Status status =
-          instrumented
-              ? RunOneTaskInstrumented(tasks[i], dtd, options.validate,
-                                       metrics, trace, i, /*submit_ns=*/0,
-                                       &run.results[i])
-              : RunOneTask(tasks[i], dtd, options.validate, &run.results[i]);
-      if (!status.ok()) return AnnotateTaskError(i, status);
+      outcomes[i] = ExecuteTask(env, tasks[i], i, /*submit_ns=*/0,
+                                &run.results[i]);
+      finals[i] = outcomes[i].status;
+      if (!finals[i].ok() && options.policy == ErrorPolicy::kFailFast) {
+        return AnnotateTaskError(i, finals[i]);
+      }
     }
   } else {
     std::atomic<bool> cancelled{false};
@@ -304,55 +601,81 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
     done.reserve(tasks.size());
     {
       ThreadPool pool(threads, options.queue_capacity,
-                      instrumented ? ResolvePoolMetrics(options.metrics, trace)
-                                   : ThreadPoolMetrics{});
+                      instrumented ? ResolvePoolMetrics(options.metrics,
+                                                        options.trace)
+                                   : ThreadPoolMetrics{},
+                      options.fault);
       for (size_t i = 0; i < tasks.size(); ++i) {
         uint64_t submit_ns = instrumented ? MonotonicNowNs() : 0;
         done.push_back(pool.Submit([&, i, submit_ns]() -> Status {
           if (cancelled.load(std::memory_order_relaxed)) {
             return CancelledError("skipped after an earlier task failed");
           }
-          Status status =
-              instrumented
-                  ? RunOneTaskInstrumented(tasks[i], dtd, options.validate,
-                                           metrics, trace, i, submit_ns,
-                                           &run.results[i])
-                  : RunOneTask(tasks[i], dtd, options.validate,
-                               &run.results[i]);
-          if (!status.ok()) {
+          outcomes[i] =
+              ExecuteTask(env, tasks[i], i, submit_ns, &run.results[i]);
+          if (!outcomes[i].status.ok() &&
+              env.policy == ErrorPolicy::kFailFast) {
             cancelled.store(true, std::memory_order_relaxed);
           }
-          return status;
+          return outcomes[i].status;
         }));
       }
       // Pool destructor drains and joins; every future below is ready.
     }
+    // The future is authoritative: it carries pool-level outcomes
+    // (cancellation, injected worker faults) the task body never saw.
+    for (size_t i = 0; i < done.size(); ++i) finals[i] = done[i].get();
 
-    // Report the lowest-indexed real failure (cancelled tasks only lose to
-    // the error that triggered the cancellation).
-    Status first_error;
-    Status first_cancelled;
-    for (size_t i = 0; i < done.size(); ++i) {
-      Status status = done[i].get();
-      if (status.ok()) continue;
-      if (status.code() == StatusCode::kCancelled) {
-        if (first_cancelled.ok()) {
-          first_cancelled = AnnotateTaskError(i, status);
+    if (options.policy == ErrorPolicy::kFailFast) {
+      // Report the lowest-indexed real failure (cancelled tasks only lose
+      // to the error that triggered the cancellation).
+      Status first_error;
+      Status first_cancelled;
+      for (size_t i = 0; i < finals.size(); ++i) {
+        const Status& status = finals[i];
+        if (status.ok()) continue;
+        if (status.code() == StatusCode::kCancelled) {
+          if (first_cancelled.ok()) {
+            first_cancelled = AnnotateTaskError(i, status);
+          }
+          continue;
         }
-        continue;
+        if (first_error.ok()) first_error = AnnotateTaskError(i, status);
       }
-      if (first_error.ok()) first_error = AnnotateTaskError(i, status);
+      if (!first_error.ok()) return first_error;
+      // All non-OK statuses were cancellations with no originating error:
+      // cannot happen in this pipeline, but fail loudly rather than
+      // return partially-empty results.
+      if (!first_cancelled.ok()) return first_cancelled;
     }
-    if (!first_error.ok()) return first_error;
-    // All non-OK statuses were cancellations with no originating error:
-    // cannot happen in this pipeline, but fail loudly rather than return
-    // partially-empty results.
-    if (!first_cancelled.ok()) return first_cancelled;
+  }
+
+  // kIsolate / kRetry: quarantine failures into structured reports; the
+  // run itself succeeds with the surviving results.
+  if (options.policy != ErrorPolicy::kFailFast) {
+    for (size_t i = 0; i < finals.size(); ++i) {
+      if (finals[i].ok()) continue;
+      TaskFailure failure;
+      failure.task = i;
+      failure.stage = StageForStatus(finals[i].code(), options.validate);
+      failure.status = finals[i];
+      failure.attempts = outcomes[i].attempts;
+      failure.peak_bytes = outcomes[i].peak_bytes;
+      run.failures.push_back(std::move(failure));
+      run.results[i] = PipelineResult{};
+      if (env.metrics.isolated_total != nullptr) {
+        env.metrics.isolated_total->Increment();
+      }
+    }
   }
 
   for (size_t i = 0; i < tasks.size(); ++i) {
+    if (!finals[i].ok()) continue;
     run.summary.AddTask(tasks[i].xml_text->size(), run.results[i]);
+    if (run.results[i].degraded) ++run.summary.degraded;
+    run.summary.retries += static_cast<size_t>(outcomes[i].attempts - 1);
   }
+  run.summary.failed = run.failures.size();
   run.summary.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

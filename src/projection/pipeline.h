@@ -13,9 +13,34 @@
 // byte-for-byte the sequential output, in the same order
 // (tests/pipeline_test.cc diffs the two), and soundness is untouched.
 //
-// Error handling: the first failing document cancels the tasks still
-// queued (running passes finish their document); the pipeline returns the
-// lowest-indexed task error, annotated with the task index.
+// Error handling is policy-driven (PipelineOptions::policy):
+//   kFailFast (default) — the first failing document cancels the tasks
+//     still queued (running passes finish their document); the pipeline
+//     returns the lowest-indexed task error, annotated with the index.
+//   kIsolate — a failing document is quarantined: its result slot stays
+//     empty, a structured TaskFailure{task, stage, status} lands in
+//     PipelineRun::failures, and the rest of the corpus proceeds
+//     untouched (surviving outputs are byte-identical to a fault-free
+//     sequential run over the survivors; see tests/chaos_test.cc).
+//   kRetry — transient failures (kUnavailable: I/O hiccups, injected
+//     worker faults) are retried with bounded deterministic backoff;
+//     tasks that still fail — or fail non-transiently — are quarantined
+//     as under kIsolate, with the attempt count in the report.
+//
+// Resource budgets (PipelineOptions::budget) bound each task: a byte cap
+// on the memory the pass materializes (output buffer + open-element
+// stack, metered via MemoryMeter) and a wall-clock deadline, both checked
+// at SAX-event granularity inside the fused pass, so an oversized or
+// wedged document surfaces as a clean kResourceExhausted /
+// kDeadlineExceeded Status instead of an OOM kill or a hang.
+//
+// Graceful degradation (PipelineOptions::degrade_on_invalid): when
+// pruning fails because the document does not fit the DTD (validation
+// failure or an undeclared element — the Marian & Siméon situation where
+// type-based projection is inapplicable but the document is fine), the
+// task falls back to an identity no-prune pass so the query can still be
+// answered on the unprojected document; degraded tasks are flagged on the
+// result and counted in the summary and the obs metrics.
 //
 // Observability: every run folds per-task PruneStats into a
 // PipelineSummary (the paper's Table 1 quantities at corpus scale), and
@@ -27,10 +52,12 @@
 #ifndef XMLPROJ_PROJECTION_PIPELINE_H_
 #define XMLPROJ_PROJECTION_PIPELINE_H_
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "dtd/dtd.h"
 #include "dtd/name_set.h"
@@ -39,6 +66,49 @@
 #include "projection/pruner.h"
 
 namespace xmlproj {
+
+// How the pipeline reacts to a failing task (see file comment).
+enum class ErrorPolicy {
+  kFailFast,  // first error cancels the run (the PR 1 behavior)
+  kIsolate,   // quarantine the failing document, continue the corpus
+  kRetry,     // bounded retries for transient faults, then isolate
+};
+
+// Bounded deterministic backoff for ErrorPolicy::kRetry. Attempt n sleeps
+// backoff_ms * multiplier^(n-1) before re-running; no jitter, so a chaos
+// run replays identically.
+struct RetryOptions {
+  int max_attempts = 3;     // total attempts per task (>= 1)
+  uint64_t backoff_ms = 1;  // sleep before the second attempt
+  double multiplier = 2.0;
+};
+
+// Per-task resource budget. Zero fields are unlimited; with both zero the
+// budget machinery stays entirely out of the pass (no extra SAX filter,
+// no clock reads).
+struct TaskBudget {
+  // Cap on the bytes the fused pass materializes: serialized output plus
+  // the open-element stack (per-frame overhead + tag bytes), metered via
+  // MemoryMeter at SAX-event granularity. Exceeding it aborts the task
+  // with kResourceExhausted within one SAX event of the cap.
+  size_t max_bytes = 0;
+  // Per-task (per-attempt) wall-clock deadline, checked before every SAX
+  // event; a stalled pass aborts with kDeadlineExceeded.
+  uint64_t deadline_ms = 0;
+
+  bool active() const { return max_bytes != 0 || deadline_ms != 0; }
+};
+
+// Structured report for one quarantined task (kIsolate / kRetry).
+struct TaskFailure {
+  size_t task = 0;    // index into the submitted tasks
+  // Coarse stage attribution derived from the status code: "parse",
+  // "validate", "prune", "budget", "deadline", "io", "pool", or "task".
+  std::string stage;
+  Status status;
+  int attempts = 1;      // attempts consumed (> 1 only under kRetry)
+  size_t peak_bytes = 0; // metered task bytes at failure (budgeted runs)
+};
 
 struct PipelineOptions {
   // Worker threads; <= 0 selects hardware concurrency. 1 runs inline on
@@ -57,6 +127,19 @@ struct PipelineOptions {
   // instrumentation is compiled in but costs nothing disabled.
   MetricsRegistry* metrics = nullptr;
   TraceCollector* trace = nullptr;
+  // Fault tolerance (see file comment and README "Fault tolerance").
+  ErrorPolicy policy = ErrorPolicy::kFailFast;
+  RetryOptions retry;
+  TaskBudget budget;
+  // Fall back to an identity (no-prune) pass when pruning fails because
+  // the document does not fit the DTD (kInvalid / kNotFound), so the
+  // query still answers on the unprojected document.
+  bool degrade_on_invalid = false;
+  // Optional fault injector threaded through parser ("xml.parse"), pruner
+  // ("prune.element"), thread pool ("pool.task") and the pipeline itself
+  // ("pipeline.task"). Null — the default — leaves one pointer compare
+  // per checkpoint on the hot path.
+  FaultInjector* fault = nullptr;
 };
 
 // One unit of work: prune `xml_text` with `projector`. Both pointers are
@@ -69,6 +152,9 @@ struct PipelineTask {
 struct PipelineResult {
   std::string output;  // serialized projected document
   PruneStats stats;
+  // True when this task fell back to the identity (no-prune) pass:
+  // `output` is then the serialized *unprojected* document.
+  bool degraded = false;
 };
 
 // Corpus-level totals: per-task PruneStats folded together plus the byte
@@ -83,6 +169,12 @@ struct PipelineSummary {
   size_t input_text_bytes = 0;
   size_t kept_text_bytes = 0;
   double wall_seconds = 0;  // whole-run wall time, all tasks
+  // Fault-tolerance accounting. `tasks` and the byte/node totals above
+  // cover *completed* tasks only (including degraded ones); quarantined
+  // failures are counted here and detailed in PipelineRun::failures.
+  size_t failed = 0;    // tasks quarantined under kIsolate / kRetry
+  size_t degraded = 0;  // tasks that fell back to the identity pass
+  size_t retries = 0;   // extra attempts consumed under kRetry
 
   // Fraction kept (Table 1's "pruning ratio" is 1 - these).
   double NodeRatio() const {
@@ -101,10 +193,13 @@ struct PipelineSummary {
 
 // A pipeline run: per-task results (aligned with the submitted tasks
 // regardless of scheduling) plus the corpus-level summary, so callers no
-// longer fold per-task stats themselves.
+// longer fold per-task stats themselves. Under kIsolate / kRetry a
+// returned-OK run can still carry quarantined failures: results[f.task]
+// is empty for each f in `failures` (sorted by task index).
 struct PipelineRun {
   std::vector<PipelineResult> results;
   PipelineSummary summary;
+  std::vector<TaskFailure> failures;
 };
 
 // Runs every task through the fused parse → [validate+]prune → serialize

@@ -80,6 +80,7 @@ Status StreamingPruner::EndDocument() { return downstream_->EndDocument(); }
 
 Status StreamingPruner::StartElement(
     std::string_view tag, const std::vector<SaxAttribute>& attributes) {
+  XMLPROJ_RETURN_IF_ERROR(XMLPROJ_FAULT_HIT(fault_, "prune.element"));
   ++stats_.input_nodes;
   if (skip_depth_ > 0) {
     ++skip_depth_;
@@ -139,6 +140,7 @@ Status ValidatingPruner::EndDocument() {
 
 Status ValidatingPruner::StartElement(
     std::string_view tag, const std::vector<SaxAttribute>& attributes) {
+  XMLPROJ_RETURN_IF_ERROR(XMLPROJ_FAULT_HIT(fault_, "prune.element"));
   ++stats_.input_nodes;
   NameId name = dtd_.NameOfTag(tag);
   if (name == kNoName) {

@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "dtd/dtd.h"
 #include "dtd/name_set.h"
@@ -63,10 +64,15 @@ class StreamingPruner : public SaxHandler {
 
   const PruneStats& stats() const { return stats_; }
 
+  // Arms the "prune.element" failpoint, checked per StartElement
+  // (common/fault.h). Null — the default — is one compare per element.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
  private:
   const Dtd& dtd_;
   const NameSet& projector_;
   SaxHandler* downstream_;
+  FaultInjector* fault_ = nullptr;
   // Names of currently open (kept) elements.
   std::vector<NameId> open_names_;
   // Number of start tags seen since entering a pruned subtree.
@@ -93,6 +99,9 @@ class ValidatingPruner : public SaxHandler {
 
   const PruneStats& stats() const { return stats_; }
 
+  // Arms the "prune.element" failpoint, checked per StartElement.
+  void set_fault_injector(FaultInjector* fault) { fault_ = fault; }
+
  private:
   struct OpenElement {
     NameId name;
@@ -103,6 +112,7 @@ class ValidatingPruner : public SaxHandler {
   const Dtd& dtd_;
   const NameSet& projector_;
   SaxHandler* downstream_;
+  FaultInjector* fault_ = nullptr;
   std::vector<OpenElement> open_;
   bool saw_root_ = false;
   PruneStats stats_;

@@ -247,6 +247,7 @@ Status Parser::ParseAttributes(std::vector<SaxAttribute>* attributes,
 }
 
 Status Parser::ParseStartTag(bool* closed) {
+  XMLPROJ_RETURN_IF_ERROR(XMLPROJ_FAULT_HIT(options_.fault, "xml.parse"));
   // pos_ is at '<' of a start tag.
   ++pos_;
   std::string_view tag;

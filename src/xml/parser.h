@@ -11,6 +11,7 @@
 
 #include <string_view>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "xml/document.h"
 #include "xml/sax.h"
@@ -22,6 +23,10 @@ struct XmlParseOptions {
   // dropped. Pretty-printing whitespace would otherwise pollute element
   // content and break DTD validation of non-mixed content models.
   bool keep_whitespace_text = false;
+  // Optional fault injector; arms the "xml.parse" failpoint, checked once
+  // per element start tag (common/fault.h). Null — the default — costs
+  // one pointer compare per element.
+  FaultInjector* fault = nullptr;
 };
 
 // Streams SAX events for `input` into `handler`. Stops at the first error.

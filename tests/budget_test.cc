@@ -1,0 +1,240 @@
+// Resource-budget accounting tests (PipelineOptions::budget): the byte
+// cap trips with bounded overshoot, an inactive budget is free and
+// transparent, and kIsolate runs produce byte-identical output for the
+// surviving documents compared to a sequential run without the failing
+// ones.
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "projection/pipeline.h"
+#include "random_xml.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlproj {
+namespace {
+
+using testing_random::DocGenerator;
+using testing_random::RandomDtd;
+
+std::string Serialize(const Document& doc) { return SerializeDocument(doc); }
+
+// Property: across randomized grammars and documents, a byte cap set
+// below the document's metered footprint yields kResourceExhausted with
+// the metered peak within 10% of the cap — the guard checks at SAX-event
+// granularity, so the overshoot is bounded by one event's output plus one
+// stack frame, far under 10% of any non-toy cap.
+TEST(BudgetTest, ResourceExhaustedFiresWithinTenPercentOfCap) {
+  int checked = 0;
+  for (uint64_t seed = 1; seed <= 300 && checked < 8; ++seed) {
+    int name_count = 0;
+    Dtd dtd = RandomDtd(seed, &name_count);
+    DocGenerator gen(dtd, seed * 31 + 7);
+    auto doc = gen.Generate();
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    std::vector<std::string> corpus = {Serialize(*doc)};
+    if (corpus[0].size() < 3000) continue;  // need a non-toy cap
+    NameSet projector = dtd.AllNames();
+
+    PipelineOptions options;
+    options.num_threads = 1;
+    options.policy = ErrorPolicy::kIsolate;
+    options.budget.max_bytes = corpus[0].size() / 2;
+    auto run = PruneCorpus(corpus, dtd, projector, options);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ASSERT_EQ(run->failures.size(), 1u) << "seed " << seed;
+    const TaskFailure& failure = run->failures[0];
+    EXPECT_EQ(failure.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(failure.stage, "budget");
+    EXPECT_GT(failure.peak_bytes, options.budget.max_bytes) << "seed " << seed;
+    EXPECT_LE(failure.peak_bytes,
+              options.budget.max_bytes + options.budget.max_bytes / 10)
+        << "seed " << seed;
+    EXPECT_TRUE(run->results[0].output.empty());
+    ++checked;
+  }
+  EXPECT_GE(checked, 5) << "generator produced too few large documents";
+}
+
+// A cap above the metered footprint must be invisible: same bytes as the
+// unbudgeted pass, no failures, despite the guard filter being in place.
+TEST(BudgetTest, GenerousBudgetIsTransparent) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    int name_count = 0;
+    Dtd dtd = RandomDtd(seed, &name_count);
+    std::vector<std::string> corpus;
+    for (uint64_t d = 0; d < 4; ++d) {
+      DocGenerator gen(dtd, seed * 100 + d);
+      auto doc = gen.Generate();
+      ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+      corpus.push_back(Serialize(*doc));
+    }
+    NameSet projector = dtd.AllNames();
+
+    PipelineOptions sequential;
+    sequential.num_threads = 1;
+    auto unbudgeted = PruneCorpus(corpus, dtd, projector, sequential);
+    ASSERT_TRUE(unbudgeted.ok()) << unbudgeted.status().ToString();
+
+    PipelineOptions options;
+    options.num_threads = 2;
+    options.policy = ErrorPolicy::kIsolate;
+    size_t largest = 0;
+    for (const std::string& text : corpus) {
+      largest = std::max(largest, text.size());
+    }
+    options.budget.max_bytes = largest * 4 + (1 << 16);
+    options.budget.deadline_ms = 60000;
+    auto budgeted = PruneCorpus(corpus, dtd, projector, options);
+    ASSERT_TRUE(budgeted.ok()) << budgeted.status().ToString();
+    EXPECT_TRUE(budgeted->failures.empty());
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      EXPECT_EQ(budgeted->results[i].output, unbudgeted->results[i].output)
+          << "seed " << seed << " document " << i;
+    }
+  }
+}
+
+// An all-zero budget keeps the guard out of the pass entirely (no filter,
+// no clock reads); outputs are the reference bytes.
+TEST(BudgetTest, ZeroBudgetMeansUnlimited) {
+  int name_count = 0;
+  Dtd dtd = RandomDtd(3, &name_count);
+  DocGenerator gen(dtd, 77);
+  auto doc = gen.Generate();
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  std::vector<std::string> corpus = {Serialize(*doc)};
+  NameSet projector = dtd.AllNames();
+
+  PipelineOptions options;
+  options.num_threads = 1;
+  EXPECT_FALSE(options.budget.active());
+  auto reference = PruneCorpus(corpus, dtd, projector, options);
+  ASSERT_TRUE(reference.ok());
+
+  options.policy = ErrorPolicy::kIsolate;  // still no budget
+  auto run = PruneCorpus(corpus, dtd, projector, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_TRUE(run->failures.empty());
+  EXPECT_EQ(run->results[0].output, reference->results[0].output);
+}
+
+// The satellite property: a kIsolate run over a corpus with some
+// documents doomed to fail produces byte-identical output for the
+// surviving documents compared to a sequential run over the corpus with
+// the failing documents removed.
+TEST(BudgetTest, IsolateSurvivorsMatchSequentialRunWithoutTheFailures) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    int name_count = 0;
+    Dtd dtd = RandomDtd(seed, &name_count);
+    std::vector<std::string> corpus;
+    for (uint64_t d = 0; d < 10; ++d) {
+      DocGenerator gen(dtd, seed * 1000 + d);
+      auto doc = gen.Generate();
+      ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+      corpus.push_back(Serialize(*doc));
+    }
+    // Doom every third document: truncation makes the parse fail.
+    std::vector<bool> doomed(corpus.size(), false);
+    for (size_t i = 0; i < corpus.size(); i += 3) {
+      corpus[i].resize(corpus[i].size() / 2);
+      doomed[i] = true;
+    }
+    NameSet projector = dtd.AllNames();
+
+    PipelineOptions isolate;
+    isolate.num_threads = 4;
+    isolate.policy = ErrorPolicy::kIsolate;
+    auto run = PruneCorpus(corpus, dtd, projector, isolate);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+    std::vector<bool> reported(corpus.size(), false);
+    for (const TaskFailure& f : run->failures) reported[f.task] = true;
+    // Truncation *can* leave a well-formed prefix; every doomed document
+    // that did fail must be reported, and no healthy one may be.
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      if (!doomed[i]) {
+        EXPECT_FALSE(reported[i]) << "seed " << seed << " document " << i;
+      }
+    }
+
+    // Sequential run over the survivors only.
+    std::vector<std::string> survivors;
+    std::vector<size_t> survivor_index;
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      if (reported[i]) continue;
+      survivors.push_back(corpus[i]);
+      survivor_index.push_back(i);
+    }
+    PipelineOptions sequential_options;
+    sequential_options.num_threads = 1;
+    auto sequential =
+        PruneCorpus(survivors, dtd, projector, sequential_options);
+    ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+    for (size_t s = 0; s < survivors.size(); ++s) {
+      EXPECT_EQ(run->results[survivor_index[s]].output,
+                sequential->results[s].output)
+          << "seed " << seed << " survivor " << survivor_index[s];
+    }
+    EXPECT_EQ(run->summary.tasks, survivors.size());
+    EXPECT_EQ(run->summary.output_bytes, sequential->summary.output_bytes);
+  }
+}
+
+// Budgets are per task: one oversized document trips its own cap without
+// taking down its siblings (the per-task MemoryMeter starts fresh).
+TEST(BudgetTest, BudgetsAreScopedPerTask) {
+  // Find one grammar that generates both a big and a small document (the
+  // two tasks must share the DTD and projector).
+  std::optional<Dtd> chosen;
+  std::string big;
+  std::string small;
+  for (uint64_t seed = 1; seed <= 40 && !chosen.has_value(); ++seed) {
+    int name_count = 0;
+    Dtd dtd = RandomDtd(seed, &name_count);
+    std::string candidate_big;
+    std::string candidate_small;
+    for (uint64_t d = 0; d < 32; ++d) {
+      DocGenerator gen(dtd, seed * 500 + d);
+      auto doc = gen.Generate();
+      ASSERT_TRUE(doc.ok());
+      std::string text = Serialize(*doc);
+      if (text.size() >= 3072 && candidate_big.empty()) {
+        candidate_big = std::move(text);
+      } else if (text.size() < 1024 && candidate_small.empty()) {
+        candidate_small = std::move(text);
+      }
+      if (!candidate_big.empty() && !candidate_small.empty()) {
+        chosen.emplace(std::move(dtd));
+        big = std::move(candidate_big);
+        small = std::move(candidate_small);
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(chosen.has_value()) << "no grammar produced both sizes";
+  const Dtd& dtd = *chosen;
+  std::vector<std::string> corpus = {small, big, small, big, small};
+  NameSet projector = dtd.AllNames();
+
+  PipelineOptions options;
+  options.num_threads = 2;
+  options.policy = ErrorPolicy::kIsolate;
+  options.budget.max_bytes = 2048;  // small fits, big cannot
+  auto run = PruneCorpus(corpus, dtd, projector, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->failures.size(), 2u);
+  EXPECT_EQ(run->failures[0].task, 1u);
+  EXPECT_EQ(run->failures[1].task, 3u);
+  for (size_t i : {size_t{0}, size_t{2}, size_t{4}}) {
+    EXPECT_FALSE(run->results[i].output.empty()) << "document " << i;
+  }
+}
+
+}  // namespace
+}  // namespace xmlproj
