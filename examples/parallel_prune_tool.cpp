@@ -4,6 +4,7 @@
 // Usage:
 //   parallel_prune_tool [--docs=N] [--scale=S] [--threads=T] [--validate]
 //                       [--per-query] [--sweep] [--input=PATH ...]
+//                       [--intra-doc-threads=K] [--chunk-bytes=N]
 //                       [--policy=failfast|isolate|retry] [--retries=N]
 //                       [--max-bytes=N] [--deadline-ms=N] [--degrade]
 //                       [--failpoints=SPEC] [--failures-out=PATH]
@@ -20,6 +21,13 @@
 // speedup curve. --validate fuses DTD validation of the input into the
 // pruning pass.
 //
+// Intra-document parallelism: --intra-doc-threads=K (K >= 2) splits each
+// large document at top-level element boundaries and prunes up to K
+// chunks of it concurrently (byte-identical output); --chunk-bytes sets
+// the target chunk size. Numeric flags are strict: --threads 0 or
+// negative, and a malformed or non-positive --chunk-bytes, are usage
+// errors (exit 1), never silently clamped.
+//
 // Fault tolerance (README "Fault tolerance"): --policy selects the error
 // policy (failfast is the default; isolate quarantines failing documents
 // and prints a TaskFailure report; retry adds bounded retries for
@@ -34,7 +42,7 @@
 // MetricsRegistry JSON dump, --prometheus-out the same registry in
 // Prometheus text format, and --trace-out a Chrome-trace/Perfetto JSON.
 //
-// Exit codes: 0 success; 1 pipeline failure; 2 bad flag or usage;
+// Exit codes: 0 success; 1 bad flag or usage; 2 pipeline failure;
 // 3 missing/unreadable input file; 4 empty corpus; 5 setup (DTD or
 // projector inference) failure; 6 telemetry/report write failure.
 
@@ -61,8 +69,8 @@ namespace {
 
 using namespace xmlproj;
 
-constexpr int kExitPipelineFailure = 1;
-constexpr int kExitUsage = 2;
+constexpr int kExitUsage = 1;
+constexpr int kExitPipelineFailure = 2;
 constexpr int kExitInputFile = 3;
 constexpr int kExitEmptyCorpus = 4;
 constexpr int kExitSetupFailure = 5;
@@ -74,6 +82,7 @@ void PrintUsage() {
       "usage: parallel_prune_tool [--docs=N] [--scale=S] [--threads=T]\n"
       "                           [--validate] [--per-query] [--sweep]\n"
       "                           [--input=PATH ...]\n"
+      "                           [--intra-doc-threads=K] [--chunk-bytes=N]\n"
       "                           [--policy=failfast|isolate|retry]\n"
       "                           [--retries=N] [--max-bytes=N]\n"
       "                           [--deadline-ms=N] [--degrade]\n"
@@ -256,7 +265,9 @@ bool DumpToFile(const char* what, const std::string& path,
 int main(int argc, char** argv) {
   long docs = 8;
   double scale = 0.002;
-  long threads = 0;  // hardware
+  long threads = 0;  // hardware (explicit --threads must be >= 1)
+  long intra_doc_threads = 1;
+  long chunk_bytes = 0;  // 0 = library default
   bool validate = false;
   bool per_query = false;
   bool sweep = false;
@@ -282,8 +293,18 @@ int main(int argc, char** argv) {
         return BadFlag("--scale", arg + 8, "expected a number > 0");
       }
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      if (!ParseLong(arg + 10, &threads) || threads < 0) {
-        return BadFlag("--threads", arg + 10, "expected an integer >= 0");
+      // Strict: 0 or negative is a usage error, not "use all cores".
+      if (!ParseLong(arg + 10, &threads) || threads < 1) {
+        return BadFlag("--threads", arg + 10, "expected an integer >= 1");
+      }
+    } else if (std::strncmp(arg, "--intra-doc-threads=", 20) == 0) {
+      if (!ParseLong(arg + 20, &intra_doc_threads) || intra_doc_threads < 1) {
+        return BadFlag("--intra-doc-threads", arg + 20,
+                       "expected an integer >= 1");
+      }
+    } else if (std::strncmp(arg, "--chunk-bytes=", 14) == 0) {
+      if (!ParseLong(arg + 14, &chunk_bytes) || chunk_bytes < 1) {
+        return BadFlag("--chunk-bytes", arg + 14, "expected an integer >= 1");
       }
     } else if (std::strcmp(arg, "--validate") == 0) {
       validate = true;
@@ -422,6 +443,10 @@ int main(int argc, char** argv) {
   options.budget.deadline_ms = static_cast<uint64_t>(deadline_ms);
   options.degrade_on_invalid = degrade;
   options.fault = fault;
+  options.intra_doc.threads = static_cast<int>(intra_doc_threads);
+  if (chunk_bytes > 0) {
+    options.intra_doc.chunk_bytes = static_cast<size_t>(chunk_bytes);
+  }
   if (instrument) {
     options.metrics = &registry;
     if (!trace_out.empty()) options.trace = &trace;

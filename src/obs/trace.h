@@ -34,11 +34,30 @@ struct TraceArg {
   int64_t value = 0;
 };
 
+struct TraceOptions {
+  // Emit spans for every Nth task/chunk only (index % N == 0): at high
+  // task counts full tracing costs more than the stages it measures.
+  // 1 — the default — traces everything; 0 is treated as 1.
+  uint64_t sample_every_n = 1;
+};
+
 class TraceCollector {
  public:
-  TraceCollector() : epoch_ns_(MonotonicNowNs()) {}
+  TraceCollector() : TraceCollector(TraceOptions{}) {}
+  explicit TraceCollector(const TraceOptions& options)
+      : options_(options), epoch_ns_(MonotonicNowNs()) {}
   TraceCollector(const TraceCollector&) = delete;
   TraceCollector& operator=(const TraceCollector&) = delete;
+
+  // True when the task/chunk with this zero-based index should emit
+  // spans under TraceOptions::sample_every_n. Instrumentation sites gate
+  // span emission on this; counter events stay unsampled.
+  bool ShouldSample(uint64_t index) const {
+    uint64_t n = options_.sample_every_n;
+    return n <= 1 || index % n == 0;
+  }
+
+  const TraceOptions& options() const { return options_; }
 
   // Complete event ("ph":"X") on the calling thread's track.
   // `start_ns` is an absolute MonotonicNowNs() timestamp.
@@ -73,6 +92,7 @@ class TraceCollector {
   // "worker 0..N" rather than opaque platform ids. Caller holds mu_.
   int TidLocked();
 
+  const TraceOptions options_;
   const uint64_t epoch_ns_;
   mutable std::mutex mu_;
   std::map<std::thread::id, int> tids_;

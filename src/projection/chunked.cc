@@ -1,0 +1,438 @@
+#include "projection/chunked.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "common/strings.h"
+#include "xml/boundary.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlproj {
+namespace {
+
+// Mirrors the pipeline's per-open-element budget charge (pipeline.cc).
+constexpr size_t kStackFrameBytes = 64;
+
+// Captures the root's decoded attributes by parsing a synthesized
+// document made of just the root start tag plus a closing tag, so the
+// stitcher re-emits them through the same decode → re-escape path the
+// sequential serializer uses (byte identity includes entity forms).
+class RootAttributeCapture : public SaxHandler {
+ public:
+  Status StartElement(std::string_view,
+                      const std::vector<SaxAttribute>& attributes) override {
+    for (const SaxAttribute& a : attributes) {
+      attributes_.emplace_back(std::string(a.name), std::string(a.value));
+    }
+    return Status::Ok();
+  }
+  Status EndElement(std::string_view) override { return Status::Ok(); }
+  Status Characters(std::string_view) override { return Status::Ok(); }
+
+  std::vector<std::pair<std::string, std::string>> Take() {
+    return std::move(attributes_);
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> attributes_;
+};
+
+struct ChunkResult {
+  std::string output;
+  PruneStats stats;
+  Status status;
+};
+
+// State shared between the document task and any pool helpers it
+// recruits. Owned by shared_ptr: a helper that arrives after every chunk
+// is claimed only touches the claim counter, never the borrowed document
+// pointers — the document task waits for all *claimed* chunks before
+// returning, so those pointers are valid whenever a chunk actually runs.
+struct ChunkedState {
+  std::string_view xml_text;
+  const Dtd* dtd = nullptr;
+  const NameSet* projector = nullptr;
+  bool validate = false;
+  const ChunkPlan* plan = nullptr;
+  FaultInjector* fault = nullptr;
+  size_t max_bytes = 0;
+  uint64_t deadline_ns = 0;
+  ChunkTelemetry telemetry;
+
+  std::vector<ChunkResult> results;
+  std::atomic<size_t> next_chunk{0};
+  // Shared budget meter: serialized chunk bytes + open-element stack
+  // charges across all concurrent chunks of this document.
+  std::atomic<size_t> metered_bytes{0};
+  std::atomic<size_t> peak_bytes{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;
+};
+
+// Budget guard over one chunk's pass, metering into the document-wide
+// atomics so the cap bounds the whole document like the sequential
+// BudgetGuard does. Only spliced in when a cap or deadline is set.
+class SharedBudgetGuard : public SaxHandler {
+ public:
+  SharedBudgetGuard(SaxHandler* downstream, const std::string* output,
+                    ChunkedState* state)
+      : downstream_(downstream), output_(output), state_(state) {}
+
+  Status StartDocument() override { return Guard(0, 0, [this] {
+    return downstream_->StartDocument(); }); }
+  Status EndDocument() override { return Guard(0, 0, [this] {
+    return downstream_->EndDocument(); }); }
+  Status StartElement(std::string_view tag,
+                      const std::vector<SaxAttribute>& attributes) override {
+    return Guard(tag.size() + kStackFrameBytes, 0, [&] {
+      return downstream_->StartElement(tag, attributes);
+    });
+  }
+  Status EndElement(std::string_view tag) override {
+    return Guard(0, tag.size() + kStackFrameBytes,
+                 [&] { return downstream_->EndElement(tag); });
+  }
+  Status Characters(std::string_view text) override {
+    return Guard(0, 0, [&] { return downstream_->Characters(text); });
+  }
+
+ private:
+  template <typename Fn>
+  Status Guard(size_t add_bytes, size_t sub_bytes, Fn&& forward) {
+    if (state_->deadline_ns != 0 && MonotonicNowNs() > state_->deadline_ns) {
+      return DeadlineExceededError(
+          "document exceeded its deadline during chunked pruning");
+    }
+    XMLPROJ_RETURN_IF_ERROR(forward());
+    size_t produced = output_->size();
+    size_t growth = produced - accounted_output_;
+    accounted_output_ = produced;
+    size_t delta = add_bytes + growth;
+    size_t current;
+    if (delta >= sub_bytes) {
+      current = state_->metered_bytes.fetch_add(delta - sub_bytes,
+                                                std::memory_order_relaxed) +
+                (delta - sub_bytes);
+    } else {
+      current = state_->metered_bytes.fetch_sub(sub_bytes - delta,
+                                                std::memory_order_relaxed) -
+                (sub_bytes - delta);
+    }
+    size_t peak = state_->peak_bytes.load(std::memory_order_relaxed);
+    while (current > peak && !state_->peak_bytes.compare_exchange_weak(
+                                 peak, current, std::memory_order_relaxed)) {
+    }
+    if (state_->max_bytes != 0 && current > state_->max_bytes) {
+      return ResourceExhaustedError(StringPrintf(
+          "document memory budget exhausted: %zu bytes metered across "
+          "chunks, cap %zu",
+          current, state_->max_bytes));
+    }
+    return Status::Ok();
+  }
+
+  SaxHandler* downstream_;
+  const std::string* output_;
+  ChunkedState* state_;
+  size_t accounted_output_ = 0;
+};
+
+void RunOneChunk(ChunkedState& state, size_t index) {
+  const PlannedChunk& chunk = state.plan->chunks[index];
+  ChunkResult& result = state.results[index];
+  const ChunkTelemetry& telemetry = state.telemetry;
+  const bool timed = telemetry.chunk_run_ns != nullptr ||
+                     (telemetry.trace != nullptr && telemetry.sample_spans);
+  uint64_t start_ns = timed ? MonotonicNowNs() : 0;
+
+  std::string_view slice =
+      state.xml_text.substr(chunk.begin, chunk.end - chunk.begin);
+  XmlParseOptions parse_options;
+  parse_options.fault = state.fault;
+  parse_options.base_offset = chunk.begin;
+
+  SerializingHandler sink(&result.output);
+  const bool guarded = state.max_bytes != 0 || state.deadline_ns != 0;
+  // The guard wraps the whole chain (outermost) so it sees every event.
+  auto run = [&](SaxHandler* pruner_top) -> Status {
+    if (!guarded) return ParseXmlFragment(slice, pruner_top, parse_options);
+    SharedBudgetGuard guard(pruner_top, &result.output, &state);
+    return ParseXmlFragment(slice, &guard, parse_options);
+  };
+
+  if (state.validate) {
+    ValidatingPruner pruner(*state.dtd, *state.projector, &sink);
+    pruner.set_fault_injector(state.fault);
+    ValidatingPruner::SeededAncestor ancestor;
+    ancestor.tag = state.plan->root_tag;
+    ancestor.state = chunk.root_state;
+    result.status = pruner.SeedAncestors({&ancestor, 1});
+    if (result.status.ok()) result.status = run(&pruner);
+    result.stats = pruner.stats();
+  } else {
+    StreamingPruner pruner(*state.dtd, *state.projector, &sink);
+    pruner.set_fault_injector(state.fault);
+    std::string_view root_tag = state.plan->root_tag;
+    result.status = pruner.SeedAncestors({&root_tag, 1});
+    if (result.status.ok()) result.status = run(&pruner);
+    result.stats = pruner.stats();
+  }
+
+  if (timed) {
+    uint64_t run_ns = MonotonicNowNs() - start_ns;
+    if (telemetry.chunk_run_ns != nullptr) {
+      telemetry.chunk_run_ns->Record(run_ns);
+    }
+    if (telemetry.trace != nullptr && telemetry.sample_spans) {
+      telemetry.trace->AddCompleteEvent(
+          "chunk", "chunk", start_ns, run_ns,
+          {{"task", static_cast<int64_t>(telemetry.task_index)},
+           {"chunk", static_cast<int64_t>(index)}});
+    }
+  }
+}
+
+// Claims chunks off the shared counter until none remain. Run by the
+// document task and by every recruited helper; nobody blocks waiting for
+// someone else's chunk, which is what makes scheduling documents and
+// chunks on one pool deadlock-free.
+void DrainChunks(const std::shared_ptr<ChunkedState>& state) {
+  const size_t total = state->results.size();
+  while (true) {
+    size_t index = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (index >= total) return;
+    RunOneChunk(*state, index);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->completed;
+    }
+    state->cv.notify_one();
+  }
+}
+
+}  // namespace
+
+std::optional<ChunkPlan> PlanChunks(std::string_view xml_text, const Dtd& dtd,
+                                    const NameSet& projector, bool validate,
+                                    const IntraDocOptions& options) {
+  if (!options.enabled() || xml_text.size() < options.min_doc_bytes) {
+    return std::nullopt;
+  }
+  TopLevelBoundaries bounds = ScanTopLevelBoundaries(xml_text);
+  if (!bounds.splittable || bounds.children.size() < 2) return std::nullopt;
+
+  NameId root_name = dtd.NameOfTag(bounds.root_tag);
+  if (root_name == kNoName) return std::nullopt;
+  ChunkPlan plan;
+  plan.root_tag = bounds.root_tag;
+  plan.total_children = bounds.children.size();
+
+  // Decode the root's attributes via a real parse of just its start tag.
+  {
+    std::string snippet(xml_text.substr(
+        bounds.root_start_begin,
+        bounds.root_start_end - bounds.root_start_begin));
+    snippet.append("</");
+    snippet.append(bounds.root_tag);
+    snippet.push_back('>');
+    RootAttributeCapture capture;
+    if (!ParseXmlStream(snippet, &capture).ok()) return std::nullopt;
+    plan.root_attributes = capture.Take();
+  }
+
+  if (validate) {
+    if (root_name != dtd.root()) return std::nullopt;
+    for (const AttributeDecl& decl : dtd.production(root_name).attributes) {
+      if (!decl.required) continue;
+      bool present = false;
+      for (const auto& [name, value] : plan.root_attributes) {
+        if (name == decl.name) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) return std::nullopt;
+    }
+    plan.root_kept = projector.Contains(root_name);
+  } else if (!projector.Contains(root_name)) {
+    // Without validation an unprojected root prunes the whole document;
+    // the degenerate sequential pass handles (and stat-counts) it.
+    return std::nullopt;
+  }
+
+  // Target chunk size: the configured target, shrunk if needed to give
+  // every thread min_chunks_per_thread chunks of the child region.
+  size_t content_bytes =
+      bounds.root_end_begin > bounds.root_start_end
+          ? bounds.root_end_begin - bounds.root_start_end
+          : 0;
+  size_t want_chunks = static_cast<size_t>(options.threads) *
+                       static_cast<size_t>(std::max(
+                           1, options.min_chunks_per_thread));
+  size_t target = options.chunk_bytes == 0 ? size_t{1} : options.chunk_bytes;
+  if (want_chunks > 0 && content_bytes / want_chunks < target) {
+    target = std::max(size_t{1}, content_bytes / want_chunks);
+  }
+
+  // Greedy grouping of consecutive children; validation additionally
+  // advances the root's content model across the child names, recording
+  // the state at every chunk start. Plan-time model violations (or an
+  // unaccepted final state) mean the document is invalid: fall back so
+  // the sequential pass reports it exactly as it always has.
+  ContentMatcher::MatchState state;
+  const ContentMatcher* matcher = nullptr;
+  if (validate) {
+    matcher = &dtd.MatcherOf(root_name);
+    state = matcher->StartState();
+  }
+  PlannedChunk current;
+  bool open = false;
+  for (size_t i = 0; i < bounds.children.size(); ++i) {
+    const TopLevelChild& child = bounds.children[i];
+    if (!open) {
+      current = PlannedChunk{};
+      current.begin = child.begin;
+      current.first_child = i;
+      if (validate) current.root_state = state;
+      open = true;
+    }
+    if (validate) {
+      NameId child_name = dtd.NameOfTag(child.tag);
+      if (child_name == kNoName) return std::nullopt;
+      matcher->Advance(&state, child_name);
+      if (state.dead) return std::nullopt;
+    }
+    current.end = child.end;
+    ++current.child_count;
+    if (current.end - current.begin >= target) {
+      plan.chunks.push_back(std::move(current));
+      open = false;
+    }
+  }
+  if (open) plan.chunks.push_back(std::move(current));
+  if (validate && !matcher->Accepts(state)) return std::nullopt;
+  if (plan.chunks.size() < 2) return std::nullopt;
+  return plan;
+}
+
+Status RunChunkedPrune(std::string_view xml_text, const Dtd& dtd,
+                       const NameSet& projector, bool validate,
+                       const ChunkPlan& plan, const ChunkRunContext& context,
+                       std::string* output, PruneStats* stats,
+                       size_t* peak_bytes) {
+  auto state = std::make_shared<ChunkedState>();
+  state->xml_text = xml_text;
+  state->dtd = &dtd;
+  state->projector = &projector;
+  state->validate = validate;
+  state->plan = &plan;
+  state->fault = context.fault;
+  state->max_bytes = context.max_bytes;
+  state->deadline_ns = context.deadline_ns;
+  state->telemetry = context.telemetry;
+  state->results.resize(plan.chunks.size());
+
+  if (context.telemetry.chunks_total != nullptr) {
+    context.telemetry.chunks_total->Increment(plan.chunks.size());
+  }
+
+  // Recruit helpers without ever blocking: a full or shut-down pool just
+  // means this thread prunes more of the chunks itself. Helper futures
+  // are dropped — helper outcomes live in the per-chunk results, and the
+  // completion latch below (not the futures) is what gates returning.
+  if (context.pool != nullptr) {
+    size_t max_helpers = context.max_helpers < 0
+                             ? 0
+                             : static_cast<size_t>(context.max_helpers);
+    size_t helpers = std::min(max_helpers, plan.chunks.size() - 1);
+    for (size_t i = 0; i < helpers; ++i) {
+      if (!context.pool->TrySubmit([state]() -> Status {
+            DrainChunks(state);
+            return Status::Ok();
+          })) {
+        break;
+      }
+    }
+  }
+  DrainChunks(state);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] {
+      return state->completed == state->results.size();
+    });
+  }
+
+  if (peak_bytes != nullptr) {
+    *peak_bytes = state->peak_bytes.load(std::memory_order_relaxed);
+  }
+
+  // First failing chunk in document order — the error the sequential
+  // pass would have hit first.
+  for (const ChunkResult& result : state->results) {
+    if (!result.status.ok()) {
+      output->clear();
+      return result.status;
+    }
+  }
+
+  const ChunkTelemetry& telemetry = context.telemetry;
+  const bool timed = telemetry.stitch_ns != nullptr ||
+                     (telemetry.trace != nullptr && telemetry.sample_spans);
+  uint64_t stitch_start = timed ? MonotonicNowNs() : 0;
+
+  // Stitch: re-emit the root exactly as the sequential serializer does
+  // (lazy start-tag close included: if every chunk pruned to nothing the
+  // output is "<root/>"), with chunk buffers appended verbatim.
+  output->clear();
+  size_t total_bytes = 0;
+  for (const ChunkResult& result : state->results) {
+    total_bytes += result.output.size();
+  }
+  output->reserve(total_bytes + plan.root_tag.size() * 2 + 16);
+  {
+    XmlWriter writer(output);
+    if (plan.root_kept) {
+      writer.StartElement(plan.root_tag);
+      for (const auto& [name, value] : plan.root_attributes) {
+        writer.Attribute(name, value);
+      }
+    }
+    for (const ChunkResult& result : state->results) {
+      writer.Raw(result.output);
+    }
+    if (plan.root_kept) writer.EndElement();
+  }
+
+  PruneStats folded;
+  // The root element itself: one input node, kept iff projected.
+  folded.input_nodes = 1;
+  folded.kept_nodes = plan.root_kept ? 1 : 0;
+  for (const ChunkResult& result : state->results) {
+    folded.input_nodes += result.stats.input_nodes;
+    folded.kept_nodes += result.stats.kept_nodes;
+    folded.input_text_bytes += result.stats.input_text_bytes;
+    folded.kept_text_bytes += result.stats.kept_text_bytes;
+  }
+  *stats = folded;
+
+  if (timed) {
+    uint64_t stitch_ns = MonotonicNowNs() - stitch_start;
+    if (telemetry.stitch_ns != nullptr) {
+      telemetry.stitch_ns->Record(stitch_ns);
+    }
+    if (telemetry.trace != nullptr && telemetry.sample_spans) {
+      telemetry.trace->AddCompleteEvent(
+          "stitch", "chunk", stitch_start, stitch_ns,
+          {{"task", static_cast<int64_t>(telemetry.task_index)},
+           {"chunks", static_cast<int64_t>(plan.chunks.size())}});
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,153 @@
+// Intra-document chunked pruning: shard one document across cores.
+//
+// The paper's pruner is a single one-pass traversal with O(depth) state,
+// and a type projector is a context-free *name set* — whether a node
+// survives depends only on its own grammar name, never on global path
+// state. That is what makes the pass shardable where path-based
+// projection (Marian & Siméon) is not: any subtree can be pruned knowing
+// nothing but the names of its ancestors. This module exploits it by
+// splitting a document at the boundaries of the root's children (the
+// regions under XMark's <site>), pruning the chunks concurrently — each
+// chunk's pruner seeded with the root as an already-open ancestor — and
+// stitching the serialized chunk outputs back in document order. The
+// result is byte-identical to the sequential pass.
+//
+// Split: ScanTopLevelBoundaries (xml/boundary.h), a raw byte scan, so the
+// serial fraction stays tiny. Plan: group top-level children into chunks
+// near a target byte size; under validation, precompute the root
+// content-model (Glushkov) state at every chunk start by advancing over
+// the preceding child names — plan-time work linear in the number of
+// children, not bytes. Run: chunks execute on the shared ThreadPool via a
+// claim counter (workers never block on other chunks, so scheduling
+// chunks and documents on one pool cannot deadlock). Stitch: per-chunk
+// buffers are appended via XmlWriter::Raw inside the re-emitted root
+// element — O(1) buffers per chunk, per-chunk memory O(depth + chunk).
+//
+// Anything the planner cannot prove safe — unsplittable root, malformed
+// markup, plan-time validation failure, too little data — is reported as
+// "no plan" and the caller falls back to the sequential pass, which then
+// reproduces the exact sequential behavior (including diagnostics).
+
+#ifndef XMLPROJ_PROJECTION_CHUNKED_H_
+#define XMLPROJ_PROJECTION_CHUNKED_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "dtd/content_model.h"
+#include "dtd/dtd.h"
+#include "dtd/name_set.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "projection/pruner.h"
+
+namespace xmlproj {
+
+// Intra-document parallelism knobs (PipelineOptions::intra_doc).
+struct IntraDocOptions {
+  // Concurrent chunks per document; <= 1 disables chunking entirely.
+  int threads = 1;
+  // Target serialized chunk size. The planner may cut smaller chunks to
+  // give every thread min_chunks_per_thread of them.
+  size_t chunk_bytes = 4u << 20;
+  // Load-balance heuristic: aim for at least threads * this many chunks
+  // (bounded below by chunk granularity — one top-level child).
+  int min_chunks_per_thread = 2;
+  // Documents smaller than this run sequentially: the split/stitch
+  // overhead outweighs any speedup.
+  size_t min_doc_bytes = 256u << 10;
+
+  bool enabled() const { return threads > 1; }
+};
+
+// One planned chunk: input[begin,end) covers `child_count` consecutive
+// top-level children starting at index `first_child`, with only
+// whitespace/comments/PIs between them.
+struct PlannedChunk {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t first_child = 0;
+  size_t child_count = 0;
+  // Root content-model state at the chunk start (validation runs only);
+  // default-constructed otherwise.
+  ContentMatcher::MatchState root_state;
+};
+
+struct ChunkPlan {
+  std::vector<PlannedChunk> chunks;
+  // Views into the planned document; the caller keeps it alive.
+  std::string_view root_tag;
+  // Decoded root attributes in document order, re-emitted during
+  // stitching exactly as the sequential serializer would.
+  std::vector<std::pair<std::string, std::string>> root_attributes;
+  // Whether the root element survives projection (always true without
+  // validation: an unprojected root is planned as "no plan" there).
+  bool root_kept = true;
+  size_t total_children = 0;
+};
+
+// Telemetry handles for a chunked run; all nullable (see obs/metrics.h
+// naming in README "Observability").
+struct ChunkTelemetry {
+  Counter* chunks_total = nullptr;    // xmlproj_chunks_total
+  Histogram* chunk_run_ns = nullptr;  // xmlproj_chunk_run_ns
+  Histogram* stitch_ns = nullptr;     // xmlproj_chunk_stitch_ns
+  TraceCollector* trace = nullptr;
+  // Pre-made sampling decision for this document's spans
+  // (TraceCollector::ShouldSample over the *task* index).
+  bool sample_spans = true;
+  // Task index attached to span args.
+  size_t task_index = 0;
+};
+
+// Everything a chunked run needs beyond the plan.
+struct ChunkRunContext {
+  // Pool to offer sibling chunks to; null runs every chunk on the calling
+  // thread. Offers are non-blocking (ThreadPool::TrySubmit) and the
+  // calling thread always participates, so a busy or shut-down pool
+  // degrades to inline execution instead of deadlocking.
+  ThreadPool* pool = nullptr;
+  // Upper bound on helpers recruited from the pool (IntraDocOptions
+  // threads - 1 in the pipeline).
+  int max_helpers = 0;
+  FaultInjector* fault = nullptr;
+  // Shared budget across all chunks of the document: byte cap on the
+  // metered bytes (serialized chunk buffers + open-element stacks,
+  // pooled) and an absolute MonotonicNowNs deadline. 0 = unlimited.
+  size_t max_bytes = 0;
+  uint64_t deadline_ns = 0;
+  ChunkTelemetry telemetry;
+};
+
+// Plans a chunked prune of `xml_text`. nullopt means "run sequentially":
+// the document is too small, its root is not splittable, chunking cannot
+// win (fewer than two chunks), or plan-time validation (root name /
+// required attributes / root content model over the child names) failed —
+// the sequential pass then surfaces the genuine error. `xml_text` must
+// outlive the returned plan.
+std::optional<ChunkPlan> PlanChunks(std::string_view xml_text, const Dtd& dtd,
+                                    const NameSet& projector, bool validate,
+                                    const IntraDocOptions& options);
+
+// Runs a planned chunked prune. On success `output` holds the stitched
+// serialized projection — byte-identical to the sequential pass — and
+// `stats` the folded per-chunk PruneStats (root element included). On
+// failure the first failing chunk's status (in document order) is
+// returned and `output` is cleared. `peak_bytes`(nullable) receives the
+// high-water mark of the shared budget meter.
+Status RunChunkedPrune(std::string_view xml_text, const Dtd& dtd,
+                       const NameSet& projector, bool validate,
+                       const ChunkPlan& plan, const ChunkRunContext& context,
+                       std::string* output, PruneStats* stats,
+                       size_t* peak_bytes);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_PROJECTION_CHUNKED_H_

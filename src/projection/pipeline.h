@@ -63,6 +63,7 @@
 #include "dtd/name_set.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "projection/chunked.h"
 #include "projection/pruner.h"
 
 namespace xmlproj {
@@ -135,6 +136,16 @@ struct PipelineOptions {
   // the document does not fit the DTD (kInvalid / kNotFound), so the
   // query still answers on the unprojected document.
   bool degrade_on_invalid = false;
+  // Intra-document parallelism: when intra_doc.threads > 1, documents
+  // large enough to be worth it are split at top-level element boundaries
+  // and pruned as concurrent chunks (projection/chunked.h), byte-identical
+  // to the sequential pass. Documents the planner declines (small,
+  // non-splittable root, plan-time validation failure) fall back to the
+  // sequential pass; a chunk failure quarantines the whole document under
+  // the usual error policy. With num_threads > 1 the chunks share the
+  // document pool (sized to max(num_threads, intra_doc.threads)) — chunk
+  // helpers never block on the pool, so the composition cannot deadlock.
+  IntraDocOptions intra_doc;
   // Optional fault injector threaded through parser ("xml.parse"), pruner
   // ("prune.element"), thread pool ("pool.task") and the pipeline itself
   // ("pipeline.task"). Null — the default — leaves one pointer compare

@@ -1,0 +1,226 @@
+#include "xml/boundary.h"
+
+namespace xmlproj {
+namespace {
+
+// Name/space predicates mirror parser.cc so the scanner accepts exactly
+// the tags the parser would.
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+// Raw cursor over the buffer. Every Scan*/Skip* helper returns false for
+// malformed or truncated markup; the caller translates that into
+// "not splittable" rather than an error.
+struct Scanner {
+  std::string_view in;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= in.size(); }
+  char Peek() const { return in[pos]; }
+  bool LookingAt(std::string_view token) const {
+    return in.substr(pos, token.size()) == token;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && IsSpace(Peek())) ++pos;
+  }
+
+  bool ScanName(std::string_view* name) {
+    size_t start = pos;
+    if (AtEnd() || !IsNameStartChar(Peek())) return false;
+    ++pos;
+    while (!AtEnd() && IsNameChar(Peek())) ++pos;
+    *name = in.substr(start, pos - start);
+    return true;
+  }
+
+  // pos is at "<!--".
+  bool SkipComment() {
+    size_t end = in.find("-->", pos + 4);
+    if (end == std::string_view::npos) return false;
+    pos = end + 3;
+    return true;
+  }
+
+  // pos is at "<?".
+  bool SkipProcessingInstruction() {
+    size_t end = in.find("?>", pos + 2);
+    if (end == std::string_view::npos) return false;
+    pos = end + 2;
+    return true;
+  }
+
+  // pos is at "<!DOCTYPE". Same bracket handling as the parser.
+  bool SkipDoctype() {
+    pos += 9;
+    while (!AtEnd() && Peek() != '>' && Peek() != '[') ++pos;
+    if (!AtEnd() && Peek() == '[') {
+      size_t end = in.find(']', pos + 1);
+      if (end == std::string_view::npos) return false;
+      pos = end + 1;
+      while (!AtEnd() && Peek() != '>') ++pos;
+    }
+    if (AtEnd()) return false;
+    ++pos;  // '>'
+    return true;
+  }
+
+  // pos is at the '<' of a start tag. Skips quoted attribute values so a
+  // '>' inside a value cannot end the tag early.
+  bool ScanStartTag(std::string_view* tag, bool* self_closing) {
+    ++pos;  // '<'
+    if (!ScanName(tag)) return false;
+    while (true) {
+      if (AtEnd()) return false;
+      char c = Peek();
+      if (c == '"' || c == '\'') {
+        size_t end = in.find(c, pos + 1);
+        if (end == std::string_view::npos) return false;
+        pos = end + 1;
+      } else if (c == '/') {
+        if (pos + 1 >= in.size() || in[pos + 1] != '>') return false;
+        *self_closing = true;
+        pos += 2;
+        return true;
+      } else if (c == '>') {
+        *self_closing = false;
+        ++pos;
+        return true;
+      } else if (c == '<') {
+        return false;
+      } else {
+        ++pos;
+      }
+    }
+  }
+
+  // pos is at "</".
+  bool ScanEndTag(std::string_view* tag) {
+    pos += 2;
+    if (!ScanName(tag)) return false;
+    SkipSpace();
+    if (AtEnd() || Peek() != '>') return false;
+    ++pos;
+    return true;
+  }
+};
+
+}  // namespace
+
+TopLevelBoundaries ScanTopLevelBoundaries(std::string_view input) {
+  TopLevelBoundaries out;
+  Scanner s{input};
+
+  // Prolog: XML declaration / PIs, comments, DOCTYPE.
+  while (true) {
+    s.SkipSpace();
+    if (s.AtEnd()) return out;
+    if (s.LookingAt("<!--")) {
+      if (!s.SkipComment()) return out;
+    } else if (s.LookingAt("<!DOCTYPE")) {
+      if (!s.SkipDoctype()) return out;
+    } else if (s.LookingAt("<?")) {
+      if (!s.SkipProcessingInstruction()) return out;
+    } else {
+      break;
+    }
+  }
+
+  // Root start tag.
+  if (s.Peek() != '<' || s.pos + 1 >= input.size() ||
+      !IsNameStartChar(input[s.pos + 1])) {
+    return out;
+  }
+  out.root_start_begin = s.pos;
+  bool self_closing = false;
+  if (!s.ScanStartTag(&out.root_tag, &self_closing)) return out;
+  out.root_start_end = s.pos;
+  if (self_closing) return out;  // no child region to shard
+
+  // Content scan. depth 1 == directly under the root; each 1 -> 2
+  // transition opens a top-level child and 2 -> 1 closes it.
+  size_t depth = 1;
+  while (depth > 0) {
+    if (s.AtEnd()) return out;
+    char c = s.Peek();
+    if (c != '<') {
+      if (depth == 1) {
+        // Non-whitespace text (or an entity reference) directly under the
+        // root belongs to no child chunk: refuse to split. Whitespace is
+        // fine — both passes drop it.
+        if (!IsSpace(c)) return out;
+        s.SkipSpace();
+      } else {
+        while (!s.AtEnd() && s.Peek() != '<') ++s.pos;
+      }
+      continue;
+    }
+    if (s.LookingAt("<!--")) {
+      if (!s.SkipComment()) return out;
+    } else if (s.LookingAt("<![CDATA[")) {
+      if (depth == 1) return out;  // CDATA is text
+      size_t end = input.find("]]>", s.pos + 9);
+      if (end == std::string_view::npos) return out;
+      s.pos = end + 3;
+    } else if (s.LookingAt("<?")) {
+      if (!s.SkipProcessingInstruction()) return out;
+    } else if (s.LookingAt("</")) {
+      size_t tag_begin = s.pos;
+      std::string_view name;
+      if (!s.ScanEndTag(&name)) return out;
+      --depth;
+      if (depth == 1) {
+        if (out.children.empty()) return out;
+        out.children.back().end = s.pos;
+      } else if (depth == 0) {
+        // Only the root's name is verified here; mismatches nested inside
+        // a child surface as parse errors when the chunk runs.
+        if (name != out.root_tag) return out;
+        out.root_end_begin = tag_begin;
+      }
+    } else {
+      if (s.pos + 1 >= input.size() || !IsNameStartChar(input[s.pos + 1])) {
+        return out;
+      }
+      size_t tag_begin = s.pos;
+      std::string_view tag;
+      bool sc = false;
+      if (!s.ScanStartTag(&tag, &sc)) return out;
+      if (depth == 1) {
+        TopLevelChild child;
+        child.begin = tag_begin;
+        child.tag = tag;
+        if (sc) child.end = s.pos;
+        out.children.push_back(child);
+      }
+      if (!sc) ++depth;
+    }
+  }
+
+  // Trailing misc only.
+  while (true) {
+    s.SkipSpace();
+    if (s.AtEnd()) break;
+    if (s.LookingAt("<!--")) {
+      if (!s.SkipComment()) return out;
+    } else if (s.LookingAt("<?")) {
+      if (!s.SkipProcessingInstruction()) return out;
+    } else {
+      return out;
+    }
+  }
+
+  out.splittable = true;
+  return out;
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,57 @@
+// Lightweight top-level boundary scanner for intra-document chunking.
+//
+// Chunked pruning splits one document at the boundaries of the root's
+// children (e.g. the regions under XMark's <site>) and prunes the chunks
+// concurrently. Finding those boundaries must cost far less than a full
+// parse or it eats the speedup (Amdahl: the scan is the serial fraction),
+// so this is a raw byte scan — quote-aware tag skipping and depth
+// counting, no name interning, no attribute decoding, no handler
+// callbacks.
+//
+// The scanner is deliberately conservative: it never reports an error.
+// Any construct it cannot prove safe to split (malformed markup,
+// non-whitespace text or CDATA directly under the root, a self-closing
+// root, trailing garbage) yields splittable == false, and the pipeline
+// falls back to the sequential pass — which then reproduces the exact
+// sequential diagnostics for genuinely malformed input.
+
+#ifndef XMLPROJ_XML_BOUNDARY_H_
+#define XMLPROJ_XML_BOUNDARY_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace xmlproj {
+
+// One complete top-level child element: input[begin, end) spans its start
+// tag through its matching end tag (or the self-closing tag). `tag` views
+// into the scanned buffer.
+struct TopLevelChild {
+  size_t begin = 0;
+  size_t end = 0;
+  std::string_view tag;
+};
+
+struct TopLevelBoundaries {
+  // True when the document decomposes as
+  //   prolog? root-start-tag (misc | child)* root-end-tag misc*
+  // with only whitespace, comments, and PIs between children. When false
+  // every other field is unspecified.
+  bool splittable = false;
+  std::string_view root_tag;
+  // Span of the root's start tag, '<' through one past '>'.
+  size_t root_start_begin = 0;
+  size_t root_start_end = 0;
+  // Offset of the '<' of the root's end tag.
+  size_t root_end_begin = 0;
+  std::vector<TopLevelChild> children;
+};
+
+// Scans `input` for the root element's child boundaries. Never fails; see
+// TopLevelBoundaries::splittable.
+TopLevelBoundaries ScanTopLevelBoundaries(std::string_view input);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XML_BOUNDARY_H_

@@ -44,12 +44,29 @@ void AppendUtf8(uint32_t cp, std::string* out) {
 class Parser {
  public:
   Parser(std::string_view input, SaxHandler* handler,
-         const XmlParseOptions& options)
-      : input_(input), handler_(handler), options_(options) {}
+         const XmlParseOptions& options, bool fragment = false)
+      : input_(input),
+        handler_(handler),
+        options_(options),
+        fragment_(fragment) {}
 
   Status Run();
 
  private:
+  // Byte spans handed to the handler through SaxHandler::SetLocator.
+  struct Locator : SaxLocator {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t event_begin() const override { return begin; }
+    size_t event_end() const override { return end; }
+  };
+
+  // Publishes the current event's [begin,end) span (input_-relative;
+  // rebased onto the caller's buffer by base_offset).
+  void SetSpan(size_t begin, size_t end) {
+    locator_.begin = options_.base_offset + begin;
+    locator_.end = options_.base_offset + end;
+  }
   Status Error(const std::string& message) const {
     size_t line = 1;
     for (size_t i = 0; i < pos_ && i < input_.size(); ++i) {
@@ -68,6 +85,7 @@ class Parser {
   }
 
   Status ParseProlog();
+  Status RunFragment();
   Status ParseDoctype();
   // Parses the element starting at pos_ and all of its content,
   // iteratively (no recursion: document depth must not bound the stack).
@@ -86,9 +104,12 @@ class Parser {
   std::string_view input_;
   SaxHandler* handler_;
   XmlParseOptions options_;
+  const bool fragment_;
+  Locator locator_;
   size_t pos_ = 0;
   std::string pending_text_;
   bool pending_text_nonempty_ = false;
+  size_t pending_text_begin_ = 0;  // offset of the first pending byte
   std::vector<std::string> open_tags_;
 };
 
@@ -165,7 +186,12 @@ Status Parser::FlushText() {
   std::string text = std::move(pending_text_);
   pending_text_.clear();
   pending_text_nonempty_ = false;
-  if (emit) return handler_->Characters(text);
+  if (emit) {
+    // pos_ is at the markup that terminated the run, so the span covers
+    // every text/CDATA/reference piece accumulated since it began.
+    SetSpan(pending_text_begin_, pos_);
+    return handler_->Characters(text);
+  }
   return Status::Ok();
 }
 
@@ -189,6 +215,7 @@ Status Parser::SkipProcessingInstruction() {
 
 Status Parser::ParseDoctype() {
   // pos_ is at "<!DOCTYPE".
+  size_t doctype_begin = pos_;
   pos_ += 9;
   SkipSpace();
   std::string_view name;
@@ -208,6 +235,7 @@ Status Parser::ParseDoctype() {
   }
   if (AtEnd()) return Error("unterminated DOCTYPE");
   ++pos_;  // '>'
+  SetSpan(doctype_begin, pos_);
   return handler_->Doctype(name, internal_subset);
 }
 
@@ -249,6 +277,7 @@ Status Parser::ParseAttributes(std::vector<SaxAttribute>* attributes,
 Status Parser::ParseStartTag(bool* closed) {
   XMLPROJ_RETURN_IF_ERROR(XMLPROJ_FAULT_HIT(options_.fault, "xml.parse"));
   // pos_ is at '<' of a start tag.
+  size_t tag_begin = pos_;
   ++pos_;
   std::string_view tag;
   XMLPROJ_RETURN_IF_ERROR(ParseName(&tag));
@@ -267,6 +296,9 @@ Status Parser::ParseStartTag(bool* closed) {
     if (AtEnd() || Peek() != '>') return Error("expected '>' after '/'");
   }
   ++pos_;  // '>'
+  // A self-closing tag is one markup span producing two events; both
+  // report it.
+  SetSpan(tag_begin, pos_);
   XMLPROJ_RETURN_IF_ERROR(handler_->StartElement(tag, attributes));
   if (self_closing) {
     *closed = true;
@@ -292,6 +324,7 @@ Status Parser::ParseTree() {
           return Error("unterminated CDATA section");
         }
         std::string_view data = input_.substr(pos_ + 9, end - pos_ - 9);
+        if (pending_text_.empty()) pending_text_begin_ = pos_;
         pending_text_.append(data);
         if (!IsAllXmlWhitespace(data)) pending_text_nonempty_ = true;
         pos_ = end + 3;
@@ -299,6 +332,7 @@ Status Parser::ParseTree() {
         XMLPROJ_RETURN_IF_ERROR(SkipProcessingInstruction());
       } else if (LookingAt("</")) {
         XMLPROJ_RETURN_IF_ERROR(FlushText());
+        size_t end_tag_begin = pos_;
         pos_ += 2;
         std::string_view name;
         XMLPROJ_RETURN_IF_ERROR(ParseName(&name));
@@ -308,6 +342,7 @@ Status Parser::ParseTree() {
         SkipSpace();
         if (AtEnd() || Peek() != '>') return Error("malformed end tag");
         ++pos_;
+        SetSpan(end_tag_begin, pos_);
         std::string closed_tag = std::move(open_tags_.back());
         open_tags_.pop_back();
         XMLPROJ_RETURN_IF_ERROR(handler_->EndElement(closed_tag));
@@ -316,6 +351,7 @@ Status Parser::ParseTree() {
         XMLPROJ_RETURN_IF_ERROR(ParseStartTag(&closed));
       }
     } else if (c == '&') {
+      if (pending_text_.empty()) pending_text_begin_ = pos_;
       size_t before = pending_text_.size();
       XMLPROJ_RETURN_IF_ERROR(AppendReference(&pending_text_));
       if (!IsAllXmlWhitespace(
@@ -324,6 +360,7 @@ Status Parser::ParseTree() {
       }
     } else {
       size_t run_start = pos_;
+      if (pending_text_.empty()) pending_text_begin_ = run_start;
       while (!AtEnd() && Peek() != '<' && Peek() != '&') ++pos_;
       std::string_view run = input_.substr(run_start, pos_ - run_start);
       pending_text_.append(run);
@@ -352,6 +389,9 @@ Status Parser::ParseProlog() {
 }
 
 Status Parser::Run() {
+  handler_->SetLocator(&locator_);
+  if (fragment_) return RunFragment();
+  SetSpan(0, 0);
   XMLPROJ_RETURN_IF_ERROR(handler_->StartDocument());
   XMLPROJ_RETURN_IF_ERROR(ParseProlog());
   XMLPROJ_RETURN_IF_ERROR(ParseTree());
@@ -367,7 +407,30 @@ Status Parser::Run() {
       return Error("content after root element");
     }
   }
+  SetSpan(input_.size(), input_.size());
   return handler_->EndDocument();
+}
+
+Status Parser::RunFragment() {
+  // A forest of complete elements with misc (whitespace, comments, PIs)
+  // between them. No StartDocument/EndDocument, no prolog: the fragment is
+  // parsed as if an enclosing pass had already consumed everything before
+  // it.
+  while (true) {
+    SkipSpace();
+    if (AtEnd()) return Status::Ok();
+    if (LookingAt("<!--")) {
+      XMLPROJ_RETURN_IF_ERROR(SkipComment());
+    } else if (LookingAt("<?")) {
+      XMLPROJ_RETURN_IF_ERROR(SkipProcessingInstruction());
+    } else if (LookingAt("</")) {
+      return Error("unmatched end tag in fragment");
+    } else if (Peek() == '<') {
+      XMLPROJ_RETURN_IF_ERROR(ParseTree());
+    } else {
+      return Error("text outside any element in fragment");
+    }
+  }
 }
 
 }  // namespace
@@ -375,6 +438,12 @@ Status Parser::Run() {
 Status ParseXmlStream(std::string_view input, SaxHandler* handler,
                       const XmlParseOptions& options) {
   Parser parser(input, handler, options);
+  return parser.Run();
+}
+
+Status ParseXmlFragment(std::string_view input, SaxHandler* handler,
+                        const XmlParseOptions& options) {
+  Parser parser(input, handler, options, /*fragment=*/true);
   return parser.Run();
 }
 

@@ -23,9 +23,33 @@ struct SaxAttribute {
   std::string_view value;
 };
 
+// Byte-offset locator. An event producer that knows where its events come
+// from (the XML parser) hands one of these to the handler via
+// SaxHandler::SetLocator before the first event; during each event
+// callback the locator reports the byte span of the markup that produced
+// the event. Handlers that never call it pay nothing; producers without
+// positions (ReplayAsSax) simply never install one.
+class SaxLocator {
+ public:
+  virtual ~SaxLocator() = default;
+
+  // Offset of the first byte of the markup behind the current event: the
+  // '<' of a start/end tag, the first byte of a text run. Offsets are
+  // relative to the buffer the caller handed in, rebased by
+  // XmlParseOptions::base_offset when parsing a slice of a larger buffer.
+  virtual size_t event_begin() const = 0;
+  // One past the last byte of that markup.
+  virtual size_t event_end() const = 0;
+};
+
 class SaxHandler {
  public:
   virtual ~SaxHandler() = default;
+
+  // Called (at most once, before StartDocument / the first event) by
+  // producers that can report byte offsets. `locator` stays valid for the
+  // duration of the event stream. Default: ignore it.
+  virtual void SetLocator(const SaxLocator* locator) { (void)locator; }
 
   virtual Status StartDocument() { return Status::Ok(); }
   virtual Status EndDocument() { return Status::Ok(); }

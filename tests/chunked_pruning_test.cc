@@ -1,0 +1,418 @@
+// Tests for intra-document chunked pruning (projection/chunked.h) and its
+// pipeline integration.
+//
+// The load-bearing property is Theorem 4.5 carried across the intra-
+// document shard dimension: because a type projector is a context-free
+// name set, pruning the root's children as concurrent chunks and
+// stitching in document order must be *byte-identical* to the sequential
+// one-pass pruner — for every chunk size, every thread count, with and
+// without fused validation. Everything the planner cannot prove safe must
+// fall back to the sequential pass (still byte-identical, trivially).
+
+#include "projection/chunked.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "dtd/dtd_parser.h"
+#include "obs/metrics.h"
+#include "projection/pipeline.h"
+#include "projection/projection.h"
+#include "xmark/corpus.h"
+#include "xmark/generator.h"
+#include "xmark/xmark_dtd.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace xmlproj {
+namespace {
+
+const Dtd& XmarkDtd() {
+  static const Dtd* dtd = new Dtd(std::move(LoadXMarkDtd()).value());
+  return *dtd;
+}
+
+const NameSet& DashboardProjector() {
+  static const NameSet* p = new NameSet(
+      std::move(WorkloadProjector(XmarkDtd(), XMarkDashboardWorkload()))
+          .value());
+  return *p;
+}
+
+// The sequential reference pass, with stats.
+std::string ReferencePrune(const std::string& xml_text, const Dtd& dtd,
+                           const NameSet& projector, bool validate,
+                           PruneStats* stats = nullptr) {
+  std::string out;
+  SerializingHandler sink(&out);
+  if (validate) {
+    ValidatingPruner pruner(dtd, projector, &sink);
+    Status status = ParseXmlStream(xml_text, &pruner);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    if (stats != nullptr) *stats = pruner.stats();
+  } else {
+    StreamingPruner pruner(dtd, projector, &sink);
+    Status status = ParseXmlStream(xml_text, &pruner);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    if (stats != nullptr) *stats = pruner.stats();
+  }
+  return out;
+}
+
+IntraDocOptions TestOptions(int threads, size_t chunk_bytes) {
+  IntraDocOptions o;
+  o.threads = threads;
+  o.chunk_bytes = chunk_bytes;
+  o.min_doc_bytes = 0;  // exercise small documents too
+  return o;
+}
+
+// --- planner ---------------------------------------------------------------
+
+TEST(ChunkPlanTest, CoversEveryChildInOrder) {
+  XMarkOptions gen;
+  gen.scale = 0.002;
+  gen.seed = 11;
+  std::string xml = GenerateXMarkText(gen);
+  auto plan = PlanChunks(xml, XmarkDtd(), DashboardProjector(),
+                         /*validate=*/false, TestOptions(4, 16 << 10));
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->root_tag, "site");
+  ASSERT_GE(plan->chunks.size(), 2u);
+  size_t next_child = 0;
+  size_t last_end = 0;
+  for (const PlannedChunk& c : plan->chunks) {
+    EXPECT_EQ(c.first_child, next_child);
+    EXPECT_GT(c.child_count, 0u);
+    EXPECT_GE(c.begin, last_end);
+    EXPECT_LT(c.begin, c.end);
+    next_child += c.child_count;
+    last_end = c.end;
+  }
+  EXPECT_EQ(next_child, plan->total_children);
+}
+
+TEST(ChunkPlanTest, DeclinesSmallDocuments) {
+  std::string xml = "<site><regions></regions></site>";
+  IntraDocOptions o = TestOptions(4, 1 << 10);
+  o.min_doc_bytes = 1 << 20;  // doc is far below the gate
+  EXPECT_FALSE(PlanChunks(xml, XmarkDtd(), DashboardProjector(),
+                          /*validate=*/false, o)
+                   .has_value());
+}
+
+TEST(ChunkPlanTest, DeclinesTextOnlyChildrenRoot) {
+  auto dtd = ParseDtd("<!ELEMENT r (#PCDATA)>", "r");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  NameSet projector(dtd->name_count());
+  projector.Add(dtd->root());
+  std::string xml = "<r>nothing but character data in here</r>";
+  EXPECT_FALSE(PlanChunks(xml, *dtd, projector, /*validate=*/false,
+                          TestOptions(4, 4))
+                   .has_value());
+  EXPECT_FALSE(PlanChunks(xml, *dtd, projector, /*validate=*/true,
+                          TestOptions(4, 4))
+                   .has_value());
+}
+
+TEST(ChunkPlanTest, DeclinesWhenRootOutsideProjector) {
+  auto dtd = ParseDtd("<!ELEMENT r (a*)><!ELEMENT a EMPTY>", "r");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  NameSet empty(dtd->name_count());
+  std::string xml = "<r><a/><a/><a/><a/></r>";
+  EXPECT_FALSE(
+      PlanChunks(xml, *dtd, empty, /*validate=*/false, TestOptions(2, 4))
+          .has_value());
+}
+
+TEST(ChunkPlanTest, DeclinesInvalidContentUnderValidation) {
+  // Root content model forbids <b>; plan-time validation must refuse so
+  // the sequential pass owns the diagnostic.
+  auto dtd = ParseDtd("<!ELEMENT r (a*)><!ELEMENT a EMPTY><!ELEMENT b EMPTY>",
+                      "r");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  NameSet projector(dtd->name_count());
+  projector.Add(dtd->root());
+  std::string xml = "<r><a/><b/><a/><a/></r>";
+  EXPECT_FALSE(
+      PlanChunks(xml, *dtd, projector, /*validate=*/true, TestOptions(2, 4))
+          .has_value());
+  // Without fused validation the same document plans fine.
+  EXPECT_TRUE(PlanChunks(xml, *dtd, projector, /*validate=*/false,
+                         TestOptions(2, 4))
+                  .has_value());
+}
+
+// --- chunked run == sequential, directly -----------------------------------
+
+void ExpectChunkedMatchesSequential(const std::string& xml, const Dtd& dtd,
+                                    const NameSet& projector, bool validate,
+                                    int threads, size_t chunk_bytes,
+                                    ThreadPool* pool) {
+  auto plan = PlanChunks(xml, dtd, projector, validate,
+                         TestOptions(threads, chunk_bytes));
+  ASSERT_TRUE(plan.has_value());
+  ChunkRunContext context;
+  context.pool = pool;
+  context.max_helpers = threads - 1;
+  std::string output;
+  PruneStats stats;
+  size_t peak = 0;
+  Status status = RunChunkedPrune(xml, dtd, projector, validate, *plan,
+                                  context, &output, &stats, &peak);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  PruneStats want_stats;
+  std::string want =
+      ReferencePrune(xml, dtd, projector, validate, &want_stats);
+  EXPECT_EQ(output, want) << "chunked output diverges (threads=" << threads
+                          << ", chunk_bytes=" << chunk_bytes
+                          << ", validate=" << validate << ")";
+  EXPECT_EQ(stats.input_nodes, want_stats.input_nodes);
+  EXPECT_EQ(stats.kept_nodes, want_stats.kept_nodes);
+  EXPECT_EQ(stats.input_text_bytes, want_stats.input_text_bytes);
+  EXPECT_EQ(stats.kept_text_bytes, want_stats.kept_text_bytes);
+}
+
+TEST(ChunkedPruneTest, ByteIdenticalAndStatsMatchOnXMark) {
+  XMarkOptions gen;
+  gen.scale = 0.002;
+  gen.seed = 3;
+  std::string xml = GenerateXMarkText(gen);
+  ThreadPool pool(4);
+  for (bool validate : {false, true}) {
+    for (size_t chunk_bytes : {size_t{1} << 10, size_t{64} << 10, xml.size()}) {
+      ExpectChunkedMatchesSequential(xml, XmarkDtd(), DashboardProjector(),
+                                     validate, 4, chunk_bytes, &pool);
+    }
+  }
+}
+
+TEST(ChunkedPruneTest, InlineWithoutPool) {
+  XMarkOptions gen;
+  gen.scale = 0.001;
+  gen.seed = 5;
+  std::string xml = GenerateXMarkText(gen);
+  ExpectChunkedMatchesSequential(xml, XmarkDtd(), DashboardProjector(),
+                                 /*validate=*/true, 2, 1 << 10,
+                                 /*pool=*/nullptr);
+}
+
+TEST(ChunkedPruneTest, FullyPrunedChildrenStitchToSequentialForm) {
+  // Projector keeps only the root: every chunk serializes to nothing and
+  // the stitched result must still match the sequential `<r/>` form.
+  auto dtd = ParseDtd("<!ELEMENT r (a*)><!ELEMENT a (#PCDATA)>", "r");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  NameSet projector(dtd->name_count());
+  projector.Add(dtd->root());
+  std::string xml = "<r><a>one</a><a>two</a><a>three</a><a>four</a></r>";
+  ExpectChunkedMatchesSequential(xml, *dtd, projector, /*validate=*/false, 2,
+                                 /*chunk_bytes=*/8, /*pool=*/nullptr);
+  ExpectChunkedMatchesSequential(xml, *dtd, projector, /*validate=*/true, 2,
+                                 /*chunk_bytes=*/8, /*pool=*/nullptr);
+}
+
+TEST(ChunkedPruneTest, RootAttributesRoundTrip) {
+  auto dtd = ParseDtd(
+      "<!ELEMENT r (a*)><!ELEMENT a EMPTY>"
+      "<!ATTLIST r id CDATA #REQUIRED note CDATA #IMPLIED>",
+      "r");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  NameSet projector(dtd->name_count());
+  projector.Add(dtd->root());
+  projector.Add(dtd->NameOfTag("a"));
+  std::string xml =
+      "<r id=\"x&amp;y\" note='a &lt; b'><a/><a/><a/><a/></r>";
+  ExpectChunkedMatchesSequential(xml, *dtd, projector, /*validate=*/false, 2,
+                                 /*chunk_bytes=*/4, /*pool=*/nullptr);
+  ExpectChunkedMatchesSequential(xml, *dtd, projector, /*validate=*/true, 2,
+                                 /*chunk_bytes=*/4, /*pool=*/nullptr);
+}
+
+TEST(ChunkedPruneTest, SharedBudgetAborts) {
+  XMarkOptions gen;
+  gen.scale = 0.001;
+  gen.seed = 9;
+  std::string xml = GenerateXMarkText(gen);
+  auto plan = PlanChunks(xml, XmarkDtd(), DashboardProjector(),
+                         /*validate=*/false, TestOptions(2, 1 << 10));
+  ASSERT_TRUE(plan.has_value());
+  ChunkRunContext context;
+  context.max_bytes = 64;  // far below any chunk's output
+  std::string output;
+  PruneStats stats;
+  size_t peak = 0;
+  Status status =
+      RunChunkedPrune(xml, XmarkDtd(), DashboardProjector(),
+                      /*validate=*/false, *plan, context, &output, &stats,
+                      &peak);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+      << status.ToString();
+  EXPECT_TRUE(output.empty());
+  EXPECT_GT(peak, 64u);
+}
+
+// --- the pipeline property: chunked == sequential, full matrix --------------
+
+TEST(ChunkedPipelineTest, ByteIdenticalAcrossChunkSizesAndThreads) {
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 4;
+  corpus_options.scale = 0.001;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+  // Include a document far smaller than one chunk: it must still come out
+  // byte-identical whether the planner chunks it or falls back.
+  XMarkOptions tiny;
+  tiny.scale = 0.0001;
+  tiny.seed = 42;
+  corpus.push_back(GenerateXMarkText(tiny));
+
+  std::vector<std::string> expected;
+  std::vector<std::string> expected_validated;
+  for (const std::string& doc : corpus) {
+    expected.push_back(
+        ReferencePrune(doc, XmarkDtd(), DashboardProjector(), false));
+    expected_validated.push_back(
+        ReferencePrune(doc, XmarkDtd(), DashboardProjector(), true));
+  }
+
+  for (int threads : {1, 2, 8}) {
+    for (size_t chunk_bytes :
+         {size_t{1} << 10, size_t{64} << 10, size_t{128} << 20}) {
+      for (bool validate : {false, true}) {
+        PipelineOptions options;
+        options.num_threads = 1;
+        options.validate = validate;
+        options.intra_doc = TestOptions(threads, chunk_bytes);
+        auto run = PruneCorpus(corpus, XmarkDtd(), DashboardProjector(),
+                               options);
+        ASSERT_TRUE(run.ok()) << run.status().ToString();
+        const auto& want = validate ? expected_validated : expected;
+        for (size_t i = 0; i < corpus.size(); ++i) {
+          EXPECT_EQ(run->results[i].output, want[i])
+              << "doc " << i << " threads=" << threads
+              << " chunk_bytes=" << chunk_bytes << " validate=" << validate;
+        }
+      }
+    }
+  }
+}
+
+TEST(ChunkedPipelineTest, ComposesWithDocLevelParallelism) {
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 6;
+  corpus_options.scale = 0.001;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+
+  PipelineOptions options;
+  options.num_threads = 3;  // documents in parallel...
+  options.intra_doc = TestOptions(4, 1 << 10);  // ...and chunks within each
+  auto run = PruneCorpus(corpus, XmarkDtd(), DashboardProjector(), options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(run->results[i].output,
+              ReferencePrune(corpus[i], XmarkDtd(), DashboardProjector(),
+                             false))
+        << "document " << i;
+  }
+}
+
+TEST(ChunkedPipelineTest, SequentialFallbackBelowMinDocBytes) {
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 2;
+  corpus_options.scale = 0.001;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+
+  MetricsRegistry metrics;
+  PipelineOptions options;
+  options.num_threads = 1;
+  options.metrics = &metrics;
+  options.intra_doc.threads = 4;  // enabled, but min_doc_bytes (default
+                                  // 256 KB) exceeds every document
+  auto run = PruneCorpus(corpus, XmarkDtd(), DashboardProjector(), options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(metrics.GetCounter("xmlproj_chunks_total")->Value(), 0u);
+  EXPECT_EQ(metrics.GetCounter("xmlproj_pipeline_chunk_fallbacks_total")
+                ->Value(),
+            corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_EQ(run->results[i].output,
+              ReferencePrune(corpus[i], XmarkDtd(), DashboardProjector(),
+                             false));
+  }
+}
+
+TEST(ChunkedPipelineTest, PublishesChunkMetrics) {
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 2;
+  corpus_options.scale = 0.001;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+
+  MetricsRegistry metrics;
+  PipelineOptions options;
+  options.num_threads = 1;
+  options.metrics = &metrics;
+  options.intra_doc = TestOptions(2, 4 << 10);
+  auto run = PruneCorpus(corpus, XmarkDtd(), DashboardProjector(), options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GE(metrics.GetCounter("xmlproj_chunks_total")->Value(),
+            2 * corpus.size());
+  EXPECT_EQ(metrics.GetCounter("xmlproj_pipeline_chunked_docs_total")->Value(),
+            corpus.size());
+  EXPECT_GT(metrics.GetHistogram("xmlproj_chunk_split_ns")->Count(), 0u);
+  EXPECT_GT(metrics.GetHistogram("xmlproj_chunk_stitch_ns")->Count(), 0u);
+  EXPECT_GT(metrics.GetHistogram("xmlproj_chunk_run_ns")->Count(), 0u);
+}
+
+TEST(ChunkedPipelineTest, TextOnlyChildrenRootFallsBackThroughPipeline) {
+  // A root whose children are character data has no element boundaries to
+  // split at: the planner declines and the pipeline's sequential pass
+  // must produce the answer (byte-identical, trivially).
+  auto dtd = ParseDtd("<!ELEMENT r (#PCDATA)>", "r");
+  ASSERT_TRUE(dtd.ok()) << dtd.status().ToString();
+  NameSet projector(dtd->name_count());
+  projector.Add(dtd->root());
+  std::vector<std::string> corpus = {
+      "<r>nothing but character data, no element boundaries to split</r>"};
+
+  MetricsRegistry metrics;
+  PipelineOptions options;
+  options.num_threads = 1;
+  options.metrics = &metrics;
+  options.intra_doc = TestOptions(4, 4);
+  auto run = PruneCorpus(corpus, *dtd, projector, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(metrics.GetCounter("xmlproj_chunks_total")->Value(), 0u);
+  EXPECT_EQ(
+      metrics.GetCounter("xmlproj_pipeline_chunk_fallbacks_total")->Value(),
+      1u);
+  EXPECT_EQ(run->results[0].output,
+            ReferencePrune(corpus[0], *dtd, projector, false));
+}
+
+TEST(ChunkedPipelineTest, ChunkBudgetFailureQuarantinesDocument) {
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 3;
+  corpus_options.scale = 0.001;
+  std::vector<std::string> corpus = GenerateXMarkCorpus(corpus_options);
+
+  PipelineOptions options;
+  options.num_threads = 1;
+  options.intra_doc = TestOptions(2, 1 << 10);
+  options.policy = ErrorPolicy::kIsolate;
+  options.budget.max_bytes = 256;  // every document blows the budget
+  auto run = PruneCorpus(corpus, XmarkDtd(), DashboardProjector(), options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->failures.size(), corpus.size());
+  for (const TaskFailure& f : run->failures) {
+    EXPECT_EQ(f.status.code(), StatusCode::kResourceExhausted)
+        << f.status.ToString();
+    EXPECT_EQ(f.stage, "budget");
+    EXPECT_TRUE(run->results[f.task].output.empty());
+  }
+}
+
+}  // namespace
+}  // namespace xmlproj

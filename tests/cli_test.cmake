@@ -1,0 +1,50 @@
+# CLI contract tests for parallel_prune_tool, driven via
+#   ctest → cmake -DTOOL=<path> -P cli_test.cmake
+#
+# Verifies the strict-flag satellite: --threads 0 / negative and a
+# malformed or non-positive --chunk-bytes / --intra-doc-threads must exit
+# with the usage code (1), never silently clamp; a well-formed invocation
+# with the new intra-document flags must exit 0.
+
+if(NOT DEFINED TOOL)
+  message(FATAL_ERROR "pass -DTOOL=<path to parallel_prune_tool>")
+endif()
+
+set(failures 0)
+
+# expect_exit(<code> <arg>...) — run the tool, compare the exit code.
+function(expect_exit expected)
+  execute_process(COMMAND "${TOOL}" ${ARGN}
+    RESULT_VARIABLE got
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT got STREQUAL "${expected}")
+    math(EXPR failures "${failures} + 1")
+    set(failures "${failures}" PARENT_SCOPE)
+    message(STATUS "FAIL: '${TOOL} ${ARGN}' exited ${got}, want ${expected}")
+    message(STATUS "  stderr: ${err}")
+  else()
+    message(STATUS "ok: '${ARGN}' -> ${got}")
+  endif()
+endfunction()
+
+# Usage errors: exit 1, nothing clamped.
+expect_exit(1 --threads=0)
+expect_exit(1 --threads=-2)
+expect_exit(1 --threads=abc)
+expect_exit(1 --chunk-bytes=0)
+expect_exit(1 --chunk-bytes=-64)
+expect_exit(1 --chunk-bytes=64k)
+expect_exit(1 --intra-doc-threads=0)
+expect_exit(1 --intra-doc-threads=-1)
+expect_exit(1 --no-such-flag)
+
+# Well-formed runs: exit 0. Tiny corpus keeps this fast; the second run
+# exercises the intra-document flags end to end (small docs fall back to
+# the sequential pass, which is exactly the contract).
+expect_exit(0 --docs=1 --scale=0.001 --threads=1)
+expect_exit(0 --docs=1 --scale=0.001 --intra-doc-threads=2 --chunk-bytes=4096)
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} CLI contract check(s) failed")
+endif()

@@ -1,0 +1,161 @@
+// Tests for the raw top-level boundary scanner (xml/boundary.h).
+//
+// The scanner feeds the chunk planner, so two properties matter: when it
+// claims splittable, the reported child spans must exactly tile the
+// root's content (every byte between consecutive children is
+// whitespace/comment/PI misc); and on anything it cannot prove safe it
+// must say "not splittable" rather than guess — the sequential pass owns
+// the diagnostics.
+
+#include "xml/boundary.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "xmark/generator.h"
+
+namespace xmlproj {
+namespace {
+
+TEST(BoundaryScanTest, SimpleChildren) {
+  std::string xml = "<root><a>x</a><b attr=\"v\">y</b><c/></root>";
+  TopLevelBoundaries b = ScanTopLevelBoundaries(xml);
+  ASSERT_TRUE(b.splittable);
+  EXPECT_EQ(b.root_tag, "root");
+  EXPECT_EQ(b.root_start_begin, 0u);
+  EXPECT_EQ(xml.substr(b.root_start_begin, b.root_start_end), "<root>");
+  EXPECT_EQ(xml.substr(b.root_end_begin), "</root>");
+  ASSERT_EQ(b.children.size(), 3u);
+  EXPECT_EQ(xml.substr(b.children[0].begin,
+                       b.children[0].end - b.children[0].begin),
+            "<a>x</a>");
+  EXPECT_EQ(b.children[0].tag, "a");
+  EXPECT_EQ(xml.substr(b.children[1].begin,
+                       b.children[1].end - b.children[1].begin),
+            "<b attr=\"v\">y</b>");
+  EXPECT_EQ(xml.substr(b.children[2].begin,
+                       b.children[2].end - b.children[2].begin),
+            "<c/>");
+}
+
+TEST(BoundaryScanTest, PrologMiscAndWhitespaceBetweenChildren) {
+  std::string xml =
+      "<?xml version=\"1.0\"?>\n"
+      "<!-- prolog comment -->\n"
+      "<!DOCTYPE root SYSTEM \"root.dtd\">\n"
+      "<root>\n"
+      "  <a/>\n"
+      "  <!-- between -->\n"
+      "  <?pi data?>\n"
+      "  <b>t</b>\n"
+      "</root>\n"
+      "<!-- trailing misc -->\n";
+  TopLevelBoundaries b = ScanTopLevelBoundaries(xml);
+  ASSERT_TRUE(b.splittable);
+  EXPECT_EQ(b.root_tag, "root");
+  ASSERT_EQ(b.children.size(), 2u);
+  EXPECT_EQ(b.children[0].tag, "a");
+  EXPECT_EQ(b.children[1].tag, "b");
+}
+
+TEST(BoundaryScanTest, NestedSameNameElements) {
+  std::string xml = "<r><x><x><x/></x></x><x/></r>";
+  TopLevelBoundaries b = ScanTopLevelBoundaries(xml);
+  ASSERT_TRUE(b.splittable);
+  ASSERT_EQ(b.children.size(), 2u);
+  EXPECT_EQ(xml.substr(b.children[0].begin,
+                       b.children[0].end - b.children[0].begin),
+            "<x><x><x/></x></x>");
+}
+
+TEST(BoundaryScanTest, QuotedAngleBracketsInAttributes) {
+  std::string xml = "<r><a k=\"1>2\"><b/></a><c k='<'/></r>";
+  TopLevelBoundaries b = ScanTopLevelBoundaries(xml);
+  ASSERT_TRUE(b.splittable);
+  ASSERT_EQ(b.children.size(), 2u);
+  EXPECT_EQ(xml.substr(b.children[0].begin,
+                       b.children[0].end - b.children[0].begin),
+            "<a k=\"1>2\"><b/></a>");
+}
+
+TEST(BoundaryScanTest, EmptyRootHasNoChildren) {
+  TopLevelBoundaries b = ScanTopLevelBoundaries("<root></root>");
+  ASSERT_TRUE(b.splittable);
+  EXPECT_TRUE(b.children.empty());
+}
+
+TEST(BoundaryScanTest, RootAttributesSpanRecorded) {
+  std::string xml = "<root a=\"1\" b='2'><c/></root>";
+  TopLevelBoundaries b = ScanTopLevelBoundaries(xml);
+  ASSERT_TRUE(b.splittable);
+  EXPECT_EQ(xml.substr(b.root_start_begin, b.root_start_end),
+            "<root a=\"1\" b='2'>");
+}
+
+// --- conservative refusals -------------------------------------------------
+
+TEST(BoundaryScanTest, RefusesTextDirectlyUnderRoot) {
+  EXPECT_FALSE(ScanTopLevelBoundaries("<r>text<a/></r>").splittable);
+  EXPECT_FALSE(ScanTopLevelBoundaries("<r><a/>mixed</r>").splittable);
+  // Entity references are (potential) text too.
+  EXPECT_FALSE(ScanTopLevelBoundaries("<r>&amp;<a/></r>").splittable);
+}
+
+TEST(BoundaryScanTest, RefusesTextOnlyRoot) {
+  EXPECT_FALSE(ScanTopLevelBoundaries("<r>just text</r>").splittable);
+}
+
+TEST(BoundaryScanTest, RefusesCdataUnderRoot) {
+  EXPECT_FALSE(
+      ScanTopLevelBoundaries("<r><![CDATA[x]]><a/></r>").splittable);
+}
+
+TEST(BoundaryScanTest, RefusesSelfClosingRoot) {
+  EXPECT_FALSE(ScanTopLevelBoundaries("<root/>").splittable);
+}
+
+TEST(BoundaryScanTest, RefusesMalformedInput) {
+  EXPECT_FALSE(ScanTopLevelBoundaries("").splittable);
+  EXPECT_FALSE(ScanTopLevelBoundaries("   ").splittable);
+  EXPECT_FALSE(ScanTopLevelBoundaries("not xml").splittable);
+  EXPECT_FALSE(ScanTopLevelBoundaries("<r><a></r>").splittable);   // bad nest
+  EXPECT_FALSE(ScanTopLevelBoundaries("<r><a/>").splittable);      // no close
+  EXPECT_FALSE(ScanTopLevelBoundaries("<r></q>").splittable);      // mismatch
+  EXPECT_FALSE(ScanTopLevelBoundaries("<r k=\"unterminated></r>").splittable);
+  EXPECT_FALSE(ScanTopLevelBoundaries("<r><a/></r><r2/>").splittable);
+  EXPECT_FALSE(ScanTopLevelBoundaries("<r><a/></r>trailing").splittable);
+}
+
+// The real consumer: an XMark document must scan splittable with the
+// <site> regions as children, and the spans must tile the root content
+// (only misc between consecutive children).
+TEST(BoundaryScanTest, XMarkDocumentTilesExactly) {
+  XMarkOptions options;
+  options.scale = 0.002;
+  options.seed = 7;
+  std::string xml = GenerateXMarkText(options);
+  TopLevelBoundaries b = ScanTopLevelBoundaries(xml);
+  ASSERT_TRUE(b.splittable);
+  EXPECT_EQ(b.root_tag, "site");
+  ASSERT_GT(b.children.size(), 2u);
+  size_t cursor = b.root_start_end;
+  for (const TopLevelChild& child : b.children) {
+    ASSERT_LE(cursor, child.begin);
+    // Gap before the child is pure misc: no markup-significant bytes
+    // besides comments/PIs, which XMark does not emit between regions.
+    for (size_t i = cursor; i < child.begin; ++i) {
+      char c = xml[i];
+      EXPECT_TRUE(c == ' ' || c == '\t' || c == '\n' || c == '\r')
+          << "non-whitespace gap byte at " << i;
+    }
+    ASSERT_LT(child.begin, child.end);
+    EXPECT_EQ(xml[child.begin], '<');
+    EXPECT_EQ(xml[child.end - 1], '>');
+    cursor = child.end;
+  }
+  ASSERT_LE(cursor, b.root_end_begin);
+}
+
+}  // namespace
+}  // namespace xmlproj
