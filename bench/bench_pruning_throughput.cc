@@ -12,8 +12,10 @@
 // BENCH_pruning.json (the repo's perf trajectory) — including the corpus
 // pruning summary (Table 1 quantities) — plus a full MetricsRegistry dump
 // (stage latency histograms, pool queue stats; see README
-// "Observability") of one instrumented max-thread run. Extra flags,
-// consumed before google-benchmark sees the command line:
+// "Observability") of one instrumented max-thread run, and an
+// obs-overhead A/B point (bare run vs. labeled registry + live /metrics
+// server with a validating self-scrape). Extra flags, consumed before
+// google-benchmark sees the command line:
 //   --bench_json=PATH        output path (default BENCH_pruning.json)
 //   --metrics_json=PATH      registry dump path
 //                            (default BENCH_pruning.metrics.json)
@@ -52,6 +54,7 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/server.h"
 #include "projection/chunked.h"
 #include "projection/pipeline.h"
 #include "projection/pruner.h"
@@ -337,6 +340,115 @@ bool RunIntraDocSweep(const SweepConfig& config,
   return true;
 }
 
+// --- Obs overhead A/B ---------------------------------------------------
+//
+// Same per-query workload three ways:
+//   bare        — no registry, no server: the zero-instrumentation
+//                 configuration where the pipeline reads no clocks and
+//                 opens no sockets.
+//   A (baseline)— unlabeled MetricsRegistry attached. This carries the
+//                 documented cost of the per-event stage-split timers
+//                 (two clock reads per SAX event, projection/pipeline.cc)
+//                 that have shipped since the observability layer landed.
+//   B (observed)— the same registry with query_id/corpus labels on and a
+//                 live ObsServer attached; the self-scrape of /metrics
+//                 happens after the timed reps and validates the
+//                 end-to-end scrape path (status line, labeled series).
+// The recorded A→B delta isolates exactly what labels + the server add
+// and is expected to sit within run-to-run noise: labels cost one
+// registry lookup per counter per *task*, never per SAX event, and the
+// idle listener thread only polls its socket. The bare→A delta is
+// reported separately as the (pre-existing) instrumentation cost.
+struct ObsOverheadResult {
+  double bare_seconds = 0;      // best-of, no instrumentation
+  double baseline_seconds = 0;  // best-of A: unlabeled registry
+  double observed_seconds = 0;  // best-of B: labeled + live server
+  double overhead_pct = 0;      // (B - A) / A * 100 — what this PR adds
+  double instrumentation_pct = 0;  // (A - bare) / bare * 100
+  bool scrape_ok = false;
+  size_t scrape_bytes = 0;
+};
+
+bool RunObsOverhead(const std::vector<std::string>& corpus, int max_threads,
+                    int reps, ObsOverheadResult* result) {
+  const std::vector<NameSet>& projectors = WorkloadPerQueryProjectors();
+
+  auto best_of = [&](const PipelineOptions& options, const char* what,
+                     double* best) {
+    for (int rep = 0; rep < reps; ++rep) {
+      auto run = PruneCorpusPerQuery(corpus, XmarkDtd(), projectors, options);
+      if (!run.ok()) {
+        std::fprintf(stderr, "obs A/B %s run failed: %s\n", what,
+                     run.status().ToString().c_str());
+        return false;
+      }
+      double seconds = run->summary.wall_seconds;
+      if (rep == 0 || seconds < *best) *best = seconds;
+    }
+    return true;
+  };
+
+  PipelineOptions bare;
+  bare.num_threads = max_threads;
+  if (!best_of(bare, "bare", &result->bare_seconds)) return false;
+
+  MetricsRegistry baseline_registry;
+  PipelineOptions baseline;
+  baseline.num_threads = max_threads;
+  baseline.metrics = &baseline_registry;
+  if (!best_of(baseline, "baseline", &result->baseline_seconds)) return false;
+
+  MetricsRegistry registry;
+  ObsServerOptions server_options;
+  server_options.port = 0;  // ephemeral
+  server_options.registry = &registry;
+  ObsServer server;
+  std::string error;
+  if (!server.Start(server_options, &error)) {
+    std::fprintf(stderr, "obs A/B server start failed: %s\n", error.c_str());
+    return false;
+  }
+  PipelineOptions observed;
+  observed.num_threads = max_threads;
+  observed.metrics = &registry;
+  observed.label_queries = true;
+  observed.corpus_label = "bench";
+  if (!best_of(observed, "observed", &result->observed_seconds)) {
+    server.Stop();
+    return false;
+  }
+
+  std::string status_line, body;
+  result->scrape_ok =
+      HttpGet(server.port(), "/metrics", &status_line, &body) &&
+      status_line.find("200") != std::string::npos &&
+      body.find("xmlproj_pipeline_tasks_total{") != std::string::npos &&
+      body.find("query_id=\"0\"") != std::string::npos;
+  result->scrape_bytes = body.size();
+  server.Stop();
+
+  result->overhead_pct =
+      result->baseline_seconds > 0
+          ? 100.0 * (result->observed_seconds - result->baseline_seconds) /
+                result->baseline_seconds
+          : 0;
+  result->instrumentation_pct =
+      result->bare_seconds > 0
+          ? 100.0 * (result->baseline_seconds - result->bare_seconds) /
+                result->bare_seconds
+          : 0;
+  std::printf("obs overhead A/B (%zu queries x %zu docs, %d threads): "
+              "bare %.1f ms, instrumented %.1f ms (%+.1f%%), "
+              "labeled+served %.1f ms (%+.1f%% vs instrumented), "
+              "self-scrape %s (%zu bytes)\n",
+              projectors.size(), corpus.size(), max_threads,
+              result->bare_seconds * 1e3, result->baseline_seconds * 1e3,
+              result->instrumentation_pct, result->observed_seconds * 1e3,
+              result->overhead_pct, result->scrape_ok ? "ok" : "FAILED",
+              result->scrape_bytes);
+  return result->scrape_ok;
+}
+
 int RunSweep(SweepConfig config) {
   config.docs = std::max(config.docs, 1);
   config.reps = std::max(config.reps, 1);
@@ -393,6 +505,9 @@ int RunSweep(SweepConfig config) {
                         &intra_chunks)) {
     return 1;
   }
+
+  ObsOverheadResult obs;
+  if (!RunObsOverhead(corpus, max_threads, config.reps, &obs)) return 1;
 
   // One instrumented run at max threads: its summary lands in the sweep
   // JSON (the Table 1 quantities), the full registry in the metrics dump.
@@ -473,7 +588,26 @@ int RunSweep(SweepConfig config) {
                  intra_points[i].bytes_per_second, intra_points[i].speedup,
                  i + 1 < intra_points.size() ? "," : "");
   }
-  std::fprintf(out, "    ]\n  }\n}\n");
+  std::fprintf(out,
+               "    ]\n"
+               "  },\n"
+               "  \"obs_overhead\": {\n"
+               "    \"workload\": \"xmark_multi_query\",\n"
+               "    \"threads\": %d,\n"
+               "    \"repetitions\": %d,\n"
+               "    \"bare_seconds\": %.6f,\n"
+               "    \"instrumented_seconds\": %.6f,\n"
+               "    \"instrumentation_pct\": %.2f,\n"
+               "    \"labeled_served_seconds\": %.6f,\n"
+               "    \"labels_and_server_pct\": %.2f,\n"
+               "    \"self_scrape_ok\": %s,\n"
+               "    \"self_scrape_bytes\": %zu\n"
+               "  }\n"
+               "}\n",
+               max_threads, config.reps, obs.bare_seconds,
+               obs.baseline_seconds, obs.instrumentation_pct,
+               obs.observed_seconds, obs.overhead_pct,
+               obs.scrape_ok ? "true" : "false", obs.scrape_bytes);
   std::fclose(out);
   std::printf("wrote %s\n", config.json_path.c_str());
 

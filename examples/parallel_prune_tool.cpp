@@ -9,7 +9,8 @@
 //                       [--max-bytes=N] [--deadline-ms=N] [--degrade]
 //                       [--failpoints=SPEC] [--failures-out=PATH]
 //                       [--metrics-out=PATH] [--trace-out=PATH]
-//                       [--prometheus-out=PATH]
+//                       [--prometheus-out=PATH] [--serve-metrics=PORT]
+//                       [--serve-linger-ms=N] [--corpus-label=NAME]
 //
 // Generates a corpus of N XMark documents (xmlgen scale S each) — or, with
 // one or more --input flags, reads the corpus from XML files instead —
@@ -41,13 +42,24 @@
 // Observability (README "Observability"): --metrics-out writes the
 // MetricsRegistry JSON dump, --prometheus-out the same registry in
 // Prometheus text format, and --trace-out a Chrome-trace/Perfetto JSON.
+// --serve-metrics=PORT starts the embedded scrape server (obs/server.h)
+// on 127.0.0.1:PORT for the duration of the run — /metrics, /healthz,
+// /statusz, /tracez against the *live* registry; PORT 0 picks an
+// ephemeral port, printed on startup. --serve-linger-ms keeps the server
+// (and process) up that long after the run so short corpora can still be
+// scraped externally; shutdown drains the listener either way.
+// --corpus-label=NAME labels this run's metric series with corpus="NAME";
+// with --per-query and a metrics sink attached, per-task counters are
+// additionally published into query_id-labeled series.
 //
 // Exit codes: 0 success; 1 bad flag or usage; 2 pipeline failure;
 // 3 missing/unreadable input file; 4 empty corpus; 5 setup (DTD or
-// projector inference) failure; 6 telemetry/report write failure.
+// projector inference) failure; 6 telemetry/report write failure;
+// 7 scrape server failed to start (e.g. port in use).
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,6 +72,7 @@
 #include "common/fault.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/server.h"
 #include "obs/trace.h"
 #include "projection/pipeline.h"
 #include "xmark/corpus.h"
@@ -75,6 +88,7 @@ constexpr int kExitInputFile = 3;
 constexpr int kExitEmptyCorpus = 4;
 constexpr int kExitSetupFailure = 5;
 constexpr int kExitTelemetryWrite = 6;
+constexpr int kExitServeFailure = 7;
 
 void PrintUsage() {
   std::fprintf(
@@ -88,7 +102,10 @@ void PrintUsage() {
       "                           [--deadline-ms=N] [--degrade]\n"
       "                           [--failpoints=SPEC] [--failures-out=PATH]\n"
       "                           [--metrics-out=PATH] [--trace-out=PATH]\n"
-      "                           [--prometheus-out=PATH]\n");
+      "                           [--prometheus-out=PATH]\n"
+      "                           [--serve-metrics=PORT]\n"
+      "                           [--serve-linger-ms=N]\n"
+      "                           [--corpus-label=NAME]\n");
 }
 
 // Strict numeric flag parsing: the whole value must consume, no silent
@@ -282,6 +299,10 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string prometheus_out;
   std::string trace_out;
+  bool serve = false;
+  long serve_port = 0;
+  long serve_linger_ms = 0;
+  std::string corpus_label;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--docs=", 7) == 0) {
@@ -353,6 +374,24 @@ int main(int argc, char** argv) {
       prometheus_out = arg + 17;
     } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
       trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--serve-metrics=", 16) == 0) {
+      // 0 = ephemeral port (printed on startup).
+      if (!ParseLong(arg + 16, &serve_port) || serve_port < 0 ||
+          serve_port > 65535) {
+        return BadFlag("--serve-metrics", arg + 16,
+                       "expected a port number 0..65535");
+      }
+      serve = true;
+    } else if (std::strncmp(arg, "--serve-linger-ms=", 18) == 0) {
+      if (!ParseLong(arg + 18, &serve_linger_ms) || serve_linger_ms < 0) {
+        return BadFlag("--serve-linger-ms", arg + 18,
+                       "expected an integer >= 0");
+      }
+    } else if (std::strncmp(arg, "--corpus-label=", 15) == 0) {
+      if (arg[15] == '\0') {
+        return BadFlag("--corpus-label", "", "expected a label value");
+      }
+      corpus_label = arg + 15;
     } else {
       std::fprintf(stderr, "parallel_prune_tool: unknown flag '%s'\n", arg);
       PrintUsage();
@@ -431,8 +470,9 @@ int main(int argc, char** argv) {
   size_t tasks =
       per_query ? corpus.size() * per_query_projectors->size() : corpus.size();
 
-  const bool instrument =
-      !metrics_out.empty() || !prometheus_out.empty() || !trace_out.empty();
+  const bool instrument = !metrics_out.empty() || !prometheus_out.empty() ||
+                          !trace_out.empty() || serve ||
+                          !corpus_label.empty();
   MetricsRegistry registry;
   TraceCollector trace;
   PipelineOptions options;
@@ -449,7 +489,31 @@ int main(int argc, char** argv) {
   }
   if (instrument) {
     options.metrics = &registry;
-    if (!trace_out.empty()) options.trace = &trace;
+    if (!trace_out.empty() || serve) options.trace = &trace;
+    options.corpus_label = corpus_label;
+    // The multi-query fan-out slices its counters per query_id whenever
+    // a live scrape or metric dump could observe them.
+    options.label_queries = per_query;
+  }
+
+  // Scrape server: started before the run so /metrics, /statusz and
+  // /healthz observe the pipeline live, not post-hoc.
+  ObsServer server;
+  if (serve) {
+    ObsServerOptions serve_options;
+    serve_options.port = static_cast<uint16_t>(serve_port);
+    serve_options.registry = &registry;
+    serve_options.trace = &trace;
+    std::string error;
+    if (!server.Start(serve_options, &error)) {
+      std::fprintf(stderr, "parallel_prune_tool: --serve-metrics failed: %s\n",
+                   error.c_str());
+      return kExitServeFailure;
+    }
+    std::printf("serving metrics on http://127.0.0.1:%u/metrics "
+                "(also /metrics.json /healthz /statusz /tracez)\n",
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
   }
 
   PipelineRun run;
@@ -496,6 +560,20 @@ int main(int argc, char** argv) {
     std::string json;
     trace.AppendChromeTraceJson(&json);
     io_ok = DumpToFile("Chrome trace", trace_out, json) && io_ok;
+  }
+
+  if (serve) {
+    // Keep the final registry scrapeable for a bounded window (CI smoke
+    // curls after the run), then drain the listener and stop.
+    if (serve_linger_ms > 0) {
+      std::printf("serving final metrics for %ld ms before shutdown\n",
+                  serve_linger_ms);
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::milliseconds(serve_linger_ms));
+    }
+    server.Stop();
+    std::printf("metrics server stopped after %llu request(s)\n",
+                static_cast<unsigned long long>(server.requests_served()));
   }
   return io_ok ? 0 : kExitTelemetryWrite;
 }

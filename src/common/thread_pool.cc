@@ -112,7 +112,9 @@ void ThreadPool::WorkerLoop() {
     if (metrics_.queue_wait_ns != nullptr && start_ns > task->submit_ns) {
       metrics_.queue_wait_ns->Record(start_ns - task->submit_ns);
     }
+    if (metrics_.active_workers != nullptr) metrics_.active_workers->Add(1);
     task->done.set_value(task->fn());
+    if (metrics_.active_workers != nullptr) metrics_.active_workers->Sub(1);
     uint64_t run_ns = MonotonicNowNs() - start_ns;
     if (metrics_.run_ns != nullptr) metrics_.run_ns->Record(run_ns);
     if (metrics_.busy_ns_total != nullptr) {

@@ -121,6 +121,8 @@ struct ThreadPoolMetrics {
   Histogram* run_ns = nullptr;         // task execution latency
   Gauge* queue_depth = nullptr;        // sampled after each push/pop
   Gauge* queue_depth_peak = nullptr;   // high-water mark of the above
+  Gauge* active_workers = nullptr;     // workers currently running a task
+                                       // (live view for /statusz)
   // Queue-depth counter events ("C" phase) land here, plotting back
   // pressure over time next to the pipeline's stage spans.
   TraceCollector* trace = nullptr;
@@ -129,7 +131,7 @@ struct ThreadPoolMetrics {
     return tasks_total != nullptr || busy_ns_total != nullptr ||
            queue_wait_ns != nullptr || run_ns != nullptr ||
            queue_depth != nullptr || queue_depth_peak != nullptr ||
-           trace != nullptr;
+           active_workers != nullptr || trace != nullptr;
   }
 };
 
@@ -178,6 +180,10 @@ class ThreadPool {
   bool Shutdown(std::chrono::milliseconds drain_timeout);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  // Tasks queued but not yet claimed by a worker (point-in-time; takes
+  // the queue lock).
+  size_t queue_size() const { return queue_.size(); }
 
   // Tasks resolved to kCancelled by a deadline Shutdown.
   uint64_t cancelled_tasks() const {

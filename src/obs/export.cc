@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <map>
 
 namespace xmlproj {
 namespace {
@@ -18,12 +19,51 @@ void AppendI64(int64_t v, std::string* out) {
   out->append(buf);
 }
 
+// JSON string escaping. Metric names are library-chosen identifiers, but
+// labeled series keys embed the encoded label string, which contains `"`
+// and may contain any byte a caller put in a label value.
 void AppendQuoted(const std::string& name, std::string* out) {
-  // Metric names are library-chosen identifiers; they never contain
-  // JSON-significant characters, so quoting suffices.
   out->push_back('"');
-  out->append(name);
+  for (char c : name) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
   out->push_back('"');
+}
+
+// JSON object key for one series: `name` unlabeled, `name{labels}` when
+// labeled (the encoded labels are already Prometheus-escaped, which the
+// JSON quoting above re-escapes safely).
+void AppendSeriesKey(const std::string& name, const std::string& labels,
+                     std::string* out) {
+  if (labels.empty()) {
+    AppendQuoted(name, out);
+  } else {
+    AppendQuoted(name + "{" + labels + "}", out);
+  }
 }
 
 std::string PrometheusName(const std::string& name) {
@@ -34,6 +74,71 @@ std::string PrometheusName(const std::string& name) {
     if (!ok) c = '_';
   }
   return safe;
+}
+
+// `# HELP` escaping per the exposition format: backslash and newline
+// only (quotes are not escaped in help text).
+void AppendEscapedHelp(const std::string& help, std::string* out) {
+  for (char c : help) {
+    switch (c) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+// Emits the `# HELP` (if any) and `# TYPE` header once per family. The
+// registry's ForEach* order groups a family's series contiguously, so a
+// family change is simply a name change; the registry's kind guard
+// ensures a name never reappears in another section.
+class FamilyHeaderWriter {
+ public:
+  FamilyHeaderWriter(const char* type,
+                     const std::map<std::string, std::string>* help,
+                     std::string* out)
+      : type_(type), help_(help), out_(out) {}
+
+  // Returns the Prometheus-safe family name, emitting headers on change.
+  const std::string& Begin(const std::string& name) {
+    if (name != current_) {
+      current_ = name;
+      safe_ = PrometheusName(name);
+      auto it = help_->find(name);
+      if (it != help_->end()) {
+        out_->append("# HELP ").append(safe_).push_back(' ');
+        AppendEscapedHelp(it->second, out_);
+        out_->push_back('\n');
+      }
+      out_->append("# TYPE ").append(safe_).push_back(' ');
+      out_->append(type_);
+      out_->push_back('\n');
+    }
+    return safe_;
+  }
+
+ private:
+  const char* type_;
+  const std::map<std::string, std::string>* help_;
+  std::string* out_;
+  std::string current_;
+  std::string safe_;
+};
+
+// `name` or `name{labels}` — the series reference on a sample line.
+void AppendSeriesRef(const std::string& safe_name, const std::string& labels,
+                     std::string* out) {
+  out->append(safe_name);
+  if (!labels.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    out->push_back('}');
+  }
 }
 
 void AppendHistogramJson(const Histogram& hist, std::string* out) {
@@ -75,10 +180,11 @@ void AppendHistogramJson(const Histogram& hist, std::string* out) {
 void AppendMetricsJson(const MetricsRegistry& registry, std::string* out) {
   out->append("{\n  \"counters\": {");
   bool first = true;
-  registry.ForEachCounter([&](const std::string& name, const Counter& c) {
+  registry.ForEachCounter([&](const std::string& name,
+                              const std::string& labels, const Counter& c) {
     out->append(first ? "\n    " : ",\n    ");
     first = false;
-    AppendQuoted(name, out);
+    AppendSeriesKey(name, labels, out);
     out->append(": ");
     AppendU64(c.Value(), out);
   });
@@ -86,10 +192,11 @@ void AppendMetricsJson(const MetricsRegistry& registry, std::string* out) {
 
   out->append("  \"gauges\": {");
   first = true;
-  registry.ForEachGauge([&](const std::string& name, const Gauge& g) {
+  registry.ForEachGauge([&](const std::string& name, const std::string& labels,
+                            const Gauge& g) {
     out->append(first ? "\n    " : ",\n    ");
     first = false;
-    AppendQuoted(name, out);
+    AppendSeriesKey(name, labels, out);
     out->append(": ");
     AppendI64(g.Value(), out);
   });
@@ -97,10 +204,12 @@ void AppendMetricsJson(const MetricsRegistry& registry, std::string* out) {
 
   out->append("  \"histograms\": {");
   first = true;
-  registry.ForEachHistogram([&](const std::string& name, const Histogram& h) {
+  registry.ForEachHistogram([&](const std::string& name,
+                                const std::string& labels,
+                                const Histogram& h) {
     out->append(first ? "\n    " : ",\n    ");
     first = false;
-    AppendQuoted(name, out);
+    AppendSeriesKey(name, labels, out);
     out->append(": ");
     AppendHistogramJson(h, out);
   });
@@ -109,41 +218,70 @@ void AppendMetricsJson(const MetricsRegistry& registry, std::string* out) {
 }
 
 void AppendPrometheusText(const MetricsRegistry& registry, std::string* out) {
-  registry.ForEachCounter([&](const std::string& name, const Counter& c) {
-    std::string safe = PrometheusName(name);
-    out->append("# TYPE ").append(safe).append(" counter\n");
-    out->append(safe).push_back(' ');
+  const std::map<std::string, std::string> help = registry.HelpTexts();
+
+  FamilyHeaderWriter counter_header("counter", &help, out);
+  registry.ForEachCounter([&](const std::string& name,
+                              const std::string& labels, const Counter& c) {
+    const std::string& safe = counter_header.Begin(name);
+    AppendSeriesRef(safe, labels, out);
+    out->push_back(' ');
     AppendU64(c.Value(), out);
     out->push_back('\n');
   });
-  registry.ForEachGauge([&](const std::string& name, const Gauge& g) {
-    std::string safe = PrometheusName(name);
-    out->append("# TYPE ").append(safe).append(" gauge\n");
-    out->append(safe).push_back(' ');
+
+  FamilyHeaderWriter gauge_header("gauge", &help, out);
+  registry.ForEachGauge([&](const std::string& name, const std::string& labels,
+                            const Gauge& g) {
+    const std::string& safe = gauge_header.Begin(name);
+    AppendSeriesRef(safe, labels, out);
+    out->push_back(' ');
     AppendI64(g.Value(), out);
     out->push_back('\n');
   });
-  registry.ForEachHistogram([&](const std::string& name, const Histogram& h) {
-    std::string safe = PrometheusName(name);
-    out->append("# TYPE ").append(safe).append(" histogram\n");
+
+  FamilyHeaderWriter hist_header("histogram", &help, out);
+  registry.ForEachHistogram([&](const std::string& name,
+                                const std::string& labels,
+                                const Histogram& h) {
+    const std::string& safe = hist_header.Begin(name);
+    // A labeled `_bucket` line carries the series labels plus `le`.
+    std::string bucket_prefix = safe + "_bucket{";
+    if (!labels.empty()) {
+      bucket_prefix.append(labels);
+      bucket_prefix.push_back(',');
+    }
+    bucket_prefix.append("le=\"");
     uint64_t cumulative = 0;
     for (size_t i = 0; i < Histogram::kBuckets; ++i) {
       uint64_t n = h.BucketCount(i);
       if (n == 0) continue;
       cumulative += n;
-      out->append(safe).append("_bucket{le=\"");
+      out->append(bucket_prefix);
       AppendU64(Histogram::BucketUpperBound(i), out);
       out->append("\"} ");
       AppendU64(cumulative, out);
       out->push_back('\n');
     }
-    out->append(safe).append("_bucket{le=\"+Inf\"} ");
+    out->append(bucket_prefix).append("+Inf\"} ");
     AppendU64(h.Count(), out);
     out->push_back('\n');
-    out->append(safe).append("_sum ");
+    out->append(safe).append("_sum");
+    if (!labels.empty()) {
+      out->push_back('{');
+      out->append(labels);
+      out->push_back('}');
+    }
+    out->push_back(' ');
     AppendU64(h.Sum(), out);
     out->push_back('\n');
-    out->append(safe).append("_count ");
+    out->append(safe).append("_count");
+    if (!labels.empty()) {
+      out->push_back('{');
+      out->append(labels);
+      out->push_back('}');
+    }
+    out->push_back(' ');
     AppendU64(h.Count(), out);
     out->push_back('\n');
   });

@@ -18,13 +18,18 @@ namespace xmlproj {
 
 // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
 // mean,p50,p90,p99,buckets:[{"le":N,"count":N},...]}}} — buckets with a
-// zero count are omitted.
+// zero count are omitted. Labeled series key as `name{k="v",...}` (the
+// canonical EncodeMetricLabels form, JSON-escaped).
 void AppendMetricsJson(const MetricsRegistry& registry, std::string* out);
 
-// Prometheus text format: counters as `<name> <value>`, gauges likewise,
-// histograms as cumulative `_bucket{le="..."}` series plus `_sum`/`_count`.
-// Metric names are expected to already be Prometheus-safe ([a-zA-Z0-9_:]);
-// any other character is rewritten to '_'.
+// Prometheus text format: `# HELP` (when set, exposition-escaped) and
+// `# TYPE` exactly once per family, counters/gauges as
+// `<name>[{labels}] <value>`, histograms as cumulative
+// `_bucket{[labels,]le="..."}` series with a `+Inf` bucket plus
+// `_sum`/`_count`. Label values are escaped at registration time (see
+// EncodeMetricLabels). Metric names are expected to already be
+// Prometheus-safe ([a-zA-Z0-9_:]); any other character is rewritten
+// to '_'.
 void AppendPrometheusText(const MetricsRegistry& registry, std::string* out);
 
 // Convenience for tools: writes `content` to `path`, false on any error.

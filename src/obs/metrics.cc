@@ -1,5 +1,7 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
+
 namespace xmlproj {
 
 uint64_t Histogram::ApproxPercentile(double p) const {
@@ -40,46 +42,193 @@ void Histogram::MergeFrom(const Histogram& other) {
   }
 }
 
-Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
-             .first;
+void AppendEscapedLabelValue(std::string_view value, std::string* out) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(c);
+    }
   }
+}
+
+std::string EncodeMetricLabels(const MetricLabels& labels) {
+  if (labels.empty()) return std::string();
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MetricLabel& a, const MetricLabel& b) {
+              return a.key < b.key;
+            });
+  std::string out;
+  for (const MetricLabel& label : sorted) {
+    if (!out.empty()) out.push_back(',');
+    out.append(label.key);
+    out.append("=\"");
+    AppendEscapedLabelValue(label.value, &out);
+    out.push_back('"');
+  }
+  return out;
+}
+
+namespace {
+
+// The collapsed label set past the cardinality bound: same keys, every
+// value replaced by "other", so the overflow series still parses with the
+// family's expected label keys.
+std::string OverflowEncoding(const MetricLabels& labels) {
+  MetricLabels collapsed = labels;
+  for (MetricLabel& label : collapsed) label.value = "other";
+  return EncodeMetricLabels(collapsed);
+}
+
+// Same collapse, starting from an already-encoded label string (the
+// MergeFrom path, where the MetricLabels are gone). Values are escaped,
+// so an unescaped `"` terminates a value unambiguously.
+std::string CollapseEncodedLabels(const std::string& encoded) {
+  std::string out;
+  size_t i = 0;
+  while (i < encoded.size()) {
+    size_t eq = encoded.find("=\"", i);
+    if (eq == std::string::npos) break;
+    if (!out.empty()) out.push_back(',');
+    out.append(encoded, i, eq - i);
+    out.append("=\"other\"");
+    // Skip the escaped value up to its closing quote.
+    size_t j = eq + 2;
+    while (j < encoded.size() && encoded[j] != '"') {
+      j += (encoded[j] == '\\') ? 2 : 1;
+    }
+    i = j + 1;
+    if (i < encoded.size() && encoded[i] == ',') ++i;
+  }
+  return out;
+}
+
+}  // namespace
+
+template <typename M>
+M* MetricsRegistry::GetMetricEncoded(
+    std::map<std::string, Family<M>, std::less<>>* families,
+    const std::string& name, const std::string& labels, Kind kind,
+    bool exempt_from_bound) {
+  // Caller holds mu_.
+  auto [kind_it, inserted] = kinds_.emplace(name, kind);
+  if (!inserted && kind_it->second != kind) {
+    kind_conflicts_.fetch_add(1, std::memory_order_relaxed);
+    assert(false && "metric name re-registered with a different kind");
+    return nullptr;
+  }
+  Family<M>& family = (*families)[name];
+  auto it = family.series.find(labels);
+  if (it != family.series.end()) return it->second.get();
+  bool counted = !labels.empty() && !exempt_from_bound;
+  if (counted && family.labeled_series >= kMaxLabeledSeries) {
+    return nullptr;  // caller retries with the overflow encoding
+  }
+  it = family.series.emplace(labels, std::make_unique<M>()).first;
+  if (counted) ++family.labeled_series;
   return it->second.get();
+}
+
+template <typename M>
+M* MetricsRegistry::GetMetric(
+    std::map<std::string, Family<M>, std::less<>>* families,
+    std::string_view name, const MetricLabels& labels, Kind kind) {
+  std::string encoded = EncodeMetricLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name_str(name);
+  M* metric = GetMetricEncoded(families, name_str, encoded, kind);
+  if (metric == nullptr && !encoded.empty()) {
+    // Either a kind conflict (the retry hits the same conflict and stays
+    // null) or the family hit the cardinality bound — fold onto the
+    // all-"other" overflow series, which lives outside the per-family
+    // budget so the fold always lands.
+    metric = GetMetricEncoded(families, name_str, OverflowEncoding(labels),
+                              kind, /*exempt_from_bound=*/true);
+  }
+  return metric;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return GetMetric(&counters_, name, {}, Kind::kCounter);
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
-  }
-  return it->second.get();
+  return GetMetric(&gauges_, name, {}, Kind::kGauge);
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  return GetMetric(&histograms_, name, {}, Kind::kHistogram);
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     const MetricLabels& labels) {
+  return GetMetric(&counters_, name, labels, Kind::kCounter);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 const MetricLabels& labels) {
+  return GetMetric(&gauges_, name, labels, Kind::kGauge);
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         const MetricLabels& labels) {
+  return GetMetric(&histograms_, name, labels, Kind::kHistogram);
+}
+
+void MetricsRegistry::SetHelp(std::string_view name, std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
-             .first;
-  }
-  return it->second.get();
+  help_[std::string(name)] = std::string(help);
+}
+
+std::map<std::string, std::string> MetricsRegistry::HelpTexts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {help_.begin(), help_.end()};
 }
 
 void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   if (&other == this) return;  // self-merge would deadlock on mu_
-  other.ForEachCounter([this](const std::string& name, const Counter& c) {
-    GetCounter(name)->MergeFrom(c);
+  // Shared find-or-create for the merge path: if the destination family
+  // is at its cardinality bound, the source series folds into the
+  // all-"other" overflow series rather than being dropped.
+  auto resolve = [this](auto* families, const std::string& name,
+                        const std::string& labels, Kind kind) -> auto* {
+    auto* metric = GetMetricEncoded(families, name, labels, kind);
+    if (metric == nullptr && !labels.empty()) {
+      metric = GetMetricEncoded(families, name, CollapseEncodedLabels(labels),
+                                kind, /*exempt_from_bound=*/true);
+    }
+    return metric;
+  };
+  other.ForEachCounter([&](const std::string& name, const std::string& labels,
+                           const Counter& c) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Counter* mine = resolve(&counters_, name, labels, Kind::kCounter);
+    if (mine != nullptr) mine->MergeFrom(c);
   });
-  other.ForEachGauge([this](const std::string& name, const Gauge& g) {
-    GetGauge(name)->MergeFrom(g);
+  other.ForEachGauge([&](const std::string& name, const std::string& labels,
+                         const Gauge& g) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Gauge* mine = resolve(&gauges_, name, labels, Kind::kGauge);
+    if (mine != nullptr) mine->MergeFrom(g);
   });
-  other.ForEachHistogram([this](const std::string& name, const Histogram& h) {
-    GetHistogram(name)->MergeFrom(h);
+  other.ForEachHistogram([&](const std::string& name,
+                             const std::string& labels, const Histogram& h) {
+    std::lock_guard<std::mutex> lock(mu_);
+    Histogram* mine = resolve(&histograms_, name, labels, Kind::kHistogram);
+    if (mine != nullptr) mine->MergeFrom(h);
   });
+  for (const auto& [name, help] : other.HelpTexts()) {
+    SetHelp(name, help);
+  }
 }
 
 }  // namespace xmlproj

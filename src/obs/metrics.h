@@ -24,6 +24,7 @@
 #define XMLPROJ_OBS_METRICS_H_
 
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -32,6 +33,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace xmlproj {
 
@@ -197,11 +200,50 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
+// One label dimension on a metric series, e.g. {"query_id", "3"}. A
+// family (one metric name) can hold many labeled series plus the plain
+// unlabeled one; see MetricsRegistry below for the cardinality bound.
+struct MetricLabel {
+  std::string key;
+  std::string value;
+};
+using MetricLabels = std::vector<MetricLabel>;
+
+// Canonical encoded form of a label set: `k1="v1",k2="v2"`, sorted by
+// key, values escaped per the Prometheus text exposition rules (`\\`,
+// `\"`, `\n`). The encoding is both the registry's series identity and
+// the exact byte sequence exporters splice between `{` and `}`.
+std::string EncodeMetricLabels(const MetricLabels& labels);
+
+// Escapes one label value (`\` -> `\\`, `"` -> `\"`, newline -> `\n`).
+void AppendEscapedLabelValue(std::string_view value, std::string* out);
+
 // Named metrics, one instance per pipeline run / process / shard.
 // Get* registers on first use and returns a stable pointer; resolve once
 // and hold the pointer across the hot loop. All methods are thread-safe.
+//
+// Labels: the Get* overloads taking MetricLabels return the series for
+// that exact label set inside the family `name`. Labeled lookups cost a
+// mutex + map probe, so they belong at task granularity, never inside a
+// SAX loop; the unlabeled overloads are unchanged and unlabeled series
+// pay nothing for the label machinery. Cardinality is bounded per
+// family: past kMaxLabeledSeries distinct label sets, further lookups
+// collapse onto one overflow series whose label values are all "other"
+// — a scrape can never grow without bound no matter how many distinct
+// query ids a long-lived deployment sees.
+//
+// A metric name belongs to exactly one kind: asking for `name` as a
+// counter after it was registered as a gauge (or vice versa) is a bug in
+// the caller — it asserts in debug builds and returns nullptr in release
+// builds (every instrumentation site already treats a null handle as
+// "disabled", so the mismatch disables the site instead of aliasing two
+// unrelated metrics). Histogram bucket layout is compile-time fixed
+// (Histogram::kBuckets), so there is no layout to mismatch.
 class MetricsRegistry {
  public:
+  // Distinct labeled series allowed per family before overflow folding.
+  static constexpr size_t kMaxLabeledSeries = 64;
+
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
@@ -210,33 +252,91 @@ class MetricsRegistry {
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
 
+  Counter* GetCounter(std::string_view name, const MetricLabels& labels);
+  Gauge* GetGauge(std::string_view name, const MetricLabels& labels);
+  Histogram* GetHistogram(std::string_view name, const MetricLabels& labels);
+
+  // Attaches `# HELP` text to a family (exported ahead of its `# TYPE`
+  // line, with exposition-format escaping). Idempotent; last write wins.
+  void SetHelp(std::string_view name, std::string_view help);
+
+  // Kind-mismatch lookups observed (the nullptr returns documented
+  // above); a regression test keeps this at zero for the library's own
+  // instrumentation.
+  uint64_t kind_conflicts() const {
+    return kind_conflicts_.load(std::memory_order_relaxed);
+  }
+
   // Folds `other` into this registry: counters/histograms add, gauges
-  // take the max (see Gauge::MergeFrom). Metrics absent here are created.
+  // take the max (see Gauge::MergeFrom). Metrics (and labeled series)
+  // absent here are created.
   void MergeFrom(const MetricsRegistry& other);
 
-  // Iteration for exporters, in name order. The callback must not call
-  // back into the registry.
-  template <typename Fn>  // Fn(const std::string&, const Counter&)
+  // Iteration for exporters, in (name, labels) order — the unlabeled
+  // series of a family (labels == "") sorts first. `labels` is the
+  // EncodeMetricLabels form. The callback must not call back into the
+  // registry.
+  template <typename Fn>  // Fn(const std::string& name,
+                          //    const std::string& labels, const Counter&)
   void ForEachCounter(Fn fn) const {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [name, metric] : counters_) fn(name, *metric);
+    for (const auto& [name, family] : counters_) {
+      for (const auto& [labels, metric] : family.series) {
+        fn(name, labels, *metric);
+      }
+    }
   }
-  template <typename Fn>  // Fn(const std::string&, const Gauge&)
+  template <typename Fn>  // Fn(name, labels, const Gauge&)
   void ForEachGauge(Fn fn) const {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [name, metric] : gauges_) fn(name, *metric);
+    for (const auto& [name, family] : gauges_) {
+      for (const auto& [labels, metric] : family.series) {
+        fn(name, labels, *metric);
+      }
+    }
   }
-  template <typename Fn>  // Fn(const std::string&, const Histogram&)
+  template <typename Fn>  // Fn(name, labels, const Histogram&)
   void ForEachHistogram(Fn fn) const {
     std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& [name, metric] : histograms_) fn(name, *metric);
+    for (const auto& [name, family] : histograms_) {
+      for (const auto& [labels, metric] : family.series) {
+        fn(name, labels, *metric);
+      }
+    }
   }
 
+  // Snapshot of the help texts (family name -> help), for exporters.
+  std::map<std::string, std::string> HelpTexts() const;
+
  private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  template <typename M>
+  struct Family {
+    // Keyed by EncodeMetricLabels; "" is the unlabeled series.
+    std::map<std::string, std::unique_ptr<M>, std::less<>> series;
+    size_t labeled_series = 0;
+  };
+
+  template <typename M>
+  M* GetMetric(std::map<std::string, Family<M>, std::less<>>* families,
+               std::string_view name, const MetricLabels& labels, Kind kind);
+  // Find-or-create by pre-encoded labels (MergeFrom's path: the source
+  // registry already canonicalized, and the label keys are gone). With
+  // `exempt_from_bound` the series is created outside the per-family
+  // cardinality budget — used only for the all-"other" overflow series.
+  template <typename M>
+  M* GetMetricEncoded(std::map<std::string, Family<M>, std::less<>>* families,
+                      const std::string& name, const std::string& labels,
+                      Kind kind, bool exempt_from_bound = false);
+
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, Family<Counter>, std::less<>> counters_;
+  std::map<std::string, Family<Gauge>, std::less<>> gauges_;
+  std::map<std::string, Family<Histogram>, std::less<>> histograms_;
+  std::map<std::string, Kind, std::less<>> kinds_;
+  std::map<std::string, std::string, std::less<>> help_;
+  std::atomic<uint64_t> kind_conflicts_{0};
 };
 
 // RAII latency sample: records elapsed nanoseconds into `hist` on

@@ -1,0 +1,420 @@
+#include "obs/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "obs/export.h"
+
+namespace xmlproj {
+namespace {
+
+// How long socket waits sleep between checks of the stop flag. Bounds
+// Stop() latency; small enough to be invisible next to a scrape interval.
+constexpr int kPollIntervalMs = 50;
+// A scrape request fits in one line; anything larger is not ours.
+constexpr size_t kMaxRequestBytes = 4096;
+// Per-connection budget: a client that dribbles bytes or never finishes
+// its request gets cut off rather than pinning the serving thread.
+constexpr int kConnectionDeadlineMs = 2000;
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendI64(int64_t v, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out->append(buf);
+}
+
+// Point-in-time view of the unlabeled series, keyed by name — the
+// /healthz and /statusz builders read specific metrics out of it. Taken
+// via the registry's ForEach* (the only const access path), so it costs
+// one pass over the registry per request.
+struct RegistrySnapshot {
+  struct HistStats {
+    uint64_t count = 0;
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistStats> histograms;
+
+  explicit RegistrySnapshot(const MetricsRegistry& registry) {
+    registry.ForEachCounter([this](const std::string& name,
+                                   const std::string& labels,
+                                   const Counter& c) {
+      if (labels.empty()) counters[name] = c.Value();
+    });
+    registry.ForEachGauge([this](const std::string& name,
+                                 const std::string& labels, const Gauge& g) {
+      if (labels.empty()) gauges[name] = g.Value();
+    });
+    registry.ForEachHistogram([this](const std::string& name,
+                                     const std::string& labels,
+                                     const Histogram& h) {
+      if (labels.empty()) {
+        histograms[name] = {h.Count(), h.ApproxPercentile(0.50),
+                            h.ApproxPercentile(0.99)};
+      }
+    });
+  }
+
+  uint64_t CounterOr0(const char* name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  int64_t GaugeOr0(const char* name) const {
+    auto it = gauges.find(name);
+    return it == gauges.end() ? 0 : it->second;
+  }
+};
+
+void AppendHealthz(const MetricsRegistry& registry, uint64_t uptime_ns,
+                   uint64_t requests, std::string* out) {
+  RegistrySnapshot snap(registry);
+  uint64_t isolated = snap.CounterOr0("xmlproj_pipeline_isolated_total");
+  uint64_t degraded = snap.CounterOr0("xmlproj_pipeline_degraded_total");
+  out->append("{\"status\":\"ok\",\"uptime_ms\":");
+  AppendU64(uptime_ns / 1000000, out);
+  out->append(",\"requests\":");
+  AppendU64(requests, out);
+  out->append(",\"failures\":{\"errors\":");
+  AppendU64(snap.CounterOr0("xmlproj_pipeline_errors_total"), out);
+  out->append(",\"isolated\":");
+  AppendU64(isolated, out);
+  out->append(",\"retries\":");
+  AppendU64(snap.CounterOr0("xmlproj_pipeline_retries_total"), out);
+  out->append(",\"degraded\":");
+  AppendU64(degraded, out);
+  out->append(",\"deadline_exceeded\":");
+  AppendU64(snap.CounterOr0("xmlproj_pipeline_deadline_exceeded_total"), out);
+  out->append(",\"resource_exhausted\":");
+  AppendU64(snap.CounterOr0("xmlproj_pipeline_resource_exhausted_total"),
+            out);
+  // The PR 3 error policies quarantine or degrade rather than trip a
+  // breaker; "degrading" reports that those paths have fired.
+  out->append("},\"circuit\":\"");
+  out->append(isolated != 0 || degraded != 0 ? "degrading" : "closed");
+  out->append("\"}\n");
+}
+
+void AppendStageStats(const RegistrySnapshot& snap, const char* json_name,
+                      const char* metric, bool* first, std::string* out) {
+  auto it = snap.histograms.find(metric);
+  if (it == snap.histograms.end()) return;
+  if (!*first) out->push_back(',');
+  *first = false;
+  out->push_back('"');
+  out->append(json_name);
+  out->append("\":{\"count\":");
+  AppendU64(it->second.count, out);
+  out->append(",\"p50_ns\":");
+  AppendU64(it->second.p50, out);
+  out->append(",\"p99_ns\":");
+  AppendU64(it->second.p99, out);
+  out->push_back('}');
+}
+
+void AppendStatusz(const MetricsRegistry& registry, uint64_t uptime_ns,
+                   std::string* out) {
+  RegistrySnapshot snap(registry);
+  out->append("{\"uptime_ms\":");
+  AppendU64(uptime_ns / 1000000, out);
+  out->append(",\"threads\":");
+  AppendI64(snap.GaugeOr0("xmlproj_pipeline_threads"), out);
+  // Progress gauges are updated at task granularity by the pipeline:
+  // completed + failed == tasks at the end of a run, inflight == 0.
+  out->append(",\"progress\":{\"tasks\":");
+  AppendI64(snap.GaugeOr0("xmlproj_progress_tasks"), out);
+  out->append(",\"completed\":");
+  AppendI64(snap.GaugeOr0("xmlproj_progress_completed"), out);
+  out->append(",\"failed\":");
+  AppendI64(snap.GaugeOr0("xmlproj_progress_failed"), out);
+  out->append(",\"inflight\":");
+  AppendI64(snap.GaugeOr0("xmlproj_progress_inflight"), out);
+  out->append(",\"isolated\":");
+  AppendU64(snap.CounterOr0("xmlproj_pipeline_isolated_total"), out);
+  out->append(",\"degraded\":");
+  AppendU64(snap.CounterOr0("xmlproj_pipeline_degraded_total"), out);
+  out->append("},\"bytes\":{\"in\":");
+  AppendU64(snap.CounterOr0("xmlproj_pipeline_input_bytes_total"), out);
+  out->append(",\"out\":");
+  AppendU64(snap.CounterOr0("xmlproj_pipeline_output_bytes_total"), out);
+  out->append("},\"pool\":{\"queue_depth\":");
+  AppendI64(snap.GaugeOr0("xmlproj_pool_queue_depth"), out);
+  out->append(",\"queue_depth_peak\":");
+  AppendI64(snap.GaugeOr0("xmlproj_pool_queue_depth_peak"), out);
+  out->append(",\"active_workers\":");
+  AppendI64(snap.GaugeOr0("xmlproj_pool_active_workers"), out);
+  out->append("},\"stages\":{");
+  bool first = true;
+  AppendStageStats(snap, "parse", "xmlproj_stage_parse_ns", &first, out);
+  AppendStageStats(snap, "prune", "xmlproj_stage_prune_ns", &first, out);
+  AppendStageStats(snap, "serialize", "xmlproj_stage_serialize_ns", &first,
+                   out);
+  AppendStageStats(snap, "task", "xmlproj_stage_task_ns", &first, out);
+  AppendStageStats(snap, "queue_wait", "xmlproj_stage_queue_wait_ns", &first,
+                   out);
+  out->append("}}\n");
+}
+
+std::string HttpResponse(const char* status, const char* content_type,
+                         const std::string& body) {
+  std::string response("HTTP/1.1 ");
+  response.append(status);
+  response.append("\r\nContent-Type: ");
+  response.append(content_type);
+  response.append("\r\nContent-Length: ");
+  AppendU64(body.size(), &response);
+  response.append("\r\nConnection: close\r\n\r\n");
+  response.append(body);
+  return response;
+}
+
+// Waits for readability, re-checking `stop` at kPollIntervalMs. Returns
+// false on stop, error, or `deadline_ms` elapsed without readiness.
+bool WaitReadable(int fd, const std::atomic<bool>* stop, int deadline_ms) {
+  int waited = 0;
+  while (stop == nullptr || !stop->load(std::memory_order_acquire)) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int rc = poll(&pfd, 1, kPollIntervalMs);
+    if (rc > 0) return (pfd.revents & (POLLIN | POLLHUP)) != 0;
+    if (rc < 0 && errno != EINTR) return false;
+    waited += kPollIntervalMs;
+    if (deadline_ms > 0 && waited >= deadline_ms) return false;
+  }
+  return false;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ObsServer::Start(const ObsServerOptions& options, std::string* error) {
+  if (running_.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "server already running";
+    return false;
+  }
+  if (options.registry == nullptr) {
+    if (error != nullptr) *error = "ObsServerOptions.registry is required";
+    return false;
+  }
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (error != nullptr) *error = std::string("bind: ") + strerror(errno);
+    close(fd);
+    return false;
+  }
+  if (listen(fd, 16) < 0) {
+    if (error != nullptr) *error = std::string("listen: ") + strerror(errno);
+    close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
+    if (error != nullptr) {
+      *error = std::string("getsockname: ") + strerror(errno);
+    }
+    close(fd);
+    return false;
+  }
+  options_ = options;
+  listen_fd_ = fd;
+  port_ = ntohs(addr.sin_port);
+  start_ns_ = MonotonicNowNs();
+  requests_.store(0, std::memory_order_relaxed);
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&ObsServer::ServeLoop, this);
+  return true;
+}
+
+void ObsServer::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void ObsServer::ServeLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (!WaitReadable(listen_fd_, &stop_, /*deadline_ms=*/0)) continue;
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    close(fd);
+  }
+}
+
+void ObsServer::HandleConnection(int fd) {
+  // Read until the end of the request headers. Scrapers send one small
+  // GET; the loop re-checks stop_ so an open idle connection cannot
+  // stall shutdown.
+  std::string request;
+  char buf[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < kMaxRequestBytes) {
+    if (!WaitReadable(fd, &stop_, kConnectionDeadlineMs)) return;
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer closed or error before a full request
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  size_t line_end = request.find("\r\n");
+  std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    SendAll(fd, HttpResponse("400 Bad Request", "text/plain; charset=utf-8",
+                             "malformed request line\n"));
+    return;
+  }
+  std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  SendAll(fd, BuildResponse(method, target));
+}
+
+std::string ObsServer::BuildResponse(const std::string& method,
+                                     const std::string& target) const {
+  if (method != "GET") {
+    return HttpResponse("405 Method Not Allowed", "text/plain; charset=utf-8",
+                        "only GET is supported\n");
+  }
+  // Strip any query string; scrape paths take no parameters.
+  std::string path = target.substr(0, target.find('?'));
+  uint64_t uptime_ns = MonotonicNowNs() - start_ns_;
+  std::string body;
+  if (path == "/metrics") {
+    AppendPrometheusText(*options_.registry, &body);
+    return HttpResponse("200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                        body);
+  }
+  if (path == "/metrics.json") {
+    AppendMetricsJson(*options_.registry, &body);
+    return HttpResponse("200 OK", "application/json", body);
+  }
+  if (path == "/healthz") {
+    AppendHealthz(*options_.registry, uptime_ns,
+                  requests_.load(std::memory_order_relaxed), &body);
+    return HttpResponse("200 OK", "application/json", body);
+  }
+  if (path == "/statusz") {
+    AppendStatusz(*options_.registry, uptime_ns, &body);
+    return HttpResponse("200 OK", "application/json", body);
+  }
+  if (path == "/tracez") {
+    if (options_.trace != nullptr) {
+      options_.trace->AppendRecentSpansJson(options_.tracez_max_spans, &body);
+    } else {
+      body = "{\"dropped\":0,\"spans\":[]}\n";
+    }
+    return HttpResponse("200 OK", "application/json", body);
+  }
+  if (path == "/") {
+    body =
+        "xmlproj obs server\n"
+        "endpoints: /metrics /metrics.json /healthz /statusz /tracez\n";
+    return HttpResponse("200 OK", "text/plain; charset=utf-8", body);
+  }
+  return HttpResponse("404 Not Found", "text/plain; charset=utf-8",
+                      "unknown path\n");
+}
+
+bool HttpGet(uint16_t port, const std::string& path, std::string* status_line,
+             std::string* body, int timeout_ms) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    close(fd);
+    return false;
+  }
+  std::string request("GET ");
+  request.append(path);
+  request.append(" HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n");
+  if (!SendAll(fd, request)) {
+    close(fd);
+    return false;
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    if (!WaitReadable(fd, nullptr, timeout_ms)) {
+      close(fd);
+      return false;
+    }
+    ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  size_t line_end = response.find("\r\n");
+  size_t header_end = response.find("\r\n\r\n");
+  if (line_end == std::string::npos || header_end == std::string::npos) {
+    return false;
+  }
+  if (status_line != nullptr) *status_line = response.substr(0, line_end);
+  if (body != nullptr) *body = response.substr(header_end + 4);
+  return true;
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,99 @@
+// Embedded observability HTTP server: a background thread serving the
+// live MetricsRegistry / TraceCollector over plain HTTP while a pipeline
+// run is in flight. POSIX sockets only — no third-party dependencies —
+// and bound to 127.0.0.1: this is an operator scrape surface, not an
+// internet-facing service.
+//
+// Endpoints:
+//   /metrics       Prometheus text exposition (version 0.0.4)
+//   /metrics.json  the obs/export.h JSON document
+//   /healthz       liveness + failure/degradation counters (JSON)
+//   /statusz       pipeline progress: task counts, bytes, stage
+//                  latencies, pool state, uptime (JSON)
+//   /tracez        most recent sampled trace spans (JSON)
+//
+// The server only reads: relaxed-atomic metric values under the
+// registry's iteration lock, never blocking the hot path beyond what an
+// exporter already does. With no server started, instrumented code does
+// zero additional socket or clock work — the server is an observer, not
+// a participant.
+
+#ifndef XMLPROJ_OBS_SERVER_H_
+#define XMLPROJ_OBS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace xmlproj {
+
+struct ObsServerOptions {
+  // TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back from
+  // ObsServer::port() after Start).
+  uint16_t port = 0;
+  // Metrics source; must outlive the server. Required.
+  const MetricsRegistry* registry = nullptr;
+  // Span source for /tracez; optional (null serves an empty span list).
+  const TraceCollector* trace = nullptr;
+  // Upper bound on spans returned by /tracez (most recent first dropped
+  // counts reported in the payload).
+  size_t tracez_max_spans = 256;
+};
+
+class ObsServer {
+ public:
+  ObsServer() = default;
+  ~ObsServer() { Stop(); }
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  // Binds, listens, and launches the serving thread. False on any
+  // failure (port in use, no registry, ...) with a description in
+  // `*error`; the server is then inert and Start may be retried.
+  bool Start(const ObsServerOptions& options, std::string* error);
+
+  // Stops the serving thread, draining the in-flight connection (an
+  // open idle connection does not block shutdown: all socket waits are
+  // bounded polls that re-check the stop flag). Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (the chosen one when options.port was 0); 0 before
+  // a successful Start.
+  uint16_t port() const { return port_; }
+  // Requests answered since Start (any status code).
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+  // Full HTTP response (headers + body) for one request target.
+  std::string BuildResponse(const std::string& method,
+                            const std::string& target) const;
+
+  ObsServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  uint64_t start_ns_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+};
+
+// Minimal blocking HTTP/1.1 GET against 127.0.0.1:<port> (the scrape
+// client used by tests and the bench self-scrape; also handy in tools).
+// On success fills `*status_line` (e.g. "HTTP/1.1 200 OK") and `*body`,
+// true. False on connect/send/recv failure or after `timeout_ms`.
+bool HttpGet(uint16_t port, const std::string& path, std::string* status_line,
+             std::string* body, int timeout_ms = 5000);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_OBS_SERVER_H_

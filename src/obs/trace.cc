@@ -88,42 +88,63 @@ size_t TraceCollector::event_count() const {
   return events_.size();
 }
 
+void TraceCollector::AppendEventJsonLocked(const Event& event,
+                                           std::string* out) const {
+  char buf[64];
+  out->append("{\"name\":");
+  AppendJsonString(event.name, out);
+  if (!event.category.empty()) {
+    out->append(",\"cat\":");
+    AppendJsonString(event.category, out);
+  }
+  std::snprintf(buf, sizeof(buf), ",\"ph\":\"%c\",\"pid\":1,\"tid\":%d",
+                event.phase, event.tid);
+  out->append(buf);
+  out->append(",\"ts\":");
+  AppendMicros(event.ts_ns, out);
+  if (event.phase == 'X') {
+    out->append(",\"dur\":");
+    AppendMicros(event.dur_ns, out);
+  }
+  if (event.phase == 'C') {
+    std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%" PRId64 "}",
+                  event.counter_value);
+    out->append(buf);
+  } else if (!event.args.empty()) {
+    out->append(",\"args\":{");
+    for (size_t a = 0; a < event.args.size(); ++a) {
+      if (a != 0) out->push_back(',');
+      AppendJsonString(event.args[a].key, out);
+      std::snprintf(buf, sizeof(buf), ":%" PRId64, event.args[a].value);
+      out->append(buf);
+    }
+    out->push_back('}');
+  }
+  out->push_back('}');
+}
+
 void TraceCollector::AppendChromeTraceJson(std::string* out) const {
   std::lock_guard<std::mutex> lock(mu_);
   out->append("{\"traceEvents\":[\n");
-  char buf[64];
   for (size_t i = 0; i < events_.size(); ++i) {
-    const Event& event = events_[i];
-    out->append("{\"name\":");
-    AppendJsonString(event.name, out);
-    if (!event.category.empty()) {
-      out->append(",\"cat\":");
-      AppendJsonString(event.category, out);
-    }
-    std::snprintf(buf, sizeof(buf), ",\"ph\":\"%c\",\"pid\":1,\"tid\":%d",
-                  event.phase, event.tid);
-    out->append(buf);
-    out->append(",\"ts\":");
-    AppendMicros(event.ts_ns, out);
-    if (event.phase == 'X') {
-      out->append(",\"dur\":");
-      AppendMicros(event.dur_ns, out);
-    }
-    if (event.phase == 'C') {
-      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%" PRId64 "}",
-                    event.counter_value);
-      out->append(buf);
-    } else if (!event.args.empty()) {
-      out->append(",\"args\":{");
-      for (size_t a = 0; a < event.args.size(); ++a) {
-        if (a != 0) out->push_back(',');
-        AppendJsonString(event.args[a].key, out);
-        std::snprintf(buf, sizeof(buf), ":%" PRId64, event.args[a].value);
-        out->append(buf);
-      }
-      out->push_back('}');
-    }
-    out->push_back('}');
+    AppendEventJsonLocked(events_[i], out);
+    if (i + 1 < events_.size()) out->push_back(',');
+    out->push_back('\n');
+  }
+  out->append("]}\n");
+}
+
+void TraceCollector::AppendRecentSpansJson(size_t max_events,
+                                           std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t start = events_.size() > max_events ? events_.size() - max_events : 0;
+  out->append("{\"dropped\":");
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%zu", start);
+  out->append(buf);
+  out->append(",\"spans\":[\n");
+  for (size_t i = start; i < events_.size(); ++i) {
+    AppendEventJsonLocked(events_[i], out);
     if (i + 1 < events_.size()) out->push_back(',');
     out->push_back('\n');
   }

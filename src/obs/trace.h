@@ -73,6 +73,12 @@ class TraceCollector {
   // Serializes {"traceEvents":[...]} with one event per line.
   void AppendChromeTraceJson(std::string* out) const;
 
+  // Serializes the most recent `max_events` events (all, if fewer) as
+  // {"spans":[...],"dropped":N} in the same per-event shape as the
+  // Chrome trace — the /tracez payload. `dropped` counts the older
+  // events not included.
+  void AppendRecentSpansJson(size_t max_events, std::string* out) const;
+
  private:
   struct Event {
     std::string name;
@@ -91,6 +97,8 @@ class TraceCollector {
   // Small stable per-collector thread numbering, so tracks read
   // "worker 0..N" rather than opaque platform ids. Caller holds mu_.
   int TidLocked();
+  // One event as a JSON object (no trailing separator). Caller holds mu_.
+  void AppendEventJsonLocked(const Event& event, std::string* out) const;
 
   const TraceOptions options_;
   const uint64_t epoch_ns_;

@@ -46,6 +46,13 @@ struct PipelineMetrics {
   Histogram* serialize_ns = nullptr;
   Histogram* task_ns = nullptr;
   Histogram* queue_wait_ns = nullptr;
+  // Live progress gauges, updated at task granularity so a /statusz
+  // scrape mid-run sees how far the corpus has gotten. At the end of a
+  // non-cancelled run completed + failed == tasks and inflight == 0.
+  Gauge* progress_tasks = nullptr;
+  Gauge* progress_completed = nullptr;
+  Gauge* progress_failed = nullptr;
+  Gauge* progress_inflight = nullptr;
 
   static PipelineMetrics Resolve(MetricsRegistry* registry) {
     PipelineMetrics m;
@@ -86,6 +93,30 @@ struct PipelineMetrics {
     m.serialize_ns = registry->GetHistogram("xmlproj_stage_serialize_ns");
     m.task_ns = registry->GetHistogram("xmlproj_stage_task_ns");
     m.queue_wait_ns = registry->GetHistogram("xmlproj_stage_queue_wait_ns");
+    m.progress_tasks = registry->GetGauge("xmlproj_progress_tasks");
+    m.progress_completed = registry->GetGauge("xmlproj_progress_completed");
+    m.progress_failed = registry->GetGauge("xmlproj_progress_failed");
+    m.progress_inflight = registry->GetGauge("xmlproj_progress_inflight");
+    // HELP text for the families an operator meets first on a scrape
+    // (`# HELP` lines in /metrics; see obs/export.h).
+    registry->SetHelp("xmlproj_pipeline_tasks_total",
+                      "Pipeline tasks executed (one per document x query)");
+    registry->SetHelp("xmlproj_pipeline_input_bytes_total",
+                      "Input XML bytes consumed by the pruning pipeline");
+    registry->SetHelp("xmlproj_pipeline_output_bytes_total",
+                      "Projected output bytes produced by the pipeline");
+    registry->SetHelp("xmlproj_pipeline_kept_nodes_total",
+                      "Nodes kept by projection (paper Table 1 numerator)");
+    registry->SetHelp("xmlproj_progress_tasks",
+                      "Tasks submitted to the current pipeline run");
+    registry->SetHelp("xmlproj_progress_completed",
+                      "Tasks finished successfully in the current run");
+    registry->SetHelp("xmlproj_progress_failed",
+                      "Tasks that exhausted their error policy this run");
+    registry->SetHelp("xmlproj_progress_inflight",
+                      "Tasks currently executing");
+    registry->SetHelp("xmlproj_stage_task_ns",
+                      "Whole fused-pass latency per task, nanoseconds");
     return m;
   }
 };
@@ -100,6 +131,7 @@ ThreadPoolMetrics ResolvePoolMetrics(MetricsRegistry* registry,
     m.run_ns = registry->GetHistogram("xmlproj_pool_task_run_ns");
     m.queue_depth = registry->GetGauge("xmlproj_pool_queue_depth");
     m.queue_depth_peak = registry->GetGauge("xmlproj_pool_queue_depth_peak");
+    m.active_workers = registry->GetGauge("xmlproj_pool_active_workers");
   }
   m.trace = trace;
   return m;
@@ -332,6 +364,10 @@ void RecordStageSplit(const PipelineMetrics& metrics, TraceCollector* trace,
 
 // Everything one task execution needs, resolved once per run.
 struct TaskEnv {
+  // Kept alongside the resolved handles for the labeled-series path:
+  // per-task label sets resolve against the registry at task granularity
+  // (PipelineTask::labels). Null when metrics are off.
+  MetricsRegistry* registry = nullptr;
   const Dtd* dtd = nullptr;
   bool validate = false;
   ErrorPolicy policy = ErrorPolicy::kFailFast;
@@ -502,6 +538,12 @@ TaskOutcome ExecuteTask(const TaskEnv& env, const PipelineTask& task,
                         size_t index, uint64_t submit_ns,
                         PipelineResult* out) {
   TaskOutcome outcome;
+  if (env.metrics.progress_inflight != nullptr) {
+    env.metrics.progress_inflight->Add(1);
+  }
+  const bool labeled = env.registry != nullptr && task.labels != nullptr &&
+                       !task.labels->empty();
+  const uint64_t labeled_start_ns = labeled ? MonotonicNowNs() : 0;
   const int max_attempts = env.policy == ErrorPolicy::kRetry
                                ? std::max(1, env.retry.max_attempts)
                                : 1;
@@ -571,6 +613,36 @@ TaskOutcome ExecuteTask(const TaskEnv& env, const PipelineTask& task,
       if (outcome.status.code() == StatusCode::kResourceExhausted) {
         env.metrics.resource_exhausted_total->Increment();
       }
+    }
+  }
+
+  if (labeled) {
+    // Per-label slices of the Table-1 counters (plus a labeled task
+    // latency histogram): the unlabeled totals above are the sum over
+    // slices. One registry lookup per metric per task; GetCounter can
+    // return null only on a kind conflict, which disables the slice.
+    const MetricLabels& labels = *task.labels;
+    auto add = [&](const char* name, uint64_t n) {
+      Counter* c = env.registry->GetCounter(name, labels);
+      if (c != nullptr) c->Increment(n);
+    };
+    add("xmlproj_pipeline_tasks_total", 1);
+    add("xmlproj_pipeline_input_bytes_total", task.xml_text->size());
+    add("xmlproj_pipeline_output_bytes_total", out->output.size());
+    add("xmlproj_pipeline_input_nodes_total", out->stats.input_nodes);
+    add("xmlproj_pipeline_kept_nodes_total", out->stats.kept_nodes);
+    if (!outcome.status.ok()) add("xmlproj_pipeline_errors_total", 1);
+    if (out->degraded) add("xmlproj_pipeline_degraded_total", 1);
+    Histogram* h = env.registry->GetHistogram("xmlproj_stage_task_ns", labels);
+    if (h != nullptr) h->Record(MonotonicNowNs() - labeled_start_ns);
+  }
+
+  if (env.metrics.progress_inflight != nullptr) {
+    env.metrics.progress_inflight->Sub(1);
+    if (outcome.status.ok()) {
+      env.metrics.progress_completed->Add(1);
+    } else {
+      env.metrics.progress_failed->Add(1);
     }
   }
   return outcome;
@@ -643,6 +715,7 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
   env.budget = options.budget;
   env.degrade = options.degrade_on_invalid;
   env.fault = options.fault;
+  env.registry = options.metrics;
   env.metrics = PipelineMetrics::Resolve(options.metrics);
   env.trace = options.trace;
   env.instrumented = instrumented;
@@ -656,6 +729,15 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
   }
   if (options.metrics != nullptr) {
     options.metrics->GetGauge("xmlproj_pipeline_threads")->Set(threads);
+  }
+  if (env.metrics.progress_tasks != nullptr) {
+    // Progress gauges describe the current run: reset so a scrape during
+    // run N is not contaminated by run N-1 (the *_total counters keep
+    // cross-run accounting).
+    env.metrics.progress_tasks->Set(static_cast<int64_t>(tasks.size()));
+    env.metrics.progress_completed->Set(0);
+    env.metrics.progress_failed->Set(0);
+    env.metrics.progress_inflight->Set(0);
   }
 
   // Per-task final status and outcome detail, index-aligned with `tasks`
@@ -786,9 +868,14 @@ Result<PipelineRun> PruneCorpus(std::span<const std::string> corpus,
                                 const Dtd& dtd, const NameSet& projector,
                                 const PipelineOptions& options) {
   std::vector<PipelineTask> tasks(corpus.size());
+  MetricLabels corpus_labels;
+  if (options.metrics != nullptr && !options.corpus_label.empty()) {
+    corpus_labels.push_back({"corpus", options.corpus_label});
+  }
   for (size_t i = 0; i < corpus.size(); ++i) {
     tasks[i].xml_text = &corpus[i];
     tasks[i].projector = &projector;
+    if (!corpus_labels.empty()) tasks[i].labels = &corpus_labels;
   }
   return RunPruningPipeline(tasks, dtd, options);
 }
@@ -798,11 +885,24 @@ Result<PipelineRun> PruneCorpusPerQuery(std::span<const std::string> corpus,
                                         std::span<const NameSet> projectors,
                                         const PipelineOptions& options) {
   std::vector<PipelineTask> tasks(corpus.size() * projectors.size());
+  // One label set per query, shared by that query's tasks across the
+  // corpus; built up front so the borrowed pointers outlive the run.
+  std::vector<MetricLabels> query_labels;
+  if (options.metrics != nullptr && options.label_queries) {
+    query_labels.resize(projectors.size());
+    for (size_t q = 0; q < projectors.size(); ++q) {
+      query_labels[q].push_back({"query_id", std::to_string(q)});
+      if (!options.corpus_label.empty()) {
+        query_labels[q].push_back({"corpus", options.corpus_label});
+      }
+    }
+  }
   for (size_t d = 0; d < corpus.size(); ++d) {
     for (size_t q = 0; q < projectors.size(); ++q) {
       PipelineTask& task = tasks[d * projectors.size() + q];
       task.xml_text = &corpus[d];
       task.projector = &projectors[q];
+      if (!query_labels.empty()) task.labels = &query_labels[q];
     }
   }
   return RunPruningPipeline(tasks, dtd, options);

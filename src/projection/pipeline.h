@@ -151,13 +151,28 @@ struct PipelineOptions {
   // ("pipeline.task"). Null — the default — leaves one pointer compare
   // per checkpoint on the hot path.
   FaultInjector* fault = nullptr;
+  // Metric labels for the multi-query deployment (requires `metrics`).
+  // With label_queries set, PruneCorpusPerQuery additionally publishes
+  // each task's Table-1 counters into `query_id`-labeled series (one per
+  // projector), so one scrape shows per-query pruning ratios; the
+  // unlabeled totals remain the sum over queries. A non-empty
+  // corpus_label adds a `corpus` label to every labeled series (and, for
+  // PruneCorpus, labels tasks with just the corpus). Labeled publication
+  // costs one registry lookup per counter per *task* — nothing on the
+  // per-event hot path — and zero when both fields are defaulted.
+  bool label_queries = false;
+  std::string corpus_label;
 };
 
-// One unit of work: prune `xml_text` with `projector`. Both pointers are
-// borrowed and must outlive the pipeline call.
+// One unit of work: prune `xml_text` with `projector`. All pointers are
+// borrowed and must outlive the pipeline call. `labels` (optional)
+// attaches metric labels to this task's published counters — the
+// PruneCorpusPerQuery fan-out points tasks of query q at one shared
+// {query_id="q"} label set.
 struct PipelineTask {
   const std::string* xml_text = nullptr;
   const NameSet* projector = nullptr;
+  const MetricLabels* labels = nullptr;
 };
 
 struct PipelineResult {

@@ -166,9 +166,93 @@ TEST(MetricsRegistry, GetReturnsStablePointers) {
   EXPECT_EQ(registry.GetGauge("g"), g);
   Histogram* h = registry.GetHistogram("h");
   EXPECT_EQ(registry.GetHistogram("h"), h);
-  // Same name in different metric families is allowed and distinct.
-  registry.GetCounter("same");
-  registry.GetGauge("same");
+  // Reusing a name across kinds is a registration bug; see the
+  // KindMismatch tests below.
+}
+
+// A name belongs to one kind. Release builds turn the offending lookup
+// into a disabled site (nullptr) and count it; debug builds assert.
+#ifdef NDEBUG
+TEST(MetricsRegistry, KindMismatchReturnsNullAndCounts) {
+  MetricsRegistry registry;
+  ASSERT_NE(registry.GetCounter("same"), nullptr);
+  EXPECT_EQ(registry.GetGauge("same"), nullptr);
+  EXPECT_EQ(registry.GetHistogram("same"), nullptr);
+  EXPECT_GE(registry.kind_conflicts(), 2u);
+  // The family's original kind keeps working.
+  EXPECT_NE(registry.GetCounter("same"), nullptr);
+}
+#elif defined(GTEST_HAS_DEATH_TEST) && GTEST_HAS_DEATH_TEST
+TEST(MetricsRegistryDeathTest, KindMismatchAssertsInDebugBuilds) {
+  EXPECT_DEATH(
+      {
+        MetricsRegistry registry;
+        registry.GetCounter("same");
+        registry.GetGauge("same");
+      },
+      "");
+}
+#endif
+
+TEST(MetricsRegistry, LabeledSeriesAreDistinctAndCanonical) {
+  MetricsRegistry registry;
+  Counter* unlabeled = registry.GetCounter("c");
+  Counter* q0 = registry.GetCounter("c", {{"query_id", "0"}});
+  Counter* q1 = registry.GetCounter("c", {{"query_id", "1"}});
+  ASSERT_NE(q0, nullptr);
+  EXPECT_NE(q0, unlabeled);
+  EXPECT_NE(q0, q1);
+  // Same label set -> same series; key order does not matter.
+  EXPECT_EQ(registry.GetCounter("c", {{"query_id", "0"}}), q0);
+  Counter* ab = registry.GetCounter("c", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(registry.GetCounter("c", {{"b", "2"}, {"a", "1"}}), ab);
+}
+
+TEST(MetricsRegistry, EncodeMetricLabelsSortsAndEscapes) {
+  EXPECT_EQ(EncodeMetricLabels({{"b", "2"}, {"a", "1"}}),
+            "a=\"1\",b=\"2\"");
+  EXPECT_EQ(EncodeMetricLabels({{"q", "a\"b\\c\nd"}}),
+            "q=\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(EncodeMetricLabels({}), "");
+}
+
+TEST(MetricsRegistry, LabelCardinalityBoundCollapsesToOther) {
+  MetricsRegistry registry;
+  const size_t kOverflowing = MetricsRegistry::kMaxLabeledSeries + 5;
+  for (size_t i = 0; i < kOverflowing; ++i) {
+    Counter* c = registry.GetCounter("c", {{"id", std::to_string(i)}});
+    ASSERT_NE(c, nullptr) << "id " << i;
+    c->Increment();
+  }
+  size_t labeled = 0;
+  uint64_t other_value = 0;
+  registry.ForEachCounter([&](const std::string& /*name*/,
+                              const std::string& labels, const Counter& c) {
+    if (labels.empty()) return;
+    ++labeled;
+    if (labels == "id=\"other\"") other_value = c.Value();
+  });
+  // kMaxLabeledSeries distinct series plus the one overflow series.
+  EXPECT_EQ(labeled, MetricsRegistry::kMaxLabeledSeries + 1);
+  EXPECT_EQ(other_value, 5u);
+  // The overflow series is shared by all further novel label sets.
+  EXPECT_EQ(registry.GetCounter("c", {{"id", "zzz"}}),
+            registry.GetCounter("c", {{"id", "other"}}));
+}
+
+TEST(MetricsRegistry, MergePreservesLabeledSeries) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("c", {{"q", "0"}})->Increment(1);
+  b.GetCounter("c", {{"q", "0"}})->Increment(2);
+  b.GetCounter("c", {{"q", "1"}})->Increment(7);
+  b.GetHistogram("h", {{"q", "0"}})->Record(16);
+  b.SetHelp("c", "a counter");
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("c", {{"q", "0"}})->Value(), 3u);
+  EXPECT_EQ(a.GetCounter("c", {{"q", "1"}})->Value(), 7u);
+  EXPECT_EQ(a.GetHistogram("h", {{"q", "0"}})->Count(), 1u);
+  EXPECT_EQ(a.HelpTexts()["c"], "a counter");
 }
 
 TEST(MetricsRegistry, MergeFoldsAllFamilies) {
@@ -258,6 +342,82 @@ TEST(Export, PrometheusTextGolden) {
       "xmlproj_wait_ns_sum 7\n"
       "xmlproj_wait_ns_count 3\n";
   EXPECT_EQ(text, expected);
+}
+
+TEST(Export, PrometheusTextLabeledSeriesAndHelp) {
+  MetricsRegistry registry;
+  registry.SetHelp("xmlproj_tasks_total", "Tasks completed");
+  registry.GetCounter("xmlproj_tasks_total")->Increment(10);
+  registry.GetCounter("xmlproj_tasks_total", {{"query_id", "0"}})
+      ->Increment(4);
+  registry.GetCounter("xmlproj_tasks_total", {{"query_id", "1"}})
+      ->Increment(6);
+  std::string text;
+  AppendPrometheusText(registry, &text);
+  const char* expected =
+      "# HELP xmlproj_tasks_total Tasks completed\n"
+      "# TYPE xmlproj_tasks_total counter\n"
+      "xmlproj_tasks_total 10\n"
+      "xmlproj_tasks_total{query_id=\"0\"} 4\n"
+      "xmlproj_tasks_total{query_id=\"1\"} 6\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(Export, PrometheusTypeLineOncePerFamily) {
+  MetricsRegistry registry;
+  registry.GetCounter("c", {{"q", "0"}})->Increment();
+  registry.GetCounter("c", {{"q", "1"}})->Increment();
+  registry.GetCounter("c")->Increment();
+  std::string text;
+  AppendPrometheusText(registry, &text);
+  size_t count = 0;
+  for (size_t at = text.find("# TYPE c counter"); at != std::string::npos;
+       at = text.find("# TYPE c counter", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u) << text;
+}
+
+TEST(Export, PrometheusEscapesLabelValuesAndHelp) {
+  MetricsRegistry registry;
+  registry.SetHelp("c", "line1\nline2 back\\slash");
+  registry.GetCounter("c", {{"q", "a\"b\\c\nd"}})->Increment();
+  std::string text;
+  AppendPrometheusText(registry, &text);
+  // HELP escapes backslash and newline (not quotes); label values escape
+  // backslash, quote, and newline.
+  EXPECT_NE(text.find("# HELP c line1\\nline2 back\\\\slash\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("c{q=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos)
+      << text;
+}
+
+TEST(Export, PrometheusLabeledHistogramBuckets) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("xmlproj_wait_ns", {{"q", "0"}});
+  h->Record(1);
+  h->Record(3);
+  std::string text;
+  AppendPrometheusText(registry, &text);
+  const char* expected =
+      "# TYPE xmlproj_wait_ns histogram\n"
+      "xmlproj_wait_ns_bucket{q=\"0\",le=\"1\"} 1\n"
+      "xmlproj_wait_ns_bucket{q=\"0\",le=\"3\"} 2\n"
+      "xmlproj_wait_ns_bucket{q=\"0\",le=\"+Inf\"} 2\n"
+      "xmlproj_wait_ns_sum{q=\"0\"} 4\n"
+      "xmlproj_wait_ns_count{q=\"0\"} 2\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(Export, MetricsJsonLabeledSeriesKeys) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(1);
+  registry.GetCounter("c", {{"q", "0"}})->Increment(2);
+  std::string json;
+  AppendMetricsJson(registry, &json);
+  EXPECT_NE(json.find("\"c\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c{q=\\\"0\\\"}\": 2"), std::string::npos) << json;
 }
 
 TEST(Export, PrometheusNameSanitization) {
@@ -394,6 +554,22 @@ TEST(Trace, PipelineRecordsSpansForSampledTasksOnly) {
   EXPECT_EQ(json.find("\"task\":3"), std::string::npos);
   // The stage histograms are not sampled: all four tasks land in them.
   EXPECT_EQ(metrics.GetHistogram("xmlproj_stage_prune_ns")->Count(), 4u);
+}
+
+TEST(Trace, AppendRecentSpansJsonKeepsTailAndCountsDropped) {
+  TraceCollector trace;
+  uint64_t t0 = MonotonicNowNs();
+  trace.AddCompleteEvent("first", "stage", t0, 100);
+  trace.AddCompleteEvent("second", "stage", t0, 100);
+  trace.AddCompleteEvent("third", "stage", t0, 100);
+  std::string json;
+  trace.AppendRecentSpansJson(2, &json);
+  EXPECT_NE(json.find("\"dropped\":1"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"name\":\"first\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"second\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"third\""), std::string::npos) << json;
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
 }
 
 TEST(Trace, TimestampsRebaseOntoCollectorEpoch) {
