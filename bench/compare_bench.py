@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over BENCH_pruning.json.
+
+Compares a freshly generated candidate sweep against the committed
+baseline and fails (exit 1) when single-thread pruning throughput —
+the zero-copy hot path, free of scheduling noise — regresses by more
+than the threshold on either sweep:
+
+  * results[threads==1].bytes_per_second          (multi-document corpus)
+  * intra_doc.results[threads==1].bytes_per_second (single >=64MB doc)
+
+Multi-thread points are reported for context but never gate: their
+variance on shared CI runners swamps a 10% threshold.
+
+Usage:
+  compare_bench.py BASELINE CANDIDATE [--threshold 0.10] [--out diff.json]
+
+Exit codes: 0 ok (improvements are reported), 1 regression beyond the
+threshold, 2 malformed input (missing file / key / single-thread point).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"compare_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def single_thread_bps(doc, sweep_name, results):
+    for point in results:
+        if point.get("threads") == 1:
+            bps = point.get("bytes_per_second")
+            if not isinstance(bps, (int, float)) or bps <= 0:
+                print(f"compare_bench: {doc}: {sweep_name}: bad "
+                      f"bytes_per_second {bps!r}", file=sys.stderr)
+                sys.exit(2)
+            return float(bps)
+    print(f"compare_bench: {doc}: {sweep_name}: no threads==1 point",
+          file=sys.stderr)
+    sys.exit(2)
+
+
+def sweeps(doc, label):
+    out = {}
+    if "results" not in doc:
+        print(f"compare_bench: {label}: missing 'results'", file=sys.stderr)
+        sys.exit(2)
+    out["corpus_1t"] = single_thread_bps(label, "results", doc["results"])
+    intra = doc.get("intra_doc")
+    if intra and intra.get("results"):
+        out["intra_doc_1t"] = single_thread_bps(
+            label, "intra_doc.results", intra["results"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="max allowed fractional regression (default 0.10)")
+    parser.add_argument("--out", default="",
+                        help="write the comparison as JSON to this path")
+    args = parser.parse_args()
+
+    base = sweeps(load(args.baseline), args.baseline)
+    cand = sweeps(load(args.candidate), args.candidate)
+
+    comparisons = []
+    failed = False
+    for name, base_bps in sorted(base.items()):
+        if name not in cand:
+            print(f"compare_bench: candidate lacks sweep '{name}'",
+                  file=sys.stderr)
+            sys.exit(2)
+        cand_bps = cand[name]
+        delta = (cand_bps - base_bps) / base_bps
+        regressed = delta < -args.threshold
+        failed = failed or regressed
+        comparisons.append({
+            "sweep": name,
+            "baseline_bytes_per_second": base_bps,
+            "candidate_bytes_per_second": cand_bps,
+            "delta_pct": round(delta * 100, 2),
+            "regressed": regressed,
+        })
+        verdict = ("REGRESSION" if regressed
+                   else "improved" if delta > args.threshold
+                   else "ok")
+        print(f"{name}: {base_bps / 1e6:8.1f} -> {cand_bps / 1e6:8.1f} MB/s "
+              f"({delta * 100:+.1f}%) {verdict}")
+
+    report = {
+        "threshold_pct": args.threshold * 100,
+        "passed": not failed,
+        "comparisons": comparisons,
+    }
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+    if failed:
+        print(f"compare_bench: single-thread throughput regressed more than "
+              f"{args.threshold * 100:.0f}% vs {args.baseline}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

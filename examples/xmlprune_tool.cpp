@@ -4,11 +4,12 @@
 //   xmlprune --dtd auction.dtd --root site --xml doc.xml
 //       [--xquery] [--out pruned.xml] [--explain] QUERY [QUERY...]
 //
-// Reads the DTD and document, infers the union projector for the given
-// queries (XPath by default, XQuery with --xquery), prunes in one
-// streaming pass, and writes the projected document (stdout by default).
-// With --explain it also prints the inferred projector and the XPath^l
-// approximations.
+// Reads the DTD, memory-maps the document (xml/mmap_source.h), infers
+// the union projector for the given queries (XPath by default, XQuery
+// with --xquery), prunes in one zero-copy streaming pass — kept byte
+// ranges are spliced straight from the mapping (xml/splice.h) — and
+// writes the projected document (stdout by default). With --explain it
+// also prints the inferred projector and the XPath^l approximations.
 //
 // Demo without arguments: generates a small XMark file and prunes it for
 // an example query.
@@ -17,6 +18,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dtd/dtd_parser.h"
@@ -24,8 +26,10 @@
 #include "projection/pruner.h"
 #include "xmark/generator.h"
 #include "xmark/xmark_dtd.h"
+#include "xml/mmap_source.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
+#include "xml/splice.h"
 #include "xquery/parser.h"
 #include "xquery/path_extraction.h"
 
@@ -47,7 +51,7 @@ int Fail(const Status& status) {
   return 1;
 }
 
-int PruneWith(const Dtd& dtd, const std::string& xml_text,
+int PruneWith(const Dtd& dtd, std::string_view xml_text,
               const std::vector<std::string>& queries, bool xquery,
               bool explain, const std::string& out_path) {
   NameSet projector(dtd.name_count());
@@ -79,10 +83,11 @@ int PruneWith(const Dtd& dtd, const std::string& xml_text,
   }
 
   std::string pruned_text;
-  SerializingHandler serializer(&pruned_text);
-  StreamingPruner pruner(dtd, projector, &serializer);
+  SplicingSerializingHandler sink(xml_text, &pruned_text);
+  StreamingPruner pruner(dtd, projector, &sink);
   Status status = ParseXmlStream(xml_text, &pruner);
   if (!status.ok()) return Fail(status);
+  sink.Finish();
 
   std::fprintf(stderr,
                "xmlprune: %zu -> %zu bytes (%.1f%%), %zu -> %zu nodes\n",
@@ -154,7 +159,7 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg == "--help" || arg == "-h") {
       std::fprintf(stderr,
-                   "usage: xmlprune --dtd FILE --root NAME --xml FILE "
+                   "usage: xmlprune --dtd FILE --root NAME --xml FILE|- "
                    "[--xquery] [--out FILE] [--explain] QUERY...\n");
       return 0;
     } else {
@@ -173,16 +178,16 @@ int main(int argc, char** argv) {
   }
 
   std::string dtd_text;
-  std::string xml_text;
   if (!ReadFile(dtd_path, &dtd_text)) {
     std::fprintf(stderr, "xmlprune: cannot read %s\n", dtd_path.c_str());
     return 1;
   }
-  if (!ReadFile(xml_path, &xml_text)) {
-    std::fprintf(stderr, "xmlprune: cannot read %s\n", xml_path.c_str());
-    return 1;
-  }
+  // The document is memory-mapped (read-loop fallback for pipes), so the
+  // parser and splice sink run straight off the page cache with no copy.
+  auto source = xml_path == "-" ? MmapSource::FromStdin()
+                                : MmapSource::OpenFile(xml_path);
+  if (!source.ok()) return Fail(source.status());
   auto dtd = ParseDtd(dtd_text, root);
   if (!dtd.ok()) return Fail(dtd.status());
-  return PruneWith(*dtd, xml_text, queries, xquery, explain, out_path);
+  return PruneWith(*dtd, source->view(), queries, xquery, explain, out_path);
 }

@@ -6,9 +6,33 @@
 
 namespace xmlproj {
 
+namespace {
+
+// FNV-1a. The table is tiny (DTD name sets are static and small), so a
+// simple byte-at-a-time hash beats anything fancier once inlined.
+uint32_t HashTag(std::string_view tag) {
+  uint32_t h = 2166136261u;
+  for (char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+}  // namespace
+
 NameId Dtd::NameOfTag(std::string_view tag) const {
-  auto it = name_of_tag_.find(std::string(tag));
-  return it == name_of_tag_.end() ? kNoName : it->second;
+  if (tag_table_.empty()) {
+    // Pre-Finalize (builder internals) or default-constructed Dtd.
+    auto it = name_of_tag_.find(std::string(tag));
+    return it == name_of_tag_.end() ? kNoName : it->second;
+  }
+  uint32_t h = HashTag(tag);
+  for (size_t i = h & tag_table_mask_;; i = (i + 1) & tag_table_mask_) {
+    const TagSlot& slot = tag_table_[i];
+    if (slot.id == kNoName) return kNoName;
+    if (slot.hash == h && slot.tag == tag) return slot.id;
+  }
 }
 
 NameSet Dtd::AllNames() const {
@@ -177,6 +201,27 @@ Status Dtd::Finalize() {
   if (root_ != kNoName) {
     reachable_.Add(root_);
     reachable_ |= descendant_[static_cast<size_t>(root_)];
+  }
+
+  // Intern the (now-frozen) tag set into the open-addressed lookup table
+  // at <= 50% load, linear probing.
+  size_t tagged = 0;
+  for (const Production& p : productions_) {
+    if (!p.tag.empty()) ++tagged;
+  }
+  size_t table_size = 4;
+  while (table_size < tagged * 2) table_size *= 2;
+  tag_table_.assign(table_size, TagSlot{});
+  tag_table_mask_ = static_cast<uint32_t>(table_size - 1);
+  for (NameId i = 0; i < static_cast<NameId>(n); ++i) {
+    const Production& p = productions_[static_cast<size_t>(i)];
+    if (p.tag.empty() || p.is_string) continue;
+    uint32_t h = HashTag(p.tag);
+    size_t slot = h & tag_table_mask_;
+    while (tag_table_[slot].id != kNoName) {
+      slot = (slot + 1) & tag_table_mask_;
+    }
+    tag_table_[slot] = TagSlot{h, i, p.tag};
   }
   return Status::Ok();
 }

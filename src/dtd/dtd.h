@@ -136,8 +136,23 @@ class Dtd {
   // Called by DtdBuilder once all productions exist.
   Status Finalize();
 
+  // Open-addressed tag -> NameId table built by Finalize over the static
+  // name set, so the per-element lookup on the pruning hot path is one
+  // hash plus (usually) one probe, with no allocation — unlike the
+  // std::string-keyed map, which costs a temporary string per lookup.
+  // Slot tags are views into productions_[*].tag; they stay valid when a
+  // Dtd is moved because vector moves steal the buffer without moving
+  // elements.
+  struct TagSlot {
+    uint32_t hash = 0;
+    NameId id = kNoName;  // kNoName marks an empty slot
+    std::string_view tag;
+  };
+
   std::vector<Production> productions_;
   std::unordered_map<std::string, NameId> name_of_tag_;
+  std::vector<TagSlot> tag_table_;
+  uint32_t tag_table_mask_ = 0;
   std::vector<NameId> string_name_of_;
   NameId root_ = kNoName;
   NameId document_name_ = kNoName;

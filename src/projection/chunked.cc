@@ -10,6 +10,7 @@
 #include "xml/boundary.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
+#include "xml/splice.h"
 
 namespace xmlproj {
 namespace {
@@ -79,9 +80,14 @@ struct ChunkedState {
 // BudgetGuard does. Only spliced in when a cap or deadline is set.
 class SharedBudgetGuard : public SaxHandler {
  public:
-  SharedBudgetGuard(SaxHandler* downstream, const std::string* output,
+  SharedBudgetGuard(SaxHandler* downstream,
+                    const SplicingSerializingHandler* sink,
                     ChunkedState* state)
-      : downstream_(downstream), output_(output), state_(state) {}
+      : downstream_(downstream), sink_(sink), state_(state) {}
+
+  void SetLocator(const SaxLocator* locator) override {
+    downstream_->SetLocator(locator);
+  }
 
   Status StartDocument() override { return Guard(0, 0, [this] {
     return downstream_->StartDocument(); }); }
@@ -109,7 +115,9 @@ class SharedBudgetGuard : public SaxHandler {
           "document exceeded its deadline during chunked pruning");
     }
     XMLPROJ_RETURN_IF_ERROR(forward());
-    size_t produced = output_->size();
+    // Includes the sink's deferred splice span (invariant under its
+    // flush), so post-parse Finish() cannot grow past what was metered.
+    size_t produced = sink_->produced_bytes();
     size_t growth = produced - accounted_output_;
     accounted_output_ = produced;
     size_t delta = add_bytes + growth;
@@ -137,7 +145,7 @@ class SharedBudgetGuard : public SaxHandler {
   }
 
   SaxHandler* downstream_;
-  const std::string* output_;
+  const SplicingSerializingHandler* sink_;
   ChunkedState* state_;
   size_t accounted_output_ = 0;
 };
@@ -156,12 +164,16 @@ void RunOneChunk(ChunkedState& state, size_t index) {
   parse_options.fault = state.fault;
   parse_options.base_offset = chunk.begin;
 
-  SerializingHandler sink(&result.output);
+  // Splice sink over the *whole* document: the fragment parse reports
+  // spans rebased by base_offset, so kept ranges index state.xml_text
+  // directly and chunk outputs stay byte-identical to the sequential
+  // pass.
+  SplicingSerializingHandler sink(state.xml_text, &result.output);
   const bool guarded = state.max_bytes != 0 || state.deadline_ns != 0;
   // The guard wraps the whole chain (outermost) so it sees every event.
   auto run = [&](SaxHandler* pruner_top) -> Status {
     if (!guarded) return ParseXmlFragment(slice, pruner_top, parse_options);
-    SharedBudgetGuard guard(pruner_top, &result.output, &state);
+    SharedBudgetGuard guard(pruner_top, &sink, &state);
     return ParseXmlFragment(slice, &guard, parse_options);
   };
 
@@ -182,6 +194,8 @@ void RunOneChunk(ChunkedState& state, size_t index) {
     if (result.status.ok()) result.status = run(&pruner);
     result.stats = pruner.stats();
   }
+  // Fragment parses end without an EndDocument, so flush explicitly.
+  sink.Finish();
 
   if (timed) {
     uint64_t run_ns = MonotonicNowNs() - start_ns;

@@ -56,6 +56,13 @@ class StreamingPruner : public SaxHandler {
   StreamingPruner(const Dtd& dtd, const NameSet& projector,
                   SaxHandler* downstream);
 
+  // Forwarded so a splicing sink downstream sees the parser's byte
+  // spans; the pruner itself never reads them (a kept event is kept
+  // whole, so its span passes through unchanged).
+  void SetLocator(const SaxLocator* locator) override {
+    downstream_->SetLocator(locator);
+  }
+
   Status StartDocument() override;
   Status EndDocument() override;
   Status StartElement(std::string_view tag,
@@ -110,6 +117,10 @@ class ValidatingPruner : public SaxHandler {
 
   ValidatingPruner(const Dtd& dtd, const NameSet& projector,
                    SaxHandler* downstream);
+
+  void SetLocator(const SaxLocator* locator) override {
+    downstream_->SetLocator(locator);
+  }
 
   Status StartDocument() override;
   Status EndDocument() override;

@@ -1,0 +1,108 @@
+#include "xml/mmap_source.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xmlproj {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return UnavailableError(what + ": " + std::strerror(errno));
+}
+
+// Reads fd to EOF into *out. Used for pipes, ttys, devices, and any
+// descriptor mmap refuses.
+Status ReadAll(int fd, std::string* out) {
+  char buf[1 << 16];
+  while (true) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (n == 0) return Status::Ok();
+    out->append(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+MmapSource& MmapSource::operator=(MmapSource&& other) noexcept {
+  if (this == &other) return *this;
+  Reset();
+  owned_ = std::move(other.owned_);
+  map_len_ = other.map_len_;
+  size_ = other.size_;
+  // The moved-from string's buffer may differ from other.data_ after the
+  // move (SSO), so re-derive the pointer for the fallback case.
+  data_ = map_len_ != 0 ? other.data_ : owned_.data();
+  other.data_ = "";
+  other.size_ = 0;
+  other.map_len_ = 0;
+  return *this;
+}
+
+void MmapSource::Reset() {
+  if (map_len_ != 0) {
+    munmap(const_cast<char*>(data_), map_len_);
+  }
+  data_ = "";
+  size_ = 0;
+  map_len_ = 0;
+  owned_.clear();
+}
+
+Result<MmapSource> MmapSource::OpenFile(const std::string& path) {
+  int fd = open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Errno("open " + path);
+  Result<MmapSource> source = FromFd(fd);
+  close(fd);
+  return source;
+}
+
+Result<MmapSource> MmapSource::FromFd(int fd) {
+  struct stat st;
+  if (fstat(fd, &st) != 0) return Errno("fstat");
+  MmapSource source;
+  if (!S_ISREG(st.st_mode)) {
+    // Pipes, ttys, sockets, devices: not mappable, size meaningless.
+    XMLPROJ_RETURN_IF_ERROR(ReadAll(fd, &source.owned_));
+    source.data_ = source.owned_.data();
+    source.size_ = source.owned_.size();
+    return source;
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) return source;  // mmap(len=0) is EINVAL; empty view
+  void* map = mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map == MAP_FAILED) {
+    // Regular file on a filesystem without mmap support: fall back.
+    XMLPROJ_RETURN_IF_ERROR(ReadAll(fd, &source.owned_));
+    source.data_ = source.owned_.data();
+    source.size_ = source.owned_.size();
+    return source;
+  }
+  // One sequential pass is the expected access pattern; the tail bytes
+  // past the last page boundary are zero-filled by the kernel and never
+  // exposed (view() is exactly [0, size)).
+  madvise(map, size, MADV_SEQUENTIAL);
+  source.data_ = static_cast<const char*>(map);
+  source.size_ = size;
+  source.map_len_ = size;
+  return source;
+}
+
+Result<MmapSource> MmapSource::FromStdin() {
+  MmapSource source;
+  XMLPROJ_RETURN_IF_ERROR(ReadAll(STDIN_FILENO, &source.owned_));
+  source.data_ = source.owned_.data();
+  source.size_ = source.owned_.size();
+  return source;
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,63 @@
+// Zero-copy input source. Maps a regular file into memory so the
+// parser's string_view tokens — and the pruner's spliced output spans —
+// point straight at the page cache, with no intermediate copy of the
+// document. Inputs that cannot be mapped (pipes, stdin, character
+// devices) fall back to a read loop into an owned buffer behind the
+// same view() interface, so callers never branch on the source kind.
+
+#ifndef XMLPROJ_XML_MMAP_SOURCE_H_
+#define XMLPROJ_XML_MMAP_SOURCE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace xmlproj {
+
+class MmapSource {
+ public:
+  MmapSource() = default;
+  ~MmapSource() { Reset(); }
+
+  MmapSource(const MmapSource&) = delete;
+  MmapSource& operator=(const MmapSource&) = delete;
+  MmapSource(MmapSource&& other) noexcept { *this = std::move(other); }
+  MmapSource& operator=(MmapSource&& other) noexcept;
+
+  // Maps `path` read-only. Empty files yield an empty view (mmap of
+  // length 0 is an error, so no mapping is created). Non-regular files
+  // (FIFOs, devices) are read into an owned buffer instead.
+  static Result<MmapSource> OpenFile(const std::string& path);
+
+  // Same, over an already-open descriptor. Takes ownership of nothing:
+  // the fd may be closed by the caller once this returns (a mapping
+  // outlives its descriptor). Non-seekable descriptors (pipes, stdin)
+  // use the read-loop fallback.
+  static Result<MmapSource> FromFd(int fd);
+
+  // Reads standard input to EOF (never mapped: stdin is usually a pipe
+  // or tty, and even when redirected from a file the fallback is cheap
+  // and always correct).
+  static Result<MmapSource> FromStdin();
+
+  // The document bytes: exactly [0, file size), regardless of page
+  // alignment of the tail. Valid until destruction or reassignment.
+  std::string_view view() const { return {data_, size_}; }
+
+  // True when view() points at a mapping rather than an owned copy.
+  bool mapped() const { return map_len_ != 0; }
+
+ private:
+  void Reset();
+
+  const char* data_ = "";
+  size_t size_ = 0;
+  size_t map_len_ = 0;  // bytes passed to munmap; 0 when not mapped
+  std::string owned_;   // fallback storage
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_XML_MMAP_SOURCE_H_

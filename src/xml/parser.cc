@@ -1,6 +1,7 @@
 #include "xml/parser.h"
 
 #include <cassert>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -94,11 +95,22 @@ class Parser {
   // element was self-closing (EndElement already emitted).
   Status ParseStartTag(bool* closed);
   Status ParseName(std::string_view* name);
-  Status ParseAttributes(std::vector<SaxAttribute>* attributes,
-                         std::vector<std::string>* storage);
+  Status ParseAttributes();
   Status SkipComment();
   Status SkipProcessingInstruction();
   Status AppendReference(std::string* out);
+  // Adds one piece of character data. A piece that arrives while nothing
+  // is pending stays a zero-copy view into input_; a second piece (or a
+  // reference) forces materialization into pending_text_.
+  void AddTextPiece(std::string_view piece, size_t begin_offset);
+  // Materializes pending_view_ into pending_text_ (before appending a
+  // decoded reference, which must write into an owned buffer).
+  void MaterializePendingText() {
+    if (!pending_view_.empty()) {
+      pending_text_.assign(pending_view_);
+      pending_view_ = {};
+    }
+  }
   Status FlushText();
 
   std::string_view input_;
@@ -107,10 +119,25 @@ class Parser {
   const bool fragment_;
   Locator locator_;
   size_t pos_ = 0;
+  // Pending character data: at most one of these is non-empty. The common
+  // case (one uninterrupted run, no references, no CDATA) never copies.
+  std::string_view pending_view_;
   std::string pending_text_;
   bool pending_text_nonempty_ = false;
   size_t pending_text_begin_ = 0;  // offset of the first pending byte
-  std::vector<std::string> open_tags_;
+  std::vector<std::string_view> open_tags_;
+  // Per-start-tag scratch, reused across elements so the hot loop does
+  // not allocate. Attribute values are views into input_ unless they
+  // contained references; decoded values live in attr_storage_ and are
+  // re-pointed after the tag is fully parsed (the vector may grow).
+  std::vector<SaxAttribute> attributes_;
+  std::vector<std::string> attr_storage_;
+  size_t attr_storage_used_ = 0;
+  struct DecodedValue {
+    uint32_t attr_index;
+    uint32_t storage_index;
+  };
+  std::vector<DecodedValue> decoded_values_;
 };
 
 Status Parser::ParseName(std::string_view* name) {
@@ -180,7 +207,33 @@ Status Parser::AppendReference(std::string* out) {
   return Status::Ok();
 }
 
+void Parser::AddTextPiece(std::string_view piece, size_t begin_offset) {
+  if (piece.empty()) return;
+  if (pending_view_.empty() && pending_text_.empty()) {
+    pending_text_begin_ = begin_offset;
+    pending_view_ = piece;
+  } else {
+    MaterializePendingText();
+    pending_text_.append(piece);
+  }
+  if (!IsAllXmlWhitespace(piece)) pending_text_nonempty_ = true;
+}
+
 Status Parser::FlushText() {
+  if (!pending_view_.empty()) {
+    // The zero-copy fast path: one uninterrupted run, handed to the
+    // handler as a view into input_ (splicing sinks detect this by
+    // pointer identity and copy the raw span instead of re-escaping).
+    std::string_view text = pending_view_;
+    pending_view_ = {};
+    bool emit = pending_text_nonempty_ || options_.keep_whitespace_text;
+    pending_text_nonempty_ = false;
+    if (emit) {
+      SetSpan(pending_text_begin_, pos_);
+      return handler_->Characters(text);
+    }
+    return Status::Ok();
+  }
   if (pending_text_.empty()) return Status::Ok();
   bool emit = pending_text_nonempty_ || options_.keep_whitespace_text;
   std::string text = std::move(pending_text_);
@@ -239,8 +292,7 @@ Status Parser::ParseDoctype() {
   return handler_->Doctype(name, internal_subset);
 }
 
-Status Parser::ParseAttributes(std::vector<SaxAttribute>* attributes,
-                               std::vector<std::string>* storage) {
+Status Parser::ParseAttributes() {
   while (true) {
     SkipSpace();
     if (AtEnd()) return Error("unterminated start tag");
@@ -256,21 +308,50 @@ Status Parser::ParseAttributes(std::vector<SaxAttribute>* attributes,
     }
     char quote = Peek();
     ++pos_;
-    std::string value;
+    size_t value_begin = pos_;
+    size_t quote_end = input_.find(quote, pos_);
+    if (quote_end == std::string_view::npos) {
+      return Error("unterminated attribute value");
+    }
+    const char* value_data = input_.data() + value_begin;
+    size_t value_len = quote_end - value_begin;
+    if (memchr(value_data, '<', value_len) != nullptr) {
+      pos_ = value_begin +
+             static_cast<size_t>(
+                 static_cast<const char*>(memchr(value_data, '<', value_len)) -
+                 value_data);
+      return Error("'<' in attribute value");
+    }
+    if (memchr(value_data, '&', value_len) == nullptr) {
+      // Zero-copy value: a view straight into the buffer.
+      pos_ = quote_end + 1;
+      attributes_.push_back(
+          SaxAttribute{name, std::string_view(value_data, value_len)});
+      continue;
+    }
+    // Slow path: references force decoding into owned storage. The view
+    // is re-pointed by ParseStartTag once all attributes are parsed
+    // (attr_storage_ may reallocate while growing).
+    if (attr_storage_used_ == attr_storage_.size()) {
+      attr_storage_.emplace_back();
+    }
+    std::string* value = &attr_storage_[attr_storage_used_];
+    value->clear();
     while (!AtEnd() && Peek() != quote) {
       if (Peek() == '&') {
-        XMLPROJ_RETURN_IF_ERROR(AppendReference(&value));
-      } else if (Peek() == '<') {
-        return Error("'<' in attribute value");
+        XMLPROJ_RETURN_IF_ERROR(AppendReference(value));
       } else {
-        value.push_back(Peek());
+        value->push_back(Peek());
         ++pos_;
       }
     }
     if (AtEnd()) return Error("unterminated attribute value");
     ++pos_;  // closing quote
-    storage->push_back(std::move(value));
-    attributes->push_back(SaxAttribute{name, storage->back()});
+    decoded_values_.push_back(
+        DecodedValue{static_cast<uint32_t>(attributes_.size()),
+                     static_cast<uint32_t>(attr_storage_used_)});
+    ++attr_storage_used_;
+    attributes_.push_back(SaxAttribute{name, std::string_view()});
   }
 }
 
@@ -281,13 +362,14 @@ Status Parser::ParseStartTag(bool* closed) {
   ++pos_;
   std::string_view tag;
   XMLPROJ_RETURN_IF_ERROR(ParseName(&tag));
-  std::vector<SaxAttribute> attributes;
-  std::vector<std::string> storage;
-  XMLPROJ_RETURN_IF_ERROR(ParseAttributes(&attributes, &storage));
-  // Re-point views: storage may have reallocated while growing.
-  {
-    size_t i = 0;
-    for (SaxAttribute& a : attributes) a.value = storage[i++];
+  attributes_.clear();
+  attr_storage_used_ = 0;
+  decoded_values_.clear();
+  XMLPROJ_RETURN_IF_ERROR(ParseAttributes());
+  // Re-point decoded views: attr_storage_ may have reallocated while
+  // growing (zero-copy values already point into input_ and stay put).
+  for (const DecodedValue& d : decoded_values_) {
+    attributes_[d.attr_index].value = attr_storage_[d.storage_index];
   }
   bool self_closing = false;
   if (Peek() == '/') {
@@ -299,7 +381,7 @@ Status Parser::ParseStartTag(bool* closed) {
   // A self-closing tag is one markup span producing two events; both
   // report it.
   SetSpan(tag_begin, pos_);
-  XMLPROJ_RETURN_IF_ERROR(handler_->StartElement(tag, attributes));
+  XMLPROJ_RETURN_IF_ERROR(handler_->StartElement(tag, attributes_));
   if (self_closing) {
     *closed = true;
     return handler_->EndElement(tag);
@@ -312,25 +394,16 @@ Status Parser::ParseStartTag(bool* closed) {
 Status Parser::ParseTree() {
   bool closed = false;
   XMLPROJ_RETURN_IF_ERROR(ParseStartTag(&closed));
+  const char* base = input_.data();
+  const size_t limit = input_.size();
   while (!open_tags_.empty()) {
     if (AtEnd()) return Error("unexpected end of input inside element");
     char c = Peek();
     if (c == '<') {
-      if (LookingAt("<!--")) {
-        XMLPROJ_RETURN_IF_ERROR(SkipComment());
-      } else if (LookingAt("<![CDATA[")) {
-        size_t end = input_.find("]]>", pos_ + 9);
-        if (end == std::string_view::npos) {
-          return Error("unterminated CDATA section");
-        }
-        std::string_view data = input_.substr(pos_ + 9, end - pos_ - 9);
-        if (pending_text_.empty()) pending_text_begin_ = pos_;
-        pending_text_.append(data);
-        if (!IsAllXmlWhitespace(data)) pending_text_nonempty_ = true;
-        pos_ = end + 3;
-      } else if (LookingAt("<?")) {
-        XMLPROJ_RETURN_IF_ERROR(SkipProcessingInstruction());
-      } else if (LookingAt("</")) {
+      // Dispatch on the byte after '<': start and end tags are the hot
+      // cases, comments/CDATA/PIs the cold ones.
+      char next = pos_ + 1 < limit ? base[pos_ + 1] : '\0';
+      if (next == '/') {
         XMLPROJ_RETURN_IF_ERROR(FlushText());
         size_t end_tag_begin = pos_;
         pos_ += 2;
@@ -343,14 +416,31 @@ Status Parser::ParseTree() {
         if (AtEnd() || Peek() != '>') return Error("malformed end tag");
         ++pos_;
         SetSpan(end_tag_begin, pos_);
-        std::string closed_tag = std::move(open_tags_.back());
+        std::string_view closed_tag = open_tags_.back();
         open_tags_.pop_back();
         XMLPROJ_RETURN_IF_ERROR(handler_->EndElement(closed_tag));
+      } else if (next == '!') {
+        if (LookingAt("<!--")) {
+          XMLPROJ_RETURN_IF_ERROR(SkipComment());
+        } else if (LookingAt("<![CDATA[")) {
+          size_t end = input_.find("]]>", pos_ + 9);
+          if (end == std::string_view::npos) {
+            return Error("unterminated CDATA section");
+          }
+          AddTextPiece(input_.substr(pos_ + 9, end - pos_ - 9), pos_);
+          pos_ = end + 3;
+        } else {
+          XMLPROJ_RETURN_IF_ERROR(FlushText());
+          XMLPROJ_RETURN_IF_ERROR(ParseStartTag(&closed));
+        }
+      } else if (next == '?') {
+        XMLPROJ_RETURN_IF_ERROR(SkipProcessingInstruction());
       } else {
         XMLPROJ_RETURN_IF_ERROR(FlushText());
         XMLPROJ_RETURN_IF_ERROR(ParseStartTag(&closed));
       }
     } else if (c == '&') {
+      MaterializePendingText();
       if (pending_text_.empty()) pending_text_begin_ = pos_;
       size_t before = pending_text_.size();
       XMLPROJ_RETURN_IF_ERROR(AppendReference(&pending_text_));
@@ -359,12 +449,18 @@ Status Parser::ParseTree() {
         pending_text_nonempty_ = true;
       }
     } else {
+      // memchr-based run scan: find the next '<', then any '&' before it.
       size_t run_start = pos_;
-      if (pending_text_.empty()) pending_text_begin_ = run_start;
-      while (!AtEnd() && Peek() != '<' && Peek() != '&') ++pos_;
-      std::string_view run = input_.substr(run_start, pos_ - run_start);
-      pending_text_.append(run);
-      if (!IsAllXmlWhitespace(run)) pending_text_nonempty_ = true;
+      const void* lt = memchr(base + pos_, '<', limit - pos_);
+      size_t lt_pos =
+          lt != nullptr
+              ? static_cast<size_t>(static_cast<const char*>(lt) - base)
+              : limit;
+      const void* amp = memchr(base + pos_, '&', lt_pos - pos_);
+      pos_ = amp != nullptr
+                 ? static_cast<size_t>(static_cast<const char*>(amp) - base)
+                 : lt_pos;
+      AddTextPiece(input_.substr(run_start, pos_ - run_start), run_start);
     }
   }
   return Status::Ok();

@@ -1,0 +1,160 @@
+#include "xml/splice.h"
+
+#include <cstring>
+
+#include "xml/serializer.h"
+
+namespace xmlproj {
+
+void SplicingSerializingHandler::Flush() {
+  if (!HasPending()) return;
+  size_t len = pending_end_ - pending_begin_;
+  out_->append(input_.data() + pending_begin_, len);
+  spliced_bytes_ += len;
+  pending_begin_ = 0;
+  pending_end_ = 0;
+}
+
+void SplicingSerializingHandler::AppendSpan(size_t begin, size_t end) {
+  if (HasPending() && begin == pending_end_) {
+    pending_end_ = end;
+    return;
+  }
+  Flush();
+  pending_begin_ = begin;
+  pending_end_ = end;
+}
+
+void SplicingSerializingHandler::CloseStartTagIfOpen() {
+  if (!start_tag_open_) return;
+  start_tag_open_ = false;
+  // A canonically spliced start tag leaves its span parked right before
+  // the '>' in the input, so closing it is a one-byte span extension.
+  if (HasPending() && pending_end_ < input_.size() &&
+      input_[pending_end_] == '>') {
+    ++pending_end_;
+  } else {
+    Flush();
+    out_->push_back('>');
+  }
+}
+
+bool SplicingSerializingHandler::CanonicalStartTag(
+    std::string_view tag, const std::vector<SaxAttribute>& attributes,
+    size_t* content_end) const {
+  if (locator_ == nullptr) return false;
+  size_t begin = locator_->event_begin();
+  size_t end = locator_->event_end();
+  if (end > input_.size() || end <= begin) return false;
+  const char* raw = input_.data();
+  // The parser's tag/attribute views alias the input buffer, so "does the
+  // raw byte at this offset equal the token" collapses to pointer
+  // identity — one compare instead of a memcmp, and it simultaneously
+  // rejects producers without buffer-backed views (DOM replay) and
+  // values the parser had to decode (entity references, which XmlWriter
+  // would re-escape differently than the raw bytes).
+  if (tag.data() != raw + begin + 1) return false;
+  size_t pos = begin + 1 + tag.size();
+  for (const SaxAttribute& a : attributes) {
+    // XmlWriter emits exactly: ' ' name '="' value '"'.
+    if (pos >= end || raw[pos] != ' ') return false;
+    ++pos;
+    if (a.name.data() != raw + pos) return false;
+    pos += a.name.size();
+    if (pos + 1 >= end || raw[pos] != '=' || raw[pos + 1] != '"') return false;
+    pos += 2;
+    if (a.value.data() != raw + pos) return false;
+    // A raw '>' in a value parses fine but XmlWriter escapes it.
+    if (memchr(a.value.data(), '>', a.value.size()) != nullptr) return false;
+    pos += a.value.size();
+    if (pos >= end || raw[pos] != '"') return false;
+    ++pos;
+  }
+  if (pos + 1 == end && raw[pos] == '>') {
+    *content_end = pos;
+    return true;
+  }
+  if (pos + 2 == end && raw[pos] == '/' && raw[pos + 1] == '>') {
+    *content_end = pos;
+    return true;
+  }
+  return false;
+}
+
+Status SplicingSerializingHandler::StartElement(
+    std::string_view tag, const std::vector<SaxAttribute>& attributes) {
+  CloseStartTagIfOpen();
+  size_t content_end = 0;
+  if (CanonicalStartTag(tag, attributes, &content_end)) {
+    AppendSpan(locator_->event_begin(), content_end);
+  } else {
+    ++fallback_events_;
+    Flush();
+    out_->push_back('<');
+    out_->append(tag);
+    for (const SaxAttribute& a : attributes) {
+      out_->push_back(' ');
+      out_->append(a.name);
+      out_->append("=\"");
+      AppendEscaped(a.value, /*for_attribute=*/true, out_);
+      out_->push_back('"');
+    }
+  }
+  start_tag_open_ = true;
+  return Status::Ok();
+}
+
+Status SplicingSerializingHandler::EndElement(std::string_view tag) {
+  if (start_tag_open_) {
+    start_tag_open_ = false;
+    // Self-closing input parked its span at the '/' of "/>"; anything
+    // else (childless `<a></a>`, fallback start) gets the writer's "/>".
+    if (HasPending() && pending_end_ + 2 <= input_.size() &&
+        input_[pending_end_] == '/' && input_[pending_end_ + 1] == '>') {
+      pending_end_ += 2;
+    } else {
+      Flush();
+      out_->append("/>");
+    }
+    return Status::Ok();
+  }
+  size_t begin = locator_ != nullptr ? locator_->event_begin() : 0;
+  size_t end = locator_ != nullptr ? locator_->event_end() : 0;
+  // Canonical iff exactly "</tag>" — the length check rejects end-tag
+  // whitespace ("</a >"), which the parser accepts but XmlWriter never
+  // emits.
+  if (locator_ != nullptr && end <= input_.size() &&
+      end - begin == tag.size() + 3 && input_[begin] == '<' &&
+      input_[begin + 1] == '/') {
+    AppendSpan(begin, end);
+  } else {
+    ++fallback_events_;
+    Flush();
+    out_->append("</");
+    out_->append(tag);
+    out_->push_back('>');
+  }
+  return Status::Ok();
+}
+
+Status SplicingSerializingHandler::Characters(std::string_view text) {
+  CloseStartTagIfOpen();
+  size_t begin = locator_ != nullptr ? locator_->event_begin() : 0;
+  size_t end = locator_ != nullptr ? locator_->event_end() : 0;
+  // A single undecoded text run aliases the input exactly; it can hold
+  // no '<' or '&' (runs end there), so only a raw '>' — which XmlWriter
+  // escapes — forces fallback. Multi-piece or decoded text (references,
+  // CDATA) fails the pointer check and is re-escaped by the writer path.
+  if (locator_ != nullptr && end <= input_.size() &&
+      text.data() == input_.data() + begin && text.size() == end - begin &&
+      memchr(text.data(), '>', text.size()) == nullptr) {
+    AppendSpan(begin, end);
+  } else {
+    ++fallback_events_;
+    Flush();
+    AppendEscaped(text, /*for_attribute=*/false, out_);
+  }
+  return Status::Ok();
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,151 @@
+// MmapSource contract tests: regular files map (including empty files
+// and sizes that do not land on a page boundary), non-seekable
+// descriptors fall back to the read loop, and missing files error
+// cleanly.
+
+#include "xml/mmap_source.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "projection/pruner.h"
+#include "xmark/xmark_dtd.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xml/splice.h"
+
+namespace xmlproj {
+namespace {
+
+// Writes `content` to a fresh temp file and returns its path.
+std::string WriteTempFile(const std::string& name,
+                          const std::string& content) {
+  std::string path = ::testing::TempDir() + "mmap_source_" + name;
+  FILE* f = fopen(path.c_str(), "wb");
+  EXPECT_NE(f, nullptr);
+  if (!content.empty()) {
+    EXPECT_EQ(fwrite(content.data(), 1, content.size(), f), content.size());
+  }
+  fclose(f);
+  return path;
+}
+
+TEST(MmapSourceTest, MapsRegularFile) {
+  std::string content = "<root><a>hello</a></root>";
+  std::string path = WriteTempFile("regular.xml", content);
+  auto source = MmapSource::OpenFile(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_TRUE(source->mapped());
+  EXPECT_EQ(source->view(), content);
+  unlink(path.c_str());
+}
+
+TEST(MmapSourceTest, EmptyFileYieldsEmptyView) {
+  std::string path = WriteTempFile("empty.xml", "");
+  auto source = MmapSource::OpenFile(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_FALSE(source->mapped());  // no zero-length mapping is created
+  EXPECT_TRUE(source->view().empty());
+  unlink(path.c_str());
+}
+
+TEST(MmapSourceTest, UnalignedTailBytesAreExact) {
+  // One page plus one byte: the mapping's final page is mostly past EOF;
+  // the view must end exactly at the file size and the tail byte must be
+  // readable and correct.
+  std::string content(4096, 'x');
+  content.push_back('!');
+  std::string path = WriteTempFile("unaligned.xml", content);
+  auto source = MmapSource::OpenFile(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  ASSERT_EQ(source->view().size(), 4097u);
+  EXPECT_EQ(source->view().back(), '!');
+  EXPECT_EQ(source->view(), content);
+  unlink(path.c_str());
+}
+
+TEST(MmapSourceTest, NonSeekablePipeFallsBackToReadLoop) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::string content = "<doc>from a pipe</doc>";
+  ASSERT_EQ(write(fds[1], content.data(), content.size()),
+            static_cast<ssize_t>(content.size()));
+  close(fds[1]);
+  auto source = MmapSource::FromFd(fds[0]);
+  close(fds[0]);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_FALSE(source->mapped());
+  EXPECT_EQ(source->view(), content);
+}
+
+TEST(MmapSourceTest, EmptyPipeYieldsEmptyView) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  close(fds[1]);
+  auto source = MmapSource::FromFd(fds[0]);
+  close(fds[0]);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_TRUE(source->view().empty());
+}
+
+TEST(MmapSourceTest, MissingFileErrors) {
+  auto source =
+      MmapSource::OpenFile(::testing::TempDir() + "does_not_exist.xml");
+  EXPECT_FALSE(source.ok());
+  EXPECT_EQ(source.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(MmapSourceTest, MoveTransfersTheView) {
+  std::string content = "<m>moved</m>";
+  std::string path = WriteTempFile("move.xml", content);
+  auto source = MmapSource::OpenFile(path);
+  ASSERT_TRUE(source.ok());
+  MmapSource moved = std::move(*source);
+  EXPECT_EQ(moved.view(), content);
+  // Fallback buffers must survive the move too (SSO would invalidate a
+  // stale pointer).
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  ASSERT_EQ(write(fds[1], "ab", 2), 2);
+  close(fds[1]);
+  auto piped = MmapSource::FromFd(fds[0]);
+  close(fds[0]);
+  ASSERT_TRUE(piped.ok());
+  MmapSource piped_moved = std::move(*piped);
+  EXPECT_EQ(piped_moved.view(), "ab");
+  unlink(path.c_str());
+}
+
+// End-to-end: prune straight off the mapping through the splice sink —
+// the zero-copy path the tool runs.
+TEST(MmapSourceTest, PruningRunsDirectlyOffTheMapping) {
+  auto dtd = LoadXMarkDtd();
+  ASSERT_TRUE(dtd.ok());
+  std::string doc =
+      "<site><regions></regions><categories></categories>"
+      "<catgraph></catgraph><people></people><open_auctions>"
+      "</open_auctions><closed_auctions></closed_auctions></site>";
+  std::string path = WriteTempFile("site.xml", doc);
+  auto source = MmapSource::OpenFile(path);
+  ASSERT_TRUE(source.ok());
+  NameSet projector = dtd->AllNames();
+  std::string spliced;
+  SplicingSerializingHandler sink(source->view(), &spliced);
+  StreamingPruner pruner(*dtd, projector, &sink);
+  ASSERT_TRUE(ParseXmlStream(source->view(), &pruner).ok());
+  sink.Finish();
+  std::string reference;
+  SerializingHandler ref_sink(&reference);
+  StreamingPruner ref_pruner(*dtd, projector, &ref_sink);
+  ASSERT_TRUE(ParseXmlStream(source->view(), &ref_pruner).ok());
+  EXPECT_EQ(spliced, reference);
+  unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace xmlproj
