@@ -54,6 +54,7 @@
 
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/push.h"
 #include "obs/server.h"
 #include "projection/chunked.h"
 #include "projection/pipeline.h"
@@ -363,8 +364,12 @@ struct ObsOverheadResult {
   double bare_seconds = 0;      // best-of, no instrumentation
   double baseline_seconds = 0;  // best-of A: unlabeled registry
   double observed_seconds = 0;  // best-of B: labeled + live server
-  double overhead_pct = 0;      // (B - A) / A * 100 — what this PR adds
+  double push_seconds = 0;      // best-of C: B + statsd push flusher
+  double overhead_pct = 0;      // (B - A) / A * 100
   double instrumentation_pct = 0;  // (A - bare) / bare * 100
+  double push_pct = 0;          // (C - B) / B * 100 — the push-sink cost
+  uint64_t push_flushes = 0;
+  uint64_t push_datagrams = 0;
   bool scrape_ok = false;
   size_t scrape_bytes = 0;
 };
@@ -427,6 +432,37 @@ bool RunObsOverhead(const std::vector<std::string>& corpus, int max_threads,
   result->scrape_bytes = body.size();
   server.Stop();
 
+  // C: the B configuration plus a live statsd push flusher. The UDP
+  // target is a dead loopback port — fire-and-forget sockets make a
+  // receiverless push free of backpressure by design, so this measures
+  // exactly the sender-side cost: registry snapshots, delta computation,
+  // line formatting and sendto().
+  MetricsRegistry push_registry;
+  StatsdSink statsd;
+  if (!statsd.Open("127.0.0.1:9", &error)) {
+    std::fprintf(stderr, "obs A/B statsd open failed: %s\n", error.c_str());
+    return false;
+  }
+  PushFlusher flusher;
+  PushFlusherOptions flush_options;
+  flush_options.registry = &push_registry;
+  flush_options.sinks = {&statsd};
+  flush_options.interval_ms = 100;  // aggressive: 10 flushes/sec
+  if (!flusher.Start(flush_options, &error)) {
+    std::fprintf(stderr, "obs A/B flusher start failed: %s\n", error.c_str());
+    return false;
+  }
+  PipelineOptions pushed;
+  pushed.num_threads = max_threads;
+  pushed.metrics = &push_registry;
+  pushed.label_queries = true;
+  pushed.corpus_label = "bench";
+  bool push_ok = best_of(pushed, "push", &result->push_seconds);
+  flusher.Stop();
+  if (!push_ok) return false;
+  result->push_flushes = flusher.flushes();
+  result->push_datagrams = statsd.datagrams_sent();
+
   result->overhead_pct =
       result->baseline_seconds > 0
           ? 100.0 * (result->observed_seconds - result->baseline_seconds) /
@@ -437,15 +473,24 @@ bool RunObsOverhead(const std::vector<std::string>& corpus, int max_threads,
           ? 100.0 * (result->baseline_seconds - result->bare_seconds) /
                 result->bare_seconds
           : 0;
+  result->push_pct =
+      result->observed_seconds > 0
+          ? 100.0 * (result->push_seconds - result->observed_seconds) /
+                result->observed_seconds
+          : 0;
   std::printf("obs overhead A/B (%zu queries x %zu docs, %d threads): "
               "bare %.1f ms, instrumented %.1f ms (%+.1f%%), "
               "labeled+served %.1f ms (%+.1f%% vs instrumented), "
-              "self-scrape %s (%zu bytes)\n",
+              "pushed %.1f ms (%+.1f%% vs labeled+served, %llu flushes, "
+              "%llu datagrams), self-scrape %s (%zu bytes)\n",
               projectors.size(), corpus.size(), max_threads,
               result->bare_seconds * 1e3, result->baseline_seconds * 1e3,
               result->instrumentation_pct, result->observed_seconds * 1e3,
-              result->overhead_pct, result->scrape_ok ? "ok" : "FAILED",
-              result->scrape_bytes);
+              result->overhead_pct, result->push_seconds * 1e3,
+              result->push_pct,
+              static_cast<unsigned long long>(result->push_flushes),
+              static_cast<unsigned long long>(result->push_datagrams),
+              result->scrape_ok ? "ok" : "FAILED", result->scrape_bytes);
   return result->scrape_ok;
 }
 
@@ -600,13 +645,20 @@ int RunSweep(SweepConfig config) {
                "    \"instrumentation_pct\": %.2f,\n"
                "    \"labeled_served_seconds\": %.6f,\n"
                "    \"labels_and_server_pct\": %.2f,\n"
+               "    \"push_seconds\": %.6f,\n"
+               "    \"push_pct\": %.2f,\n"
+               "    \"push_flushes\": %llu,\n"
+               "    \"push_datagrams\": %llu,\n"
                "    \"self_scrape_ok\": %s,\n"
                "    \"self_scrape_bytes\": %zu\n"
                "  }\n"
                "}\n",
                max_threads, config.reps, obs.bare_seconds,
                obs.baseline_seconds, obs.instrumentation_pct,
-               obs.observed_seconds, obs.overhead_pct,
+               obs.observed_seconds, obs.overhead_pct, obs.push_seconds,
+               obs.push_pct,
+               static_cast<unsigned long long>(obs.push_flushes),
+               static_cast<unsigned long long>(obs.push_datagrams),
                obs.scrape_ok ? "true" : "false", obs.scrape_bytes);
   std::fclose(out);
   std::printf("wrote %s\n", config.json_path.c_str());

@@ -11,6 +11,8 @@
 //                       [--metrics-out=PATH] [--trace-out=PATH]
 //                       [--prometheus-out=PATH] [--serve-metrics=PORT]
 //                       [--serve-linger-ms=N] [--corpus-label=NAME]
+//                       [--statsd=HOST:PORT] [--push-interval-ms=N]
+//                       [--push-jsonl=PATH] [--journal=DIR] [--auto-budget]
 //
 // Generates a corpus of N XMark documents (xmlgen scale S each) — or, with
 // one or more --input flags, reads the corpus from XML files instead —
@@ -52,6 +54,20 @@
 // with --per-query and a metrics sink attached, per-task counters are
 // additionally published into query_id-labeled series.
 //
+// Push telemetry + persistence (README "Observability"): --statsd pushes
+// statsd/DogStatsD lines over UDP to HOST:PORT on a background flusher
+// (counter deltas; guaranteed final flush at exit), --push-jsonl appends
+// OTLP-shaped JSON lines per flush to PATH, --push-interval-ms sets the
+// flush cadence (default 1000). --journal=DIR appends one JSONL run
+// record (summary, peak memory, quarantine digest) to DIR/journal.jsonl
+// at run end, loads prior records at startup, and seeds the circuit
+// breaker from the most recent matching record; --auto-budget (requires
+// --journal) sets the per-task byte budget from the p99 of prior runs'
+// peak memory unless --max-bytes was given explicitly. Journal runs
+// meter per-task memory even without a budget, so history accumulates.
+// Under isolate/retry policies an open breaker fast-fails admission and
+// is reported truthfully (incl. HTTP 503) by /healthz.
+//
 // Exit codes: 0 success; 1 bad flag or usage; 2 pipeline failure;
 // 3 missing/unreadable input file; 4 empty corpus; 5 setup (DTD or
 // projector inference) failure; 6 telemetry/report write failure;
@@ -64,14 +80,18 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/circuit.h"
 #include "common/fault.h"
 #include "obs/export.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/push.h"
 #include "obs/server.h"
 #include "obs/trace.h"
 #include "projection/pipeline.h"
@@ -105,7 +125,11 @@ void PrintUsage() {
       "                           [--prometheus-out=PATH]\n"
       "                           [--serve-metrics=PORT]\n"
       "                           [--serve-linger-ms=N]\n"
-      "                           [--corpus-label=NAME]\n");
+      "                           [--corpus-label=NAME]\n"
+      "                           [--statsd=HOST:PORT]\n"
+      "                           [--push-interval-ms=N]\n"
+      "                           [--push-jsonl=PATH]\n"
+      "                           [--journal=DIR] [--auto-budget]\n");
 }
 
 // Strict numeric flag parsing: the whole value must consume, no silent
@@ -303,6 +327,12 @@ int main(int argc, char** argv) {
   long serve_port = 0;
   long serve_linger_ms = 0;
   std::string corpus_label;
+  std::string statsd_target;
+  long push_interval_ms = 1000;
+  std::string push_jsonl;
+  std::string journal_dir;
+  bool auto_budget = false;
+  bool max_bytes_explicit = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--docs=", 7) == 0) {
@@ -358,6 +388,7 @@ int main(int argc, char** argv) {
       if (!ParseLong(arg + 12, &max_bytes) || max_bytes < 0) {
         return BadFlag("--max-bytes", arg + 12, "expected an integer >= 0");
       }
+      max_bytes_explicit = true;
     } else if (std::strncmp(arg, "--deadline-ms=", 14) == 0) {
       if (!ParseLong(arg + 14, &deadline_ms) || deadline_ms < 0) {
         return BadFlag("--deadline-ms", arg + 14, "expected an integer >= 0");
@@ -392,11 +423,42 @@ int main(int argc, char** argv) {
         return BadFlag("--corpus-label", "", "expected a label value");
       }
       corpus_label = arg + 15;
+    } else if (std::strncmp(arg, "--statsd=", 9) == 0) {
+      // Shape-checked here (strict flags), resolved when the sink opens.
+      const char* value = arg + 9;
+      const char* colon = std::strrchr(value, ':');
+      if (value[0] == '\0' || colon == nullptr || colon == value ||
+          colon[1] == '\0') {
+        return BadFlag("--statsd", value, "expected HOST:PORT");
+      }
+      statsd_target = value;
+    } else if (std::strncmp(arg, "--push-interval-ms=", 19) == 0) {
+      if (!ParseLong(arg + 19, &push_interval_ms) || push_interval_ms < 1) {
+        return BadFlag("--push-interval-ms", arg + 19,
+                       "expected an integer >= 1");
+      }
+    } else if (std::strncmp(arg, "--push-jsonl=", 13) == 0) {
+      if (arg[13] == '\0') {
+        return BadFlag("--push-jsonl", "", "expected a file path");
+      }
+      push_jsonl = arg + 13;
+    } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+      if (arg[10] == '\0') {
+        return BadFlag("--journal", "", "expected a directory path");
+      }
+      journal_dir = arg + 10;
+    } else if (std::strcmp(arg, "--auto-budget") == 0) {
+      auto_budget = true;
     } else {
       std::fprintf(stderr, "parallel_prune_tool: unknown flag '%s'\n", arg);
       PrintUsage();
       return kExitUsage;
     }
+  }
+  if (auto_budget && journal_dir.empty()) {
+    std::fprintf(stderr, "parallel_prune_tool: --auto-budget requires "
+                         "--journal=DIR (it tunes from journal history)\n");
+    return kExitUsage;
   }
   if (threads <= 0) {
     threads = static_cast<long>(
@@ -470,9 +532,11 @@ int main(int argc, char** argv) {
   size_t tasks =
       per_query ? corpus.size() * per_query_projectors->size() : corpus.size();
 
+  const bool push = !statsd_target.empty() || !push_jsonl.empty();
   const bool instrument = !metrics_out.empty() || !prometheus_out.empty() ||
                           !trace_out.empty() || serve ||
-                          !corpus_label.empty();
+                          !corpus_label.empty() || push ||
+                          !journal_dir.empty();
   MetricsRegistry registry;
   TraceCollector trace;
   PipelineOptions options;
@@ -494,6 +558,111 @@ int main(int argc, char** argv) {
     // The multi-query fan-out slices its counters per query_id whenever
     // a live scrape or metric dump could observe them.
     options.label_queries = per_query;
+    RegisterBuildInfo(&registry);
+  }
+
+  // Journal history: loaded before the run so the breaker can be seeded
+  // from the last run's outcome and --auto-budget can tune the byte cap
+  // from the p99 of prior peaks.
+  std::vector<RunRecord> history;
+  if (!journal_dir.empty()) {
+    size_t skipped = 0;
+    std::string error;
+    if (!RunJournal::Load(journal_dir, &history, &skipped, &error)) {
+      std::fprintf(stderr, "parallel_prune_tool: --journal load failed: %s\n",
+                   error.c_str());
+      return kExitTelemetryWrite;
+    }
+    std::printf("journal: loaded %zu prior run(s) from %s",
+                history.size(), RunJournal::PathFor(journal_dir).c_str());
+    if (skipped > 0) std::printf(" (%zu corrupt line(s) skipped)", skipped);
+    std::printf("\n");
+    // Per-task memory is what the journal tunes budgets from, so meter it
+    // even when this run carries no explicit cap.
+    options.meter_memory = true;
+  }
+  if (auto_budget) {
+    BudgetSuggestion suggestion = SuggestBudgets(history, corpus_label);
+    if (max_bytes_explicit) {
+      std::printf("auto-budget: --max-bytes=%ld set explicitly, keeping it"
+                  " (journal suggestion: %llu bytes over %zu run(s))\n",
+                  max_bytes,
+                  static_cast<unsigned long long>(
+                      suggestion.suggested_max_bytes),
+                  suggestion.runs);
+    } else if (suggestion.runs == 0) {
+      std::printf("auto-budget: no prior peak history for this corpus,"
+                  " running without a byte budget\n");
+    } else {
+      options.budget.max_bytes = suggestion.suggested_max_bytes;
+      std::printf("auto-budget: p99 peak %llu bytes over %zu run(s)"
+                  " -> max-bytes=%llu\n",
+                  static_cast<unsigned long long>(suggestion.p99_peak_bytes),
+                  suggestion.runs,
+                  static_cast<unsigned long long>(
+                      suggestion.suggested_max_bytes));
+    }
+  }
+
+  // Circuit breaker: admission control for kIsolate runs, seeded from
+  // the most recent journal record for this corpus so a crash-looping
+  // deployment restarts open instead of re-melting.
+  CircuitBreakerOptions breaker_options;
+  if (instrument) breaker_options.metrics = &registry;
+  CircuitBreaker breaker(breaker_options);
+  for (auto it = history.rbegin(); it != history.rend(); ++it) {
+    if (!corpus_label.empty() && it->corpus != corpus_label) continue;
+    // RunRecord::tasks counts completed tasks; failures live in `failed`.
+    breaker.Seed(it->tasks, it->failed);
+    if (breaker.state() != CircuitState::kClosed) {
+      std::printf("circuit: seeded %s from run %s (%llu failed of %llu)\n",
+                  CircuitStateName(breaker.state()), it->run_id.c_str(),
+                  static_cast<unsigned long long>(it->failed),
+                  static_cast<unsigned long long>(it->tasks + it->failed));
+    }
+    break;
+  }
+  options.breaker = &breaker;
+
+  // Push sinks: a background flusher snapshots the registry on an
+  // interval and ships counter deltas / gauge levels to statsd and/or a
+  // JSONL file; Stop() guarantees one final flush after the run.
+  StatsdSink statsd_sink;
+  JsonlFileSink jsonl_sink;
+  std::vector<PushSink*> push_sinks;
+  if (!statsd_target.empty()) {
+    std::string error;
+    if (!statsd_sink.Open(statsd_target, &error)) {
+      std::fprintf(stderr, "parallel_prune_tool: --statsd failed: %s\n",
+                   error.c_str());
+      return kExitUsage;
+    }
+    push_sinks.push_back(&statsd_sink);
+  }
+  if (!push_jsonl.empty()) {
+    std::string error;
+    if (!jsonl_sink.Open(push_jsonl, &error)) {
+      std::fprintf(stderr, "parallel_prune_tool: --push-jsonl failed: %s\n",
+                   error.c_str());
+      return kExitTelemetryWrite;
+    }
+    push_sinks.push_back(&jsonl_sink);
+  }
+  PushFlusher flusher;
+  if (!push_sinks.empty()) {
+    PushFlusherOptions flush_options;
+    flush_options.registry = &registry;
+    flush_options.sinks = push_sinks;
+    flush_options.interval_ms = static_cast<uint64_t>(push_interval_ms);
+    std::string error;
+    if (!flusher.Start(flush_options, &error)) {
+      std::fprintf(stderr, "parallel_prune_tool: push flusher failed: %s\n",
+                   error.c_str());
+      return kExitTelemetryWrite;
+    }
+    std::printf("pushing metrics every %ld ms to %zu sink(s)\n",
+                push_interval_ms, push_sinks.size());
+    std::fflush(stdout);
   }
 
   // Scrape server: started before the run so /metrics, /statusz and
@@ -504,6 +673,7 @@ int main(int argc, char** argv) {
     serve_options.port = static_cast<uint16_t>(serve_port);
     serve_options.registry = &registry;
     serve_options.trace = &trace;
+    serve_options.circuit_state = [&breaker] { return breaker.state_int(); };
     std::string error;
     if (!server.Start(serve_options, &error)) {
       std::fprintf(stderr, "parallel_prune_tool: --serve-metrics failed: %s\n",
@@ -516,6 +686,10 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
+  const uint64_t run_start_unix_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
   PipelineRun run;
   if (sweep) {
     double base = 0;
@@ -560,6 +734,57 @@ int main(int argc, char** argv) {
     std::string json;
     trace.AppendChromeTraceJson(&json);
     io_ok = DumpToFile("Chrome trace", trace_out, json) && io_ok;
+  }
+
+  // Journal append: one record per process run (a sweep journals its
+  // final configuration) so the next invocation can seed the breaker and
+  // --auto-budget from it.
+  if (!journal_dir.empty()) {
+    RunRecord record;
+    record.run_id = GenerateRunId();
+    record.corpus = corpus_label;
+    record.start_unix_ms = run_start_unix_ms;
+    record.end_unix_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    record.wall_seconds = run.summary.wall_seconds;
+    record.tasks = run.summary.tasks;
+    record.failed = run.summary.failed;
+    record.degraded = run.summary.degraded;
+    record.retries = run.summary.retries;
+    record.input_bytes = run.summary.input_bytes;
+    record.output_bytes = run.summary.output_bytes;
+    record.peak_memory_bytes = run.summary.max_task_peak_bytes;
+    std::map<std::string, uint64_t> stage_counts;
+    for (const TaskFailure& failure : run.failures) {
+      ++stage_counts[failure.stage];
+    }
+    for (const char* stage : {"budget", "deadline"}) {
+      auto it = stage_counts.find(stage);
+      if (it != stage_counts.end()) record.budget_trips += it->second;
+    }
+    record.quarantine.assign(stage_counts.begin(), stage_counts.end());
+    RunJournal journal;
+    std::string error;
+    if (!journal.Open(journal_dir, &error) ||
+        !journal.Append(record, &error)) {
+      std::fprintf(stderr, "parallel_prune_tool: journal append failed: %s\n",
+                   error.c_str());
+      io_ok = false;
+    } else {
+      std::printf("journal: appended run %s to %s\n", record.run_id.c_str(),
+                  journal.path().c_str());
+    }
+  }
+
+  if (!push_sinks.empty()) {
+    flusher.Stop();  // guarantees a final flush of the end-of-run state
+    std::printf("push: %llu flush(es), %llu statsd datagram(s),"
+                " %llu sink error(s)\n",
+                static_cast<unsigned long long>(flusher.flushes()),
+                static_cast<unsigned long long>(statsd_sink.datagrams_sent()),
+                static_cast<unsigned long long>(flusher.sink_errors()));
   }
 
   if (serve) {

@@ -231,4 +231,27 @@ void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
   }
 }
 
+std::string_view XmlprojVersion() { return "0.7.0"; }
+
+std::string_view XmlprojCompiler() {
+#if defined(__clang_version__)
+  return "clang " __clang_version__;
+#elif defined(__VERSION__)
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+void RegisterBuildInfo(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->SetHelp("xmlproj_build_info",
+                    "Build identity (value is always 1).");
+  Gauge* gauge = registry->GetGauge(
+      "xmlproj_build_info",
+      {{"version", std::string(XmlprojVersion())},
+       {"compiler", std::string(XmlprojCompiler())}});
+  if (gauge != nullptr) gauge->Set(1);
+}
+
 }  // namespace xmlproj

@@ -339,6 +339,18 @@ class MetricsRegistry {
   std::atomic<uint64_t> kind_conflicts_{0};
 };
 
+// Build identity, for correlating scraped/pushed series to a binary.
+// Version tracks the repo's PR sequence; compiler comes from the
+// compiler's own version macros.
+std::string_view XmlprojVersion();
+std::string_view XmlprojCompiler();
+
+// Registers the conventional `xmlproj_build_info` gauge (value 1,
+// `version`/`compiler` labels) into `registry`. Explicit — never called
+// by the registry itself — so registries that want a minimal series set
+// (tests, per-shard merges) stay untouched. Null registry is a no-op.
+void RegisterBuildInfo(MetricsRegistry* registry);
+
 // RAII latency sample: records elapsed nanoseconds into `hist` on
 // destruction. A null histogram skips the clock reads entirely.
 class ScopedLatencyTimer {

@@ -82,12 +82,31 @@ struct RegistrySnapshot {
   }
 };
 
+// Minimal JSON string escaping for the build block (version/compiler
+// strings; metric-derived values elsewhere never need escaping).
+void AppendJsonString(std::string_view s, std::string* out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+// `circuit` is the CircuitState integer from the circuit_state callback,
+// or -1 when no breaker is attached (the pre-breaker heuristic then).
 void AppendHealthz(const MetricsRegistry& registry, uint64_t uptime_ns,
-                   uint64_t requests, std::string* out) {
+                   uint64_t requests, int circuit, std::string* out) {
   RegistrySnapshot snap(registry);
   uint64_t isolated = snap.CounterOr0("xmlproj_pipeline_isolated_total");
   uint64_t degraded = snap.CounterOr0("xmlproj_pipeline_degraded_total");
-  out->append("{\"status\":\"ok\",\"uptime_ms\":");
+  // Status follows the breaker state machine when one is wired in:
+  // closed → ok, half-open → degraded (probing), open → open (and the
+  // endpoint returns 503, see BuildResponse).
+  const char* status = "ok";
+  if (circuit == 1) status = "degraded";
+  if (circuit == 2) status = "open";
+  out->append("{\"status\":\"");
+  out->append(status);
+  out->append("\",\"uptime_ms\":");
   AppendU64(uptime_ns / 1000000, out);
   out->append(",\"requests\":");
   AppendU64(requests, out);
@@ -104,9 +123,19 @@ void AppendHealthz(const MetricsRegistry& registry, uint64_t uptime_ns,
   out->append(",\"resource_exhausted\":");
   AppendU64(snap.CounterOr0("xmlproj_pipeline_resource_exhausted_total"),
             out);
-  // The PR 3 error policies quarantine or degrade rather than trip a
-  // breaker; "degrading" reports that those paths have fired.
   out->append("},\"circuit\":\"");
+  if (circuit >= 0) {
+    // The real state machine (common/circuit.h via the callback).
+    out->append(circuit == 0 ? "closed" : circuit == 1 ? "half-open" : "open");
+    out->append("\",\"circuit_state\":");
+    AppendU64(static_cast<uint64_t>(circuit), out);
+    out->append(",\"fast_failed\":");
+    AppendU64(snap.CounterOr0("xmlproj_circuit_fast_fail_total"), out);
+    out->append("}\n");
+    return;
+  }
+  // No breaker attached: the PR 3 error policies quarantine or degrade
+  // rather than trip one; "degrading" reports those paths have fired.
   out->append(isolated != 0 || degraded != 0 ? "degrading" : "closed");
   out->append("\"}\n");
 }
@@ -133,7 +162,11 @@ void AppendStatusz(const MetricsRegistry& registry, uint64_t uptime_ns,
   RegistrySnapshot snap(registry);
   out->append("{\"uptime_ms\":");
   AppendU64(uptime_ns / 1000000, out);
-  out->append(",\"threads\":");
+  out->append(",\"build\":{\"version\":\"");
+  AppendJsonString(XmlprojVersion(), out);
+  out->append("\",\"compiler\":\"");
+  AppendJsonString(XmlprojCompiler(), out);
+  out->append("\"},\"threads\":");
   AppendI64(snap.GaugeOr0("xmlproj_pipeline_threads"), out);
   // Progress gauges are updated at task granularity by the pipeline:
   // completed + failed == tasks at the end of a run, inflight == 0.
@@ -343,9 +376,13 @@ std::string ObsServer::BuildResponse(const std::string& method,
     return HttpResponse("200 OK", "application/json", body);
   }
   if (path == "/healthz") {
+    int circuit = options_.circuit_state ? options_.circuit_state() : -1;
     AppendHealthz(*options_.registry, uptime_ns,
-                  requests_.load(std::memory_order_relaxed), &body);
-    return HttpResponse("200 OK", "application/json", body);
+                  requests_.load(std::memory_order_relaxed), circuit, &body);
+    // An open breaker is the one condition a load balancer should act
+    // on: stop routing until the cooldown lets probes through.
+    return HttpResponse(circuit == 2 ? "503 Service Unavailable" : "200 OK",
+                        "application/json", body);
   }
   if (path == "/statusz") {
     AppendStatusz(*options_.registry, uptime_ns, &body);

@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -42,6 +43,16 @@ struct ObsServerOptions {
   // Upper bound on spans returned by /tracez (most recent first dropped
   // counts reported in the payload).
   size_t tracez_max_spans = 256;
+  // Live circuit-breaker state for /healthz, as the CircuitState integer
+  // (0=closed, 1=half-open, 2=open). A callback rather than a breaker
+  // pointer because obs/ sits below common/ (where common/circuit.h
+  // lives) in the link order — wire it as
+  //   options.circuit_state = [&breaker] { return breaker.state_int(); };
+  // With a callback attached /healthz reports the real state machine:
+  // status ok/degraded/open following the breaker, HTTP 503 while open
+  // so load balancers can act on it. Without one (the default) /healthz
+  // keeps the counter-derived heuristic and always returns 200.
+  std::function<int()> circuit_state;
 };
 
 class ObsServer {

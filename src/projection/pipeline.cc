@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/circuit.h"
 #include "common/memory_meter.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -55,6 +56,9 @@ struct PipelineMetrics {
   Gauge* progress_completed = nullptr;
   Gauge* progress_failed = nullptr;
   Gauge* progress_inflight = nullptr;
+  // Peak of the per-task metered memory (budgeted or meter_memory runs);
+  // SetMax fold, so the gauge survives MergeFrom across shards.
+  Gauge* memory_peak_bytes = nullptr;
 
   static PipelineMetrics Resolve(MetricsRegistry* registry) {
     PipelineMetrics m;
@@ -99,6 +103,7 @@ struct PipelineMetrics {
     m.progress_completed = registry->GetGauge("xmlproj_progress_completed");
     m.progress_failed = registry->GetGauge("xmlproj_progress_failed");
     m.progress_inflight = registry->GetGauge("xmlproj_progress_inflight");
+    m.memory_peak_bytes = registry->GetGauge("xmlproj_memory_peak_bytes");
     // HELP text for the families an operator meets first on a scrape
     // (`# HELP` lines in /metrics; see obs/export.h).
     registry->SetHelp("xmlproj_pipeline_tasks_total",
@@ -119,6 +124,9 @@ struct PipelineMetrics {
                       "Tasks currently executing");
     registry->SetHelp("xmlproj_stage_task_ns",
                       "Whole fused-pass latency per task, nanoseconds");
+    registry->SetHelp("xmlproj_memory_peak_bytes",
+                      "Largest per-task metered memory peak (budgeted or "
+                      "meter_memory runs)");
     return m;
   }
 };
@@ -383,6 +391,10 @@ struct TaskEnv {
   TaskBudget budget;
   bool degrade = false;
   FaultInjector* fault = nullptr;
+  // Admission-control breaker (only set when policy != kFailFast) and
+  // the meter-without-cap flag; see PipelineOptions.
+  CircuitBreaker* breaker = nullptr;
+  bool meter = false;
   PipelineMetrics metrics;
   TraceCollector* trace = nullptr;
   bool instrumented = false;
@@ -397,6 +409,10 @@ struct TaskOutcome {
   int attempts = 1;
   bool degraded = false;
   size_t peak_bytes = 0;
+  // Denied at admission by an open circuit breaker — the task never
+  // executed, and its quarantine stage is "circuit" rather than the
+  // status-derived one (kUnavailable would otherwise map to "io").
+  bool fast_failed = false;
 };
 
 // One attempt of the fused per-document pass: SAX events from the parser
@@ -504,7 +520,10 @@ Status RunAttempt(const TaskEnv& env, const PipelineTask& task, size_t index,
     SaxHandler* top =
         env.instrumented ? static_cast<SaxHandler*>(&prune_timer) : pass_root;
     std::optional<BudgetGuard> guard;
-    if (env.budget.active()) {
+    // The guard is also the memory meter: meter_memory runs it with zero
+    // caps (BudgetGuard skips the cap and deadline checks then) purely
+    // for the peak_bytes reading that budget auto-tuning feeds on.
+    if (env.budget.active() || env.meter) {
       guard.emplace(top, &sink, env.budget);
       top = &*guard;
     }
@@ -549,6 +568,22 @@ TaskOutcome ExecuteTask(const TaskEnv& env, const PipelineTask& task,
                         size_t index, uint64_t submit_ns,
                         PipelineResult* out) {
   TaskOutcome outcome;
+  // Admission control: while the breaker is open the task is quarantined
+  // without running — no parse, no worker time, no execution metrics. It
+  // still counts into progress_failed so completed + failed == tasks
+  // holds at run end.
+  if (env.breaker != nullptr && !env.breaker->Allow()) {
+    outcome.fast_failed = true;
+    outcome.status = UnavailableError(
+        "circuit breaker open: task fast-failed at admission");
+    out->output.clear();
+    out->stats = PruneStats{};
+    out->degraded = false;
+    if (env.metrics.progress_failed != nullptr) {
+      env.metrics.progress_failed->Add(1);
+    }
+    return outcome;
+  }
   if (env.metrics.progress_inflight != nullptr) {
     env.metrics.progress_inflight->Add(1);
   }
@@ -648,6 +683,21 @@ TaskOutcome ExecuteTask(const TaskEnv& env, const PipelineTask& task,
     if (h != nullptr) h->Record(MonotonicNowNs() - labeled_start_ns);
   }
 
+  if (outcome.peak_bytes > 0 && env.metrics.memory_peak_bytes != nullptr) {
+    env.metrics.memory_peak_bytes->SetMax(
+        static_cast<int64_t>(outcome.peak_bytes));
+  }
+
+  // Executed outcomes feed the breaker's sliding window; a degraded
+  // completion served the document, so it counts as a success.
+  if (env.breaker != nullptr) {
+    if (outcome.status.ok()) {
+      env.breaker->RecordSuccess();
+    } else {
+      env.breaker->RecordFailure();
+    }
+  }
+
   if (env.metrics.progress_inflight != nullptr) {
     env.metrics.progress_inflight->Sub(1);
     if (outcome.status.ok()) {
@@ -726,6 +776,11 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
   env.budget = options.budget;
   env.degrade = options.degrade_on_invalid;
   env.fault = options.fault;
+  // Under kFailFast the breaker is ignored (see PipelineOptions): the
+  // policy already stops at the first failure.
+  env.breaker =
+      options.policy != ErrorPolicy::kFailFast ? options.breaker : nullptr;
+  env.meter = options.meter_memory;
   env.registry = options.metrics;
   env.metrics = PipelineMetrics::Resolve(options.metrics);
   env.trace = options.trace;
@@ -849,7 +904,9 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
       if (finals[i].ok()) continue;
       TaskFailure failure;
       failure.task = i;
-      failure.stage = StageForStatus(finals[i].code(), options.validate);
+      failure.stage = outcomes[i].fast_failed
+                          ? "circuit"
+                          : StageForStatus(finals[i].code(), options.validate);
       failure.status = finals[i];
       failure.attempts = outcomes[i].attempts;
       failure.peak_bytes = outcomes[i].peak_bytes;
@@ -862,6 +919,10 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
   }
 
   for (size_t i = 0; i < tasks.size(); ++i) {
+    // Peaks from failed tasks count too: a budget blowout is exactly the
+    // observation auto-tuning must not lose.
+    run.summary.max_task_peak_bytes =
+        std::max(run.summary.max_task_peak_bytes, outcomes[i].peak_bytes);
     if (!finals[i].ok()) continue;
     run.summary.AddTask(tasks[i].xml_text->size(), run.results[i]);
     if (run.results[i].degraded) ++run.summary.degraded;

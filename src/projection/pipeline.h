@@ -68,6 +68,8 @@
 
 namespace xmlproj {
 
+class CircuitBreaker;  // common/circuit.h
+
 // How the pipeline reacts to a failing task (see file comment).
 enum class ErrorPolicy {
   kFailFast,  // first error cancels the run (the PR 1 behavior)
@@ -104,7 +106,9 @@ struct TaskBudget {
 struct TaskFailure {
   size_t task = 0;    // index into the submitted tasks
   // Coarse stage attribution derived from the status code: "parse",
-  // "validate", "prune", "budget", "deadline", "io", "pool", or "task".
+  // "validate", "prune", "budget", "deadline", "io", "pool", or "task" —
+  // or "circuit" when the task was fast-failed at admission by an open
+  // circuit breaker (PipelineOptions::breaker) and never executed.
   std::string stage;
   Status status;
   int attempts = 1;      // attempts consumed (> 1 only under kRetry)
@@ -162,6 +166,22 @@ struct PipelineOptions {
   // per-event hot path — and zero when both fields are defaulted.
   bool label_queries = false;
   std::string corpus_label;
+  // Optional circuit breaker (common/circuit.h), consulted at task
+  // admission under kIsolate / kRetry: while the breaker is open, tasks
+  // are quarantined immediately with stage "circuit" instead of running
+  // against a corpus that is currently failing; executed tasks report
+  // their outcome back (degraded completions count as successes).
+  // Ignored under kFailFast — that policy already stops at the first
+  // failure, and fast-failing it would only change *which* error wins.
+  // Borrowed; must outlive the run.
+  CircuitBreaker* breaker = nullptr;
+  // Meter per-task memory even when `budget` is inactive (the same
+  // metering SAX filter with no cap): publishes the per-task peak into
+  // the xmlproj_memory_peak_bytes gauge and the run's
+  // PipelineSummary::max_task_peak_bytes, which the run journal records
+  // and SuggestBudgets() auto-tunes from — a budget has to be measured
+  // before it can be enforced.
+  bool meter_memory = false;
 };
 
 // One unit of work: prune `xml_text` with `projector`. All pointers are
@@ -201,6 +221,10 @@ struct PipelineSummary {
   size_t failed = 0;    // tasks quarantined under kIsolate / kRetry
   size_t degraded = 0;  // tasks that fell back to the identity pass
   size_t retries = 0;   // extra attempts consumed under kRetry
+  // Largest per-task metered memory peak across the run (0 when neither
+  // a byte budget nor meter_memory was active). Feeds the run journal's
+  // peak_memory_bytes and budget auto-tuning.
+  size_t max_task_peak_bytes = 0;
 
   // Fraction kept (Table 1's "pruning ratio" is 1 - these).
   double NodeRatio() const {

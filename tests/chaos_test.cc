@@ -22,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/circuit.h"
 #include "common/fault.h"
 #include "dtd/dtd_parser.h"
 #include "obs/metrics.h"
@@ -456,6 +457,127 @@ TEST_F(PipelineChaosTest, PoolLevelFaultsAreQuarantinedUnderIsolate) {
   for (size_t i = 0; i < corpus_.size(); ++i) {
     if (i == run->failures[0].task) continue;
     EXPECT_EQ(run->results[i].output, Reference(i)) << "survivor " << i;
+  }
+}
+
+// --- Circuit breaker in the pipeline ------------------------------------
+
+TEST_F(PipelineChaosTest, OpenBreakerFastFailsAdmissionUnderIsolate) {
+  CircuitBreaker breaker;
+  breaker.Seed(0, 32);  // journal-style seed from a melting prior run
+  ASSERT_EQ(breaker.state(), CircuitState::kOpen);
+
+  MetricsRegistry registry;
+  PipelineOptions options;
+  options.num_threads = 2;
+  options.policy = ErrorPolicy::kIsolate;
+  options.breaker = &breaker;
+  options.metrics = &registry;
+  auto run = PruneCorpus(corpus_, *dtd_, projector_, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->failures.size(), corpus_.size());
+  for (const TaskFailure& failure : run->failures) {
+    EXPECT_EQ(failure.stage, "circuit");
+    EXPECT_EQ(failure.status.code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(run->results[failure.task].output.empty());
+  }
+  // Fast-failed tasks never executed: no completed-task accounting.
+  EXPECT_EQ(run->summary.tasks, 0u);
+  EXPECT_EQ(run->summary.failed, corpus_.size());
+  EXPECT_EQ(breaker.denied(), corpus_.size());
+  EXPECT_EQ(registry.GetCounter("xmlproj_pipeline_tasks_total")->Value(), 0u);
+}
+
+TEST_F(PipelineChaosTest, BreakerTripsMidRunAndQuarantinesTheRest) {
+  FaultInjector fault;
+  FaultSpec spec;
+  spec.code = StatusCode::kUnavailable;
+  fault.Arm("pipeline.task", spec);  // every executed task fails
+
+  CircuitBreakerOptions breaker_options;
+  breaker_options.window = 4;
+  breaker_options.min_samples = 2;
+  breaker_options.cooldown_ms = 60 * 1000;  // never recovers mid-test
+  CircuitBreaker breaker(breaker_options);
+
+  PipelineOptions options;
+  options.num_threads = 1;  // deterministic admission order
+  options.policy = ErrorPolicy::kIsolate;
+  options.fault = &fault;
+  options.breaker = &breaker;
+  auto run = PruneCorpus(corpus_, *dtd_, projector_, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_EQ(run->failures.size(), corpus_.size());
+  // The first min_samples failures executed (stage "io" for
+  // kUnavailable); once the ratio tripped, the rest fast-failed at
+  // admission with stage "circuit".
+  size_t executed = 0, fast_failed = 0;
+  for (const TaskFailure& failure : run->failures) {
+    if (failure.stage == "circuit") {
+      ++fast_failed;
+    } else {
+      EXPECT_EQ(failure.stage, "io");
+      ++executed;
+    }
+  }
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(fast_failed, corpus_.size() - 2);
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+  EXPECT_EQ(breaker.opened(), 1u);
+}
+
+TEST_F(PipelineChaosTest, BreakerIsIgnoredUnderFailFast) {
+  // kFailFast already stops at the first failure — admission control
+  // would only distort its semantics, so the pipeline drops the breaker.
+  CircuitBreaker breaker;
+  breaker.Seed(0, 32);
+  ASSERT_EQ(breaker.state(), CircuitState::kOpen);
+
+  PipelineOptions options;
+  options.num_threads = 2;
+  options.breaker = &breaker;  // policy stays kFailFast
+  auto run = PruneCorpus(corpus_, *dtd_, projector_, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  for (size_t i = 0; i < corpus_.size(); ++i) {
+    EXPECT_EQ(run->results[i].output, Reference(i)) << "document " << i;
+  }
+  EXPECT_EQ(breaker.denied(), 0u);
+}
+
+TEST_F(PipelineChaosTest, HealthySuccessesFeedTheBreakerWindow) {
+  CircuitBreakerOptions breaker_options;
+  breaker_options.window = 4;
+  breaker_options.min_samples = 2;
+  CircuitBreaker breaker(breaker_options);
+
+  PipelineOptions options;
+  options.num_threads = 2;
+  options.policy = ErrorPolicy::kIsolate;
+  options.breaker = &breaker;
+  auto run = PruneCorpus(corpus_, *dtd_, projector_, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(run->failures.empty());
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  // A healthy run must leave the breaker ready to trip on real signal,
+  // not half-filled: the window saw every outcome.
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+}
+
+TEST_F(PipelineChaosTest, MeterMemoryPopulatesPeakWithoutABudget) {
+  MetricsRegistry registry;
+  PipelineOptions options;
+  options.num_threads = 2;
+  options.meter_memory = true;  // no caps — metering only
+  options.metrics = &registry;
+  auto run = PruneCorpus(corpus_, *dtd_, projector_, options);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->summary.max_task_peak_bytes, 0u);
+  EXPECT_GT(registry.GetGauge("xmlproj_memory_peak_bytes")->Value(), 0);
+  // Metering must not perturb output.
+  for (size_t i = 0; i < corpus_.size(); ++i) {
+    EXPECT_EQ(run->results[i].output, Reference(i)) << "document " << i;
   }
 }
 

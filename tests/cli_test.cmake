@@ -28,6 +28,28 @@ function(expect_exit expected)
   endif()
 endfunction()
 
+# expect_output(<regex> <arg>...) — run the tool, expect exit 0 and the
+# combined stdout/stderr to match the regex.
+function(expect_output pattern)
+  execute_process(COMMAND "${TOOL}" ${ARGN}
+    RESULT_VARIABLE got
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT got STREQUAL "0")
+    math(EXPR failures "${failures} + 1")
+    set(failures "${failures}" PARENT_SCOPE)
+    message(STATUS "FAIL: '${TOOL} ${ARGN}' exited ${got}, want 0")
+    message(STATUS "  stderr: ${err}")
+  elseif(NOT "${out}${err}" MATCHES "${pattern}")
+    math(EXPR failures "${failures} + 1")
+    set(failures "${failures}" PARENT_SCOPE)
+    message(STATUS "FAIL: '${ARGN}' output does not match '${pattern}'")
+    message(STATUS "  output: ${out}")
+  else()
+    message(STATUS "ok: '${ARGN}' matches '${pattern}'")
+  endif()
+endfunction()
+
 # Usage errors: exit 1, nothing clamped.
 expect_exit(1 --threads=0)
 expect_exit(1 --threads=-2)
@@ -39,11 +61,45 @@ expect_exit(1 --intra-doc-threads=0)
 expect_exit(1 --intra-doc-threads=-1)
 expect_exit(1 --no-such-flag)
 
+# Observability flags are strict too.
+expect_exit(1 --statsd=missing-port)
+expect_exit(1 --statsd=:8125)
+expect_exit(1 --statsd=localhost:)
+expect_exit(1 --push-interval-ms=0)
+expect_exit(1 --push-interval-ms=-5)
+expect_exit(1 --journal=)
+expect_exit(1 --docs=1 --scale=0.001 --auto-budget)  # needs --journal
+
 # Well-formed runs: exit 0. Tiny corpus keeps this fast; the second run
 # exercises the intra-document flags end to end (small docs fall back to
 # the sequential pass, which is exactly the contract).
 expect_exit(0 --docs=1 --scale=0.001 --threads=1)
 expect_exit(0 --docs=1 --scale=0.001 --intra-doc-threads=2 --chunk-bytes=4096)
+
+# Journal → auto-budget round trip: the first run appends a record with a
+# metered peak; the second loads it, derives a p99-based cap, and says so.
+set(journal_dir "${CMAKE_CURRENT_BINARY_DIR}/cli_test_journal")
+file(REMOVE_RECURSE "${journal_dir}")
+expect_output("journal: appended run run-"
+  --docs=2 --scale=0.001 --threads=1 --journal=${journal_dir}
+  --corpus-label=cli-test)
+expect_output("auto-budget: p99 peak [0-9]+ bytes over 1 run\\(s\\) -> max-bytes=[0-9]+"
+  --docs=2 --scale=0.001 --threads=1 --journal=${journal_dir}
+  --corpus-label=cli-test --auto-budget)
+# A different corpus label must not inherit that budget.
+expect_output("auto-budget: no prior peak history"
+  --docs=1 --scale=0.001 --threads=1 --journal=${journal_dir}
+  --corpus-label=other-corpus --auto-budget)
+# An explicit cap always wins over the suggestion.
+expect_output("auto-budget: --max-bytes=[0-9]+ set explicitly"
+  --docs=1 --scale=0.001 --threads=1 --journal=${journal_dir}
+  --corpus-label=cli-test --auto-budget --max-bytes=100000000)
+file(REMOVE_RECURSE "${journal_dir}")
+
+# Push flags accept well-formed values (a dead UDP target is fine by
+# design: fire-and-forget).
+expect_output("pushing metrics every 200 ms to 1 sink"
+  --docs=1 --scale=0.001 --threads=1 --statsd=127.0.0.1:1 --push-interval-ms=200)
 
 if(failures GREATER 0)
   message(FATAL_ERROR "${failures} CLI contract check(s) failed")

@@ -139,6 +139,67 @@ TEST(ObsServer, HealthzStatuszTracezRespond) {
   server.Stop();
 }
 
+TEST(ObsServer, HealthzFollowsTheCircuitStateCallback) {
+  MetricsRegistry registry;
+  ObsServerOptions options;
+  options.port = 0;
+  options.registry = &registry;
+  int circuit = 0;  // what a wired CircuitBreaker::state_int() returns
+  options.circuit_state = [&circuit] { return circuit; };
+  ObsServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+
+  std::string status_line, body;
+  ASSERT_TRUE(HttpGet(server.port(), "/healthz", &status_line, &body));
+  EXPECT_NE(status_line.find("200"), std::string::npos);
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"circuit\":\"closed\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"circuit_state\":0"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"fast_failed\":0"), std::string::npos) << body;
+
+  circuit = 1;  // half-open: degraded but serving
+  ASSERT_TRUE(HttpGet(server.port(), "/healthz", &status_line, &body));
+  EXPECT_NE(status_line.find("200"), std::string::npos);
+  EXPECT_NE(body.find("\"status\":\"degraded\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"circuit\":\"half-open\""), std::string::npos)
+      << body;
+
+  // Open: truthful status plus HTTP 503 so load balancers can act on it.
+  circuit = 2;
+  registry.GetCounter("xmlproj_circuit_fast_fail_total")->Increment(7);
+  ASSERT_TRUE(HttpGet(server.port(), "/healthz", &status_line, &body));
+  EXPECT_NE(status_line.find("503"), std::string::npos) << status_line;
+  EXPECT_NE(body.find("\"status\":\"open\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"circuit\":\"open\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"circuit_state\":2"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"fast_failed\":7"), std::string::npos) << body;
+
+  // Recovery flips it back to 200 without a restart.
+  circuit = 0;
+  ASSERT_TRUE(HttpGet(server.port(), "/healthz", &status_line, &body));
+  EXPECT_NE(status_line.find("200"), std::string::npos);
+  server.Stop();
+}
+
+TEST(ObsServer, StatuszCarriesBuildInfo) {
+  MetricsRegistry registry;
+  ObsServerOptions options;
+  options.port = 0;
+  options.registry = &registry;
+  ObsServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+
+  std::string status_line, body;
+  ASSERT_TRUE(HttpGet(server.port(), "/statusz", &status_line, &body));
+  std::string expected = "\"build\":{\"version\":\"";
+  expected += XmlprojVersion();
+  expected += "\",\"compiler\":";
+  EXPECT_NE(body.find(expected), std::string::npos) << body;
+  server.Stop();
+}
+
 TEST(ObsServer, NotFoundBadMethodAndMalformedRequests) {
   MetricsRegistry registry;
   ObsServerOptions options;

@@ -581,5 +581,20 @@ TEST(Trace, TimestampsRebaseOntoCollectorEpoch) {
   EXPECT_NE(json.find("\"ts\":0.000"), std::string::npos);
 }
 
+TEST(BuildInfo, RegistersTheStandardInfoGauge) {
+  EXPECT_FALSE(XmlprojVersion().empty());
+  EXPECT_FALSE(XmlprojCompiler().empty());
+
+  MetricsRegistry registry;
+  RegisterBuildInfo(&registry);
+  MetricLabels labels = {{"compiler", std::string(XmlprojCompiler())},
+                         {"version", std::string(XmlprojVersion())}};
+  Gauge* info = registry.GetGauge("xmlproj_build_info", labels);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->Value(), 1);
+
+  RegisterBuildInfo(nullptr);  // null-safe no-op
+}
+
 }  // namespace
 }  // namespace xmlproj
