@@ -14,7 +14,9 @@
 // (stage latency histograms, pool queue stats; see README
 // "Observability") of one instrumented max-thread run, and an
 // obs-overhead A/B point (bare run vs. labeled registry + live /metrics
-// server with a validating self-scrape). Extra flags, consumed before
+// server with a validating self-scrape, plus a durable-checkpoint arm
+// whose bookkeeping cost over plain durable output writes
+// compare_bench.py gates at <=5%). Extra flags, consumed before
 // google-benchmark sees the command line:
 //   --bench_json=PATH        output path (default BENCH_pruning.json)
 //   --metrics_json=PATH      registry dump path
@@ -41,6 +43,9 @@
 // The timed sweep runs are uninstrumented (metrics stay out of the
 // measurement); the instrumented run happens once afterwards.
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -56,6 +61,7 @@
 #include "obs/metrics.h"
 #include "obs/push.h"
 #include "obs/server.h"
+#include "projection/checkpoint.h"
 #include "projection/chunked.h"
 #include "projection/pipeline.h"
 #include "projection/pruner.h"
@@ -368,6 +374,9 @@ struct ObsOverheadResult {
   double overhead_pct = 0;      // (B - A) / A * 100
   double instrumentation_pct = 0;  // (A - bare) / bare * 100
   double push_pct = 0;          // (C - B) / B * 100 — the push-sink cost
+  double written_seconds = 0;     // best-of W: bare + durable output writes
+  double checkpoint_seconds = 0;  // best-of D: full durable checkpoint
+  double checkpoint_pct = 0;      // (D - W) / W * 100 — the bookkeeping tax
   uint64_t push_flushes = 0;
   uint64_t push_datagrams = 0;
   bool scrape_ok = false;
@@ -463,6 +472,112 @@ bool RunObsOverhead(const std::vector<std::string>& corpus, int max_threads,
   result->push_flushes = flusher.flushes();
   result->push_datagrams = statsd.datagrams_sent();
 
+  // W vs D: the crash-safety tax. Durable output I/O is not what the
+  // gate watches — fsync'ing pruned bytes runs at disk speed, the same
+  // order as pruning itself, so ANY run that persists outputs durably
+  // pays it. What must stay cheap is the checkpoint *bookkeeping* —
+  // the content hash, the record formatting, and the one fsync'd JSONL
+  // append per task (never per event). So:
+  //   W — bare pipeline + the same atomic tmp+fsync+rename output
+  //       commit per task, no checkpoint machinery.
+  //   D — the full durable checkpoint (commit + hash + append).
+  // compare_bench.py gates (D - W) / W at <=5%. The arm runs
+  // single-threaded on its own corpus of realistically-sized documents
+  // (~11MB, independent of --sweep_scale): the append fsync is a fixed
+  // few hundred microseconds per task, so against the sweep's
+  // deliberately tiny documents it reads as a huge ratio while meaning
+  // nothing — off-the-hot-path is a claim about real documents. Each
+  // rep gets a fresh scratch dir so every commit and append hits the
+  // disk for real.
+  XMarkCorpusOptions gate_corpus_options;
+  gate_corpus_options.documents = 2;
+  gate_corpus_options.scale = 0.16;
+  std::vector<std::string> gate_corpus =
+      GenerateXMarkCorpus(gate_corpus_options);
+  // Best-of-3 floor regardless of --sweep_reps: the arm is disk-bound,
+  // and a single ~170ms sample has more than 5% of noise on a shared
+  // runner — one outlier must not trip the gate.
+  const int gate_reps = std::max(reps, 3);
+  for (int rep = 0; rep < gate_reps; ++rep) {
+    char templ[] = "/tmp/xmlproj_bench_ck_XXXXXX";
+    const char* dir = mkdtemp(templ);
+    if (dir == nullptr) {
+      std::fprintf(stderr, "obs A/B checkpoint: mkdtemp failed\n");
+      return false;
+    }
+    std::string out_dir = std::string(dir) + "/out";
+    ::mkdir(out_dir.c_str(), 0777);
+
+    // W: prune in memory, then commit every output durably. The writes
+    // sit inside the timed window, exactly where the checkpointed
+    // pipeline performs them.
+    auto w_start = std::chrono::steady_clock::now();
+    PipelineOptions plain;
+    plain.num_threads = 1;
+    auto w_run = PruneCorpusPerQuery(gate_corpus, XmarkDtd(), projectors, plain);
+    if (!w_run.ok()) {
+      std::fprintf(stderr, "obs A/B write-baseline run failed: %s\n",
+                   w_run.status().ToString().c_str());
+      return false;
+    }
+    for (size_t i = 0; i < w_run->results.size(); ++i) {
+      std::string error;
+      if (!AtomicWriteTextFile(RunCheckpoint::TaskOutputPath(dir, i),
+                               w_run->results[i].output,
+                               /*fsync_file=*/true, &error)) {
+        std::fprintf(stderr, "obs A/B write-baseline commit failed: %s\n",
+                     error.c_str());
+        return false;
+      }
+    }
+    double w_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - w_start)
+                           .count();
+    if (rep == 0 || w_seconds < result->written_seconds) {
+      result->written_seconds = w_seconds;
+    }
+    for (size_t i = 0; i < w_run->results.size(); ++i) {
+      std::remove(RunCheckpoint::TaskOutputPath(dir, i).c_str());
+    }
+
+    // D: the real thing — same commits plus hash + record + append.
+    PipelineOptions durable;
+    durable.num_threads = 1;
+    CheckpointHeader header;
+    header.run_id = "bench-obs-ab";
+    header.binding =
+        ComputeCorpusBinding(gate_corpus, projectors, durable,
+                             "bench-obs-ab");
+    RunCheckpoint checkpoint;
+    Status created = checkpoint.Create(dir, header);
+    if (!created.ok()) {
+      std::fprintf(stderr, "obs A/B checkpoint create failed: %s\n",
+                   created.ToString().c_str());
+      return false;
+    }
+    durable.checkpoint = &checkpoint;
+    auto d_start = std::chrono::steady_clock::now();
+    auto run = PruneCorpusPerQuery(gate_corpus, XmarkDtd(), projectors, durable);
+    if (!run.ok()) {
+      std::fprintf(stderr, "obs A/B checkpoint run failed: %s\n",
+                   run.status().ToString().c_str());
+      return false;
+    }
+    double d_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - d_start)
+                           .count();
+    if (rep == 0 || d_seconds < result->checkpoint_seconds) {
+      result->checkpoint_seconds = d_seconds;
+    }
+    // Scrub the scratch tree; every committed path is known by index.
+    for (size_t i = 0; i < run->results.size(); ++i) {
+      std::remove(RunCheckpoint::TaskOutputPath(dir, i).c_str());
+    }
+    std::remove(RunCheckpoint::PathFor(dir).c_str());
+    ::rmdir(out_dir.c_str());
+    ::rmdir(dir);
+  }
+
   result->overhead_pct =
       result->baseline_seconds > 0
           ? 100.0 * (result->observed_seconds - result->baseline_seconds) /
@@ -478,11 +593,18 @@ bool RunObsOverhead(const std::vector<std::string>& corpus, int max_threads,
           ? 100.0 * (result->push_seconds - result->observed_seconds) /
                 result->observed_seconds
           : 0;
+  result->checkpoint_pct =
+      result->written_seconds > 0
+          ? 100.0 * (result->checkpoint_seconds - result->written_seconds) /
+                result->written_seconds
+          : 0;
   std::printf("obs overhead A/B (%zu queries x %zu docs, %d threads): "
               "bare %.1f ms, instrumented %.1f ms (%+.1f%%), "
               "labeled+served %.1f ms (%+.1f%% vs instrumented), "
               "pushed %.1f ms (%+.1f%% vs labeled+served, %llu flushes, "
-              "%llu datagrams), self-scrape %s (%zu bytes)\n",
+              "%llu datagrams), durable writes %.1f ms, checkpointed "
+              "%.1f ms (%+.1f%% vs durable writes), "
+              "self-scrape %s (%zu bytes)\n",
               projectors.size(), corpus.size(), max_threads,
               result->bare_seconds * 1e3, result->baseline_seconds * 1e3,
               result->instrumentation_pct, result->observed_seconds * 1e3,
@@ -490,6 +612,8 @@ bool RunObsOverhead(const std::vector<std::string>& corpus, int max_threads,
               result->push_pct,
               static_cast<unsigned long long>(result->push_flushes),
               static_cast<unsigned long long>(result->push_datagrams),
+              result->written_seconds * 1e3,
+              result->checkpoint_seconds * 1e3, result->checkpoint_pct,
               result->scrape_ok ? "ok" : "FAILED", result->scrape_bytes);
   return result->scrape_ok;
 }
@@ -649,6 +773,9 @@ int RunSweep(SweepConfig config) {
                "    \"push_pct\": %.2f,\n"
                "    \"push_flushes\": %llu,\n"
                "    \"push_datagrams\": %llu,\n"
+               "    \"durable_write_seconds\": %.6f,\n"
+               "    \"checkpoint_seconds\": %.6f,\n"
+               "    \"checkpoint_pct\": %.2f,\n"
                "    \"self_scrape_ok\": %s,\n"
                "    \"self_scrape_bytes\": %zu\n"
                "  }\n"
@@ -659,6 +786,8 @@ int RunSweep(SweepConfig config) {
                obs.push_pct,
                static_cast<unsigned long long>(obs.push_flushes),
                static_cast<unsigned long long>(obs.push_datagrams),
+               obs.written_seconds, obs.checkpoint_seconds,
+               obs.checkpoint_pct,
                obs.scrape_ok ? "true" : "false", obs.scrape_bytes);
   std::fclose(out);
   std::printf("wrote %s\n", config.json_path.c_str());

@@ -12,8 +12,18 @@ than the threshold on either sweep:
 Multi-thread points are reported for context but never gate: their
 variance on shared CI runners swamps a 10% threshold.
 
+Additionally gates the candidate's durable-checkpoint arm as an
+absolute bound: obs_overhead.checkpoint_pct — what checkpoint
+bookkeeping (content hash, record formatting, one fsync'd append per
+task) adds on top of a run that already commits every output durably
+(README "Checkpoint & resume") — must stay at or below
+--checkpoint-threshold-pct (default 5). The bound is absolute, not
+baseline-relative, so baselines recorded before the arm existed still
+compare cleanly; a candidate lacking the field skips the check.
+
 Usage:
   compare_bench.py BASELINE CANDIDATE [--threshold 0.10] [--out diff.json]
+                   [--checkpoint-threshold-pct 5]
 
 Exit codes: 0 ok (improvements are reported), 1 regression beyond the
 threshold, 2 malformed input (missing file / key / single-thread point).
@@ -68,10 +78,14 @@ def main():
                         help="max allowed fractional regression (default 0.10)")
     parser.add_argument("--out", default="",
                         help="write the comparison as JSON to this path")
+    parser.add_argument("--checkpoint-threshold-pct", type=float, default=5.0,
+                        help="max allowed obs_overhead.checkpoint_pct in the "
+                             "candidate (absolute bound, default 5)")
     args = parser.parse_args()
 
+    cand_doc = load(args.candidate)
     base = sweeps(load(args.baseline), args.baseline)
-    cand = sweeps(load(args.candidate), args.candidate)
+    cand = sweeps(cand_doc, args.candidate)
 
     comparisons = []
     failed = False
@@ -97,11 +111,35 @@ def main():
         print(f"{name}: {base_bps / 1e6:8.1f} -> {cand_bps / 1e6:8.1f} MB/s "
               f"({delta * 100:+.1f}%) {verdict}")
 
+    checkpoint = None
+    checkpoint_pct = cand_doc.get("obs_overhead", {}).get("checkpoint_pct")
+    if isinstance(checkpoint_pct, (int, float)):
+        # Negative deltas are measurement noise (the arm ran faster than
+        # bare); only a positive cost can breach the bound.
+        over = checkpoint_pct > args.checkpoint_threshold_pct
+        failed = failed or over
+        checkpoint = {
+            "checkpoint_pct": round(float(checkpoint_pct), 2),
+            "threshold_pct": args.checkpoint_threshold_pct,
+            "regressed": over,
+        }
+        verdict = "REGRESSION" if over else "ok"
+        print(f"checkpoint overhead: {checkpoint_pct:+.1f}% vs durable "
+              f"writes (bound {args.checkpoint_threshold_pct:.0f}%) "
+              f"{verdict}")
+        if over:
+            print(f"compare_bench: checkpoint bookkeeping costs "
+                  f"{checkpoint_pct:.1f}% over durable output writes, "
+                  f"above the {args.checkpoint_threshold_pct:.0f}% bound",
+                  file=sys.stderr)
+
     report = {
         "threshold_pct": args.threshold * 100,
         "passed": not failed,
         "comparisons": comparisons,
     }
+    if checkpoint is not None:
+        report["checkpoint_overhead"] = checkpoint
     if args.out:
         with open(args.out, "w") as f:
             json.dump(report, f, indent=2)

@@ -13,6 +13,9 @@
 //                       [--serve-linger-ms=N] [--corpus-label=NAME]
 //                       [--statsd=HOST:PORT] [--push-interval-ms=N]
 //                       [--push-jsonl=PATH] [--journal=DIR] [--auto-budget]
+//                       [--checkpoint=DIR] [--resume=DIR]
+//                       [--resume-retry-quarantined] [--drain-ms=N]
+//                       [--watchdog-factor=F]
 //
 // Generates a corpus of N XMark documents (xmlgen scale S each) — or, with
 // one or more --input flags, reads the corpus from XML files instead —
@@ -68,19 +71,40 @@
 // Under isolate/retry policies an open breaker fast-fails admission and
 // is reported truthfully (incl. HTTP 503) by /healthz.
 //
+// Checkpoint & resume (README "Checkpoint & resume"): --checkpoint=DIR
+// makes the run durable — every task's terminal outcome is fsync'd to
+// DIR/checkpoint.jsonl and every pruned output atomically committed to
+// DIR/out/task-<i>.xml. --resume=DIR picks up an interrupted checkpoint:
+// settled tasks are skipped (committed outputs re-verified by size +
+// content hash first) and the interrupted run's summary is folded into
+// the final one, so the resumed totals match an uninterrupted run.
+// Resume refuses (exit 9) if the corpus, workload, projectors, or
+// output-shaping options changed. Quarantined tasks stay quarantined on
+// resume unless --resume-retry-quarantined re-admits them. SIGINT or
+// SIGTERM triggers a graceful drain: no new tasks start, in-flight tasks
+// get --drain-ms (default 10000) to finish, telemetry and the journal
+// still flush, and the process exits 8 (a second signal hard-kills).
+// --watchdog-factor=F (requires --deadline-ms) arms a watchdog that
+// cancels and quarantines tasks wedged past F x the deadline budget.
+//
 // Exit codes: 0 success; 1 bad flag or usage; 2 pipeline failure;
 // 3 missing/unreadable input file; 4 empty corpus; 5 setup (DTD or
 // projector inference) failure; 6 telemetry/report write failure;
-// 7 scrape server failed to start (e.g. port in use).
+// 7 scrape server failed to start (e.g. port in use); 8 run drained
+// after SIGINT/SIGTERM (partial run; resume with --resume);
+// 9 --resume binding mismatch (checkpoint does not match this run).
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -94,6 +118,7 @@
 #include "obs/push.h"
 #include "obs/server.h"
 #include "obs/trace.h"
+#include "projection/checkpoint.h"
 #include "projection/pipeline.h"
 #include "xmark/corpus.h"
 #include "xmark/xmark_dtd.h"
@@ -109,6 +134,20 @@ constexpr int kExitEmptyCorpus = 4;
 constexpr int kExitSetupFailure = 5;
 constexpr int kExitTelemetryWrite = 6;
 constexpr int kExitServeFailure = 7;
+constexpr int kExitDrained = 8;
+constexpr int kExitResumeMismatch = 9;
+
+// Graceful-drain signal plumbing. The first SIGINT/SIGTERM requests a
+// drain (the pipeline polls g_stop); a second signal hard-exits — the
+// operator asked twice, the drain is not working.
+std::atomic<bool> g_stop{false};
+volatile std::sig_atomic_t g_signals = 0;
+
+void HandleStopSignal(int /*signum*/) {
+  if (g_signals != 0) std::_Exit(130);
+  g_signals = 1;
+  g_stop.store(true, std::memory_order_relaxed);
+}
 
 void PrintUsage() {
   std::fprintf(
@@ -129,7 +168,10 @@ void PrintUsage() {
       "                           [--statsd=HOST:PORT]\n"
       "                           [--push-interval-ms=N]\n"
       "                           [--push-jsonl=PATH]\n"
-      "                           [--journal=DIR] [--auto-budget]\n");
+      "                           [--journal=DIR] [--auto-budget]\n"
+      "                           [--checkpoint=DIR] [--resume=DIR]\n"
+      "                           [--resume-retry-quarantined]\n"
+      "                           [--drain-ms=N] [--watchdog-factor=F]\n");
 }
 
 // Strict numeric flag parsing: the whole value must consume, no silent
@@ -257,6 +299,12 @@ void PrintSummary(const PipelineSummary& s) {
               s.input_nodes, s.kept_nodes, 100.0 * s.NodeRatio());
   std::printf("  text bytes           %zu -> %zu\n", s.input_text_bytes,
               s.kept_text_bytes);
+  if (s.resumed_skipped != 0) {
+    std::printf("  resumed (skipped)    %zu\n", s.resumed_skipped);
+  }
+  if (s.drained != 0) {
+    std::printf("  drained (not run)    %zu\n", s.drained);
+  }
   std::printf("  wall seconds         %.4f\n", s.wall_seconds);
 }
 
@@ -291,10 +339,13 @@ void PrintStageTable(MetricsRegistry& registry) {
                   registry.GetCounter("xmlproj_pool_tasks_total")->Value()));
 }
 
+// Atomic (write-temp-then-rename): a crash or drain mid-write never
+// leaves a torn report behind for CI to parse.
 bool DumpToFile(const char* what, const std::string& path,
                 const std::string& content) {
-  if (!WriteTextFile(path, content)) {
-    std::fprintf(stderr, "cannot write %s file %s\n", what, path.c_str());
+  std::string error;
+  if (!AtomicWriteTextFile(path, content, /*fsync_file=*/false, &error)) {
+    std::fprintf(stderr, "cannot write %s file: %s\n", what, error.c_str());
     return false;
   }
   std::printf("wrote %s (%s)\n", path.c_str(), what);
@@ -333,6 +384,11 @@ int main(int argc, char** argv) {
   std::string journal_dir;
   bool auto_budget = false;
   bool max_bytes_explicit = false;
+  std::string checkpoint_dir;
+  std::string resume_dir;
+  bool resume_retry_quarantined = false;
+  long drain_ms = 10000;
+  double watchdog_factor = 0;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--docs=", 7) == 0) {
@@ -449,6 +505,27 @@ int main(int argc, char** argv) {
       journal_dir = arg + 10;
     } else if (std::strcmp(arg, "--auto-budget") == 0) {
       auto_budget = true;
+    } else if (std::strncmp(arg, "--checkpoint=", 13) == 0) {
+      if (arg[13] == '\0') {
+        return BadFlag("--checkpoint", "", "expected a directory path");
+      }
+      checkpoint_dir = arg + 13;
+    } else if (std::strncmp(arg, "--resume=", 9) == 0) {
+      if (arg[9] == '\0') {
+        return BadFlag("--resume", "", "expected a directory path");
+      }
+      resume_dir = arg + 9;
+    } else if (std::strcmp(arg, "--resume-retry-quarantined") == 0) {
+      resume_retry_quarantined = true;
+    } else if (std::strncmp(arg, "--drain-ms=", 11) == 0) {
+      if (!ParseLong(arg + 11, &drain_ms) || drain_ms < 0) {
+        return BadFlag("--drain-ms", arg + 11, "expected an integer >= 0");
+      }
+    } else if (std::strncmp(arg, "--watchdog-factor=", 18) == 0) {
+      if (!ParseDouble(arg + 18, &watchdog_factor) || watchdog_factor <= 0) {
+        return BadFlag("--watchdog-factor", arg + 18,
+                       "expected a number > 0");
+      }
     } else {
       std::fprintf(stderr, "parallel_prune_tool: unknown flag '%s'\n", arg);
       PrintUsage();
@@ -458,6 +535,27 @@ int main(int argc, char** argv) {
   if (auto_budget && journal_dir.empty()) {
     std::fprintf(stderr, "parallel_prune_tool: --auto-budget requires "
                          "--journal=DIR (it tunes from journal history)\n");
+    return kExitUsage;
+  }
+  if (!checkpoint_dir.empty() && !resume_dir.empty()) {
+    std::fprintf(stderr, "parallel_prune_tool: --checkpoint and --resume "
+                         "are mutually exclusive (resume appends to the "
+                         "existing checkpoint)\n");
+    return kExitUsage;
+  }
+  if ((!checkpoint_dir.empty() || !resume_dir.empty()) && sweep) {
+    std::fprintf(stderr, "parallel_prune_tool: --sweep re-runs the corpus "
+                         "per thread count and cannot be checkpointed\n");
+    return kExitUsage;
+  }
+  if (resume_retry_quarantined && resume_dir.empty()) {
+    std::fprintf(stderr, "parallel_prune_tool: --resume-retry-quarantined "
+                         "requires --resume=DIR\n");
+    return kExitUsage;
+  }
+  if (watchdog_factor > 0 && deadline_ms <= 0) {
+    std::fprintf(stderr, "parallel_prune_tool: --watchdog-factor requires "
+                         "--deadline-ms (the limit is factor x deadline)\n");
     return kExitUsage;
   }
   if (threads <= 0) {
@@ -624,6 +722,83 @@ int main(int argc, char** argv) {
   }
   options.breaker = &breaker;
 
+  // Checkpoint / resume: bind the checkpoint to the corpus, workload,
+  // projectors, and the output-shaping options *after* auto-budget has
+  // settled the byte cap (the budget is part of the fingerprint).
+  const bool durable = !checkpoint_dir.empty() || !resume_dir.empty();
+  const std::string workload_name =
+      per_query ? "xmark-dashboard-per-query" : "xmark-dashboard-merged";
+  RunCheckpoint checkpoint;
+  ResumePlan resume_plan;
+  if (durable) {
+    std::span<const NameSet> bound_projectors =
+        per_query ? std::span<const NameSet>(*per_query_projectors)
+                  : std::span<const NameSet>(&*merged, 1);
+    CheckpointBinding binding = ComputeCorpusBinding(
+        corpus, bound_projectors, options, workload_name);
+    if (!resume_dir.empty()) {
+      resume_plan = PlanResume(resume_dir, binding, resume_retry_quarantined);
+      if (!resume_plan.resumable) {
+        std::fprintf(stderr, "parallel_prune_tool: cannot resume %s: %s\n",
+                     resume_dir.c_str(), resume_plan.mismatch.c_str());
+        return kExitResumeMismatch;
+      }
+      Status opened = checkpoint.OpenForAppend(resume_dir);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "parallel_prune_tool: --resume failed: %s\n",
+                     opened.ToString().c_str());
+        return kExitTelemetryWrite;
+      }
+      std::printf("resume: run %s settled %zu task(s) (%zu completed, %zu "
+                  "quarantined carried%s)",
+                  resume_plan.run_id.c_str(),
+                  resume_plan.skipped_completed +
+                      resume_plan.skipped_quarantined,
+                  resume_plan.skipped_completed,
+                  resume_plan.skipped_quarantined,
+                  resume_retry_quarantined ? "" : "; --resume-retry-"
+                                                  "quarantined re-admits");
+      if (resume_plan.retry_quarantined > 0) {
+        std::printf(", %zu quarantined re-admitted",
+                    resume_plan.retry_quarantined);
+      }
+      if (resume_plan.invalidated > 0) {
+        std::printf(", %zu invalidated output(s) re-run",
+                    resume_plan.invalidated);
+      }
+      if (resume_plan.torn_lines > 0) {
+        std::printf(", %zu torn line(s) skipped", resume_plan.torn_lines);
+      }
+      std::printf("\n");
+      options.resume = &resume_plan;
+    } else {
+      CheckpointHeader header;
+      header.run_id = GenerateRunId();
+      header.started_unix_ms = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count());
+      header.binding = binding;
+      Status created = checkpoint.Create(checkpoint_dir, header);
+      if (!created.ok()) {
+        std::fprintf(stderr, "parallel_prune_tool: --checkpoint failed: %s\n",
+                     created.ToString().c_str());
+        return kExitTelemetryWrite;
+      }
+      std::printf("checkpoint: run %s -> %s\n", header.run_id.c_str(),
+                  RunCheckpoint::PathFor(checkpoint_dir).c_str());
+    }
+    options.checkpoint = &checkpoint;
+  }
+
+  // Graceful drain: SIGINT/SIGTERM stop task admission; in-flight tasks
+  // get --drain-ms to finish, then telemetry and the journal still flush.
+  options.stop = &g_stop;
+  options.drain_ms = static_cast<uint64_t>(drain_ms);
+  options.watchdog_factor = watchdog_factor;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
   // Push sinks: a background flusher snapshots the registry on an
   // interval and ships counter deltas / gauge levels to statsd and/or a
   // JSONL file; Stop() guarantees one final flush after the run.
@@ -756,6 +931,11 @@ int main(int argc, char** argv) {
     record.input_bytes = run.summary.input_bytes;
     record.output_bytes = run.summary.output_bytes;
     record.peak_memory_bytes = run.summary.max_task_peak_bytes;
+    if (!resume_dir.empty()) {
+      record.resume_skipped = run.summary.resumed_skipped;
+      record.resume_rerun = static_cast<uint64_t>(
+          tasks - run.summary.resumed_skipped - run.summary.drained);
+    }
     std::map<std::string, uint64_t> stage_counts;
     for (const TaskFailure& failure : run.failures) {
       ++stage_counts[failure.stage];
@@ -766,6 +946,9 @@ int main(int argc, char** argv) {
     }
     record.quarantine.assign(stage_counts.begin(), stage_counts.end());
     RunJournal journal;
+    // A checkpoint-bearing run's journal line must be as durable as the
+    // checkpoint it describes.
+    journal.set_fsync(durable);
     std::string error;
     if (!journal.Open(journal_dir, &error) ||
         !journal.Append(record, &error)) {
@@ -800,5 +983,14 @@ int main(int argc, char** argv) {
     std::printf("metrics server stopped after %llu request(s)\n",
                 static_cast<unsigned long long>(server.requests_served()));
   }
-  return io_ok ? 0 : kExitTelemetryWrite;
+  if (!io_ok) return kExitTelemetryWrite;
+  if (g_stop.load(std::memory_order_relaxed) || run.summary.drained != 0) {
+    std::printf("drained: %zu task(s) not run; resume with --resume=%s\n",
+                run.summary.drained,
+                checkpoint_dir.empty()
+                    ? (resume_dir.empty() ? "DIR" : resume_dir.c_str())
+                    : checkpoint_dir.c_str());
+    return kExitDrained;
+  }
+  return 0;
 }

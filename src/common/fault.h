@@ -15,6 +15,10 @@
 //   prune.element  — projection/pruner.cc, both pruners, per StartElement
 //   pool.task      — common/thread_pool.cc, before a worker runs a task
 //   pipeline.task  — projection/pipeline.cc, at the start of each attempt
+//   pipeline.commit — projection/pipeline.cc, before the atomic output
+//                     commit of a checkpointed task
+//   checkpoint.append — projection/pipeline.cc, before the completed-task
+//                     checkpoint record is appended
 //
 // Compile-time kill switch: building with -DXMLPROJ_NO_FAULT_INJECTION
 // turns every XMLPROJ_FAULT_HIT into a literal Status::Ok() so the hot

@@ -1,7 +1,12 @@
 #include "obs/export.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 namespace xmlproj {
@@ -293,6 +298,46 @@ bool WriteTextFile(const std::string& path, const std::string& content) {
   size_t written = std::fwrite(content.data(), 1, content.size(), f);
   bool ok = written == content.size();
   return std::fclose(f) == 0 && ok;
+}
+
+bool AtomicWriteTextFile(const std::string& path, const std::string& content,
+                         bool fsync_file, std::string* error) {
+  auto fail = [&](const char* step) {
+    if (error != nullptr) {
+      *error = std::string(step) + " \"" + path + "\": " +
+               std::strerror(errno);
+    }
+    return false;
+  };
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "we");
+  if (f == nullptr) return fail("cannot open temp for");
+  bool ok = std::fwrite(content.data(), 1, content.size(), f) ==
+                content.size() &&
+            std::fflush(f) == 0;
+  if (ok && fsync_file) ok = ::fsync(::fileno(f)) == 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return fail("cannot write temp for");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return fail("cannot rename temp over");
+  }
+  if (fsync_file) {
+    // Make the rename itself durable. Directory fsync is best-effort:
+    // some filesystems reject it, and the data above is already synced.
+    std::string dir = ".";
+    size_t slash = path.find_last_of('/');
+    if (slash != std::string::npos) dir = path.substr(0, slash + 1);
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+      (void)::fsync(dfd);
+      ::close(dfd);
+    }
+  }
+  return true;
 }
 
 }  // namespace xmlproj

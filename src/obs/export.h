@@ -35,6 +35,16 @@ void AppendPrometheusText(const MetricsRegistry& registry, std::string* out);
 // Convenience for tools: writes `content` to `path`, false on any error.
 bool WriteTextFile(const std::string& path, const std::string& content);
 
+// Crash-safe variant: writes `content` to `path + ".tmp"`, optionally
+// fsyncs it, then renames over `path` — a reader (or a post-crash
+// resume) never sees a torn file, only the old content or the new.
+// With `fsync_file` the data is durable before the rename, and the
+// parent directory is fsynced after it (best effort — some filesystems
+// refuse directory fsync). On failure the temp file is unlinked and
+// *error (nullable) describes the failing step.
+bool AtomicWriteTextFile(const std::string& path, const std::string& content,
+                         bool fsync_file, std::string* error);
+
 }  // namespace xmlproj
 
 #endif  // XMLPROJ_OBS_EXPORT_H_

@@ -245,6 +245,10 @@ std::string RunJournal::FormatRecord(const RunRecord& record) {
   AppendKeyU64("peak_memory_bytes", record.peak_memory_bytes, &out);
   out.push_back(',');
   AppendKeyU64("budget_trips", record.budget_trips, &out);
+  out.push_back(',');
+  AppendKeyU64("resume_skipped", record.resume_skipped, &out);
+  out.push_back(',');
+  AppendKeyU64("resume_rerun", record.resume_rerun, &out);
   out.append(",\"quarantine\":{");
   bool first = true;
   for (const auto& [stage, count] : record.quarantine) {
@@ -296,6 +300,10 @@ bool RunJournal::ParseRecord(std::string_view line, RunRecord* out) {
       if (!r.ReadU64(&record.peak_memory_bytes)) return false;
     } else if (key == "budget_trips") {
       if (!r.ReadU64(&record.budget_trips)) return false;
+    } else if (key == "resume_skipped") {
+      if (!r.ReadU64(&record.resume_skipped)) return false;
+    } else if (key == "resume_rerun") {
+      if (!r.ReadU64(&record.resume_rerun)) return false;
     } else if (key == "quarantine") {
       if (!r.Consume('{')) return false;
       bool first_stage = true;
@@ -331,8 +339,10 @@ bool RunJournal::Append(const RunRecord& record, std::string* error) {
   }
   std::string line = FormatRecord(record);
   line.push_back('\n');
-  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-      std::fflush(file_) != 0) {
+  bool ok = std::fwrite(line.data(), 1, line.size(), file_) == line.size() &&
+            std::fflush(file_) == 0;
+  if (ok && fsync_) ok = ::fsync(::fileno(file_)) == 0;
+  if (!ok) {
     if (error != nullptr) {
       *error = "cannot append to journal \"" + path_ +
                "\": " + std::strerror(errno);

@@ -58,6 +58,13 @@ struct RunRecord {
   uint64_t peak_memory_bytes = 0;
   uint64_t budget_trips = 0;
 
+  // Resume outcome (checkpoint-bearing runs; both 0 otherwise): tasks
+  // settled by a prior interrupted run and skipped here, and tasks this
+  // process actually executed. A resumed run's `tasks` still counts the
+  // whole corpus — these two record how the work split across processes.
+  uint64_t resume_skipped = 0;
+  uint64_t resume_rerun = 0;
+
   // Quarantine digest: failures per pipeline stage ("parse", "budget",
   // "circuit", ...), sorted by stage name.
   std::vector<std::pair<std::string, uint64_t>> quarantine;
@@ -83,6 +90,12 @@ class RunJournal {
   // so a crash after Append never loses the record.
   bool Append(const RunRecord& record, std::string* error);
 
+  // When true, Append also fsync()s so the record survives power loss,
+  // not just process death. Off by default (the journal is advisory for
+  // plain runs); checkpoint-bearing runs turn it on — a journal that
+  // contradicts a durable checkpoint is worse than a missing line.
+  void set_fsync(bool fsync) { fsync_ = fsync; }
+
   const std::string& path() const { return path_; }
 
   // The file a journal directory maps to (what Open and Load use).
@@ -106,6 +119,7 @@ class RunJournal {
  private:
   std::FILE* file_ = nullptr;
   std::string path_;
+  bool fsync_ = false;
 };
 
 // Budget auto-tuning from journal history (--auto-budget).

@@ -182,6 +182,16 @@ void AppendStatusz(const MetricsRegistry& registry, uint64_t uptime_ns,
   AppendU64(snap.CounterOr0("xmlproj_pipeline_isolated_total"), out);
   out->append(",\"degraded\":");
   AppendU64(snap.CounterOr0("xmlproj_pipeline_degraded_total"), out);
+  out->append("},\"checkpoint\":{\"appends\":");
+  AppendU64(snap.CounterOr0("xmlproj_checkpoint_appends"), out);
+  out->append(",\"tasks_skipped\":");
+  AppendU64(snap.CounterOr0("xmlproj_checkpoint_tasks_skipped"), out);
+  out->append(",\"resumes\":");
+  AppendU64(snap.CounterOr0("xmlproj_checkpoint_resume_total"), out);
+  out->append(",\"drained\":");
+  AppendU64(snap.CounterOr0("xmlproj_pipeline_drained_total"), out);
+  out->append(",\"watchdog_fired\":");
+  AppendU64(snap.CounterOr0("xmlproj_pipeline_watchdog_total"), out);
   out->append("},\"bytes\":{\"in\":");
   AppendU64(snap.CounterOr0("xmlproj_pipeline_input_bytes_total"), out);
   out->append(",\"out\":");

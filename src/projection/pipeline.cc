@@ -1,13 +1,18 @@
 #include "projection/pipeline.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <future>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 
 #include "common/circuit.h"
+#include "projection/checkpoint.h"
 #include "common/memory_meter.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -59,6 +64,15 @@ struct PipelineMetrics {
   // Peak of the per-task metered memory (budgeted or meter_memory runs);
   // SetMax fold, so the gauge survives MergeFrom across shards.
   Gauge* memory_peak_bytes = nullptr;
+  // Checkpoint/resume and watchdog counters (README "Checkpoint &
+  // resume"): appends made durable, tasks skipped by a resume plan, runs
+  // started from a resume plan, watchdog firings, and tasks abandoned
+  // un-run by a graceful drain.
+  Counter* checkpoint_appends = nullptr;
+  Counter* checkpoint_tasks_skipped = nullptr;
+  Counter* checkpoint_resume_total = nullptr;
+  Counter* watchdog_total = nullptr;
+  Counter* drained_total = nullptr;
 
   static PipelineMetrics Resolve(MetricsRegistry* registry) {
     PipelineMetrics m;
@@ -104,6 +118,15 @@ struct PipelineMetrics {
     m.progress_failed = registry->GetGauge("xmlproj_progress_failed");
     m.progress_inflight = registry->GetGauge("xmlproj_progress_inflight");
     m.memory_peak_bytes = registry->GetGauge("xmlproj_memory_peak_bytes");
+    m.checkpoint_appends =
+        registry->GetCounter("xmlproj_checkpoint_appends");
+    m.checkpoint_tasks_skipped =
+        registry->GetCounter("xmlproj_checkpoint_tasks_skipped");
+    m.checkpoint_resume_total =
+        registry->GetCounter("xmlproj_checkpoint_resume_total");
+    m.watchdog_total =
+        registry->GetCounter("xmlproj_pipeline_watchdog_total");
+    m.drained_total = registry->GetCounter("xmlproj_pipeline_drained_total");
     // HELP text for the families an operator meets first on a scrape
     // (`# HELP` lines in /metrics; see obs/export.h).
     registry->SetHelp("xmlproj_pipeline_tasks_total",
@@ -127,6 +150,16 @@ struct PipelineMetrics {
     registry->SetHelp("xmlproj_memory_peak_bytes",
                       "Largest per-task metered memory peak (budgeted or "
                       "meter_memory runs)");
+    registry->SetHelp("xmlproj_checkpoint_appends",
+                      "Durable (fsync'd) checkpoint records appended");
+    registry->SetHelp("xmlproj_checkpoint_tasks_skipped",
+                      "Tasks skipped because a resume plan settled them");
+    registry->SetHelp("xmlproj_checkpoint_resume_total",
+                      "Pipeline runs started from a resume plan");
+    registry->SetHelp("xmlproj_pipeline_watchdog_total",
+                      "Tasks flagged by the hung-task watchdog");
+    registry->SetHelp("xmlproj_pipeline_drained_total",
+                      "Tasks abandoned un-run by a graceful drain");
     return m;
   }
 };
@@ -217,10 +250,14 @@ constexpr size_t kStackFrameBytes = 64;
 //    overshoot is bounded by a single event's output).
 class BudgetGuard : public SaxHandler {
  public:
+  // `cancel` (nullable) is the watchdog's kill switch: once it flips, the
+  // next SAX event aborts the pass — the only way to interrupt a task
+  // that is wedged *between* deadline checks (e.g. an injected stall).
   BudgetGuard(SaxHandler* downstream, const SplicingSerializingHandler* sink,
-              const TaskBudget& budget)
+              const TaskBudget& budget, const std::atomic<bool>* cancel)
       : downstream_(downstream),
         sink_(sink),
+        cancel_(cancel),
         max_bytes_(budget.max_bytes),
         deadline_ms_(budget.deadline_ms) {
     if (budget.deadline_ms > 0) {
@@ -270,6 +307,11 @@ class BudgetGuard : public SaxHandler {
 
  private:
   Status CheckDeadline() {
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+      return DeadlineExceededError(StringPrintf(
+          "task cancelled by the watchdog past its %llu ms deadline",
+          static_cast<unsigned long long>(deadline_ms_)));
+    }
     if (deadline_ns_ != 0 && MonotonicNowNs() > deadline_ns_) {
       return DeadlineExceededError(
           StringPrintf("task exceeded its %llu ms deadline",
@@ -298,6 +340,7 @@ class BudgetGuard : public SaxHandler {
 
   SaxHandler* downstream_;
   const SplicingSerializingHandler* sink_;
+  const std::atomic<bool>* cancel_;
   const size_t max_bytes_;
   const uint64_t deadline_ms_;
   uint64_t deadline_ns_ = 0;
@@ -344,6 +387,102 @@ class CountingPassthrough : public SaxHandler {
  private:
   SaxHandler* downstream_;
   PruneStats stats_;
+};
+
+// Hung-task watchdog (PipelineOptions::watchdog_factor): one monitor
+// thread polls the in-flight registry and, for any task running past its
+// grace limit, (1) flips the task's cancel flag so BudgetGuard aborts it
+// at the next SAX event, and (2) — when a checkpoint is attached —
+// appends a stage-"watchdog" quarantine record *while the task is still
+// wedged*, so even a subsequent crash leaves the poisonous document on
+// record for resume to skip. A task that later completes anyway
+// supersedes that record (the resume planner takes the last record per
+// task). The watchdog cannot preempt a thread: a pass stalled inside a
+// single SAX callback stays stalled until that callback returns — the
+// record-before-unwedge ordering is exactly what makes that survivable.
+class TaskWatchdog {
+ public:
+  TaskWatchdog(uint64_t limit_ns, RunCheckpoint* checkpoint,
+               Counter* fired_total)
+      : limit_ns_(limit_ns),
+        checkpoint_(checkpoint),
+        fired_total_(fired_total),
+        thread_([this] { Loop(); }) {}
+
+  ~TaskWatchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  // `cancel` must stay alive until the matching Unwatch.
+  void Watch(size_t task, std::atomic<bool>* cancel) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_[task] = Slot{MonotonicNowNs() + limit_ns_, cancel, false};
+  }
+
+  // Ends the watch; true when the watchdog fired for this task.
+  bool Unwatch(size_t task) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slots_.find(task);
+    if (it == slots_.end()) return false;
+    bool fired = it->second.fired;
+    slots_.erase(it);
+    return fired;
+  }
+
+ private:
+  struct Slot {
+    uint64_t deadline_ns = 0;
+    std::atomic<bool>* cancel = nullptr;
+    bool fired = false;
+  };
+
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(5));
+      if (stop_) break;
+      uint64_t now = MonotonicNowNs();
+      std::vector<size_t> fired_now;
+      for (auto& [task, slot] : slots_) {
+        if (slot.fired || now < slot.deadline_ns) continue;
+        slot.fired = true;
+        slot.cancel->store(true, std::memory_order_relaxed);
+        fired_now.push_back(task);
+      }
+      if (fired_now.empty()) continue;
+      // Checkpoint I/O outside the lock: an fsync must not block
+      // Watch/Unwatch on the worker threads.
+      lock.unlock();
+      for (size_t task : fired_now) {
+        if (fired_total_ != nullptr) fired_total_->Increment();
+        if (checkpoint_ != nullptr) {
+          CheckpointTaskRecord record;
+          record.task = task;
+          record.completed = false;
+          record.stage = "watchdog";
+          record.code = StatusCodeName(StatusCode::kDeadlineExceeded);
+          record.attempts = 1;
+          // Best effort: the task itself still reports its outcome.
+          (void)checkpoint_->AppendTask(record);
+        }
+      }
+      lock.lock();
+    }
+  }
+
+  const uint64_t limit_ns_;
+  RunCheckpoint* const checkpoint_;
+  Counter* const fired_total_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<size_t, Slot> slots_;
+  bool stop_ = false;
+  std::thread thread_;
 };
 
 // Attributes one fused pass to parse / prune / serialize from the two
@@ -402,6 +541,10 @@ struct TaskEnv {
   // recruited from (null when the run has no pool).
   IntraDocOptions intra;
   ThreadPool* pool = nullptr;
+  // Durability and hang protection (null = off): the open checkpoint
+  // outcomes commit to, and the watchdog in-flight registry.
+  RunCheckpoint* checkpoint = nullptr;
+  TaskWatchdog* watchdog = nullptr;
 };
 
 struct TaskOutcome {
@@ -413,7 +556,26 @@ struct TaskOutcome {
   // executed, and its quarantine stage is "circuit" rather than the
   // status-derived one (kUnavailable would otherwise map to "io").
   bool fast_failed = false;
+  // The watchdog fired and the task failed: quarantine stage "watchdog".
+  bool watchdog = false;
+  // Durability failure after a successful pass: "commit" (atomic output
+  // rename failed) or "checkpoint" (record append failed). Overrides the
+  // status-derived stage.
+  const char* stage_override = nullptr;
 };
+
+const char* StageForStatus(StatusCode code, bool validate);
+
+// Quarantine stage attribution for one task outcome. `code` is the
+// authoritative final status code (the pool future's, which can differ
+// from the outcome's when the worker never ran the task body).
+const char* FailureStage(const TaskOutcome& outcome, StatusCode code,
+                         bool validate) {
+  if (outcome.fast_failed) return "circuit";
+  if (outcome.watchdog) return "watchdog";
+  if (outcome.stage_override != nullptr) return outcome.stage_override;
+  return StageForStatus(code, validate);
+}
 
 // One attempt of the fused per-document pass: SAX events from the parser
 // flow through the (optional) budget guard and the pruner straight into
@@ -422,7 +584,8 @@ struct TaskOutcome {
 // (the degraded no-prune fallback). Timing filters are spliced in only
 // when instrumented; `submit_ns` of 0 suppresses the queue-wait sample.
 Status RunAttempt(const TaskEnv& env, const PipelineTask& task, size_t index,
-                  uint64_t submit_ns, bool identity, PipelineResult* out,
+                  uint64_t submit_ns, bool identity,
+                  const std::atomic<bool>* cancel, PipelineResult* out,
                   size_t* peak_bytes) {
   XMLPROJ_RETURN_IF_ERROR(XMLPROJ_FAULT_HIT(env.fault, "pipeline.task"));
 
@@ -524,7 +687,7 @@ Status RunAttempt(const TaskEnv& env, const PipelineTask& task, size_t index,
     // caps (BudgetGuard skips the cap and deadline checks then) purely
     // for the peak_bytes reading that budget auto-tuning feeds on.
     if (env.budget.active() || env.meter) {
-      guard.emplace(top, &sink, env.budget);
+      guard.emplace(top, &sink, env.budget, cancel);
       top = &*guard;
     }
     Status status = ParseXmlStream(*task.xml_text, top, parse_options);
@@ -587,6 +750,12 @@ TaskOutcome ExecuteTask(const TaskEnv& env, const PipelineTask& task,
   if (env.metrics.progress_inflight != nullptr) {
     env.metrics.progress_inflight->Add(1);
   }
+  // Watchdog coverage spans the whole outcome (all attempts plus the
+  // degrade fallback): the grace limit bounds the *task*, not one pass.
+  std::atomic<bool> watchdog_cancel{false};
+  if (env.watchdog != nullptr) env.watchdog->Watch(index, &watchdog_cancel);
+  const std::atomic<bool>* cancel =
+      env.watchdog != nullptr ? &watchdog_cancel : nullptr;
   const bool labeled = env.registry != nullptr && task.labels != nullptr &&
                        !task.labels->empty();
   const uint64_t labeled_start_ns = labeled ? MonotonicNowNs() : 0;
@@ -597,7 +766,8 @@ TaskOutcome ExecuteTask(const TaskEnv& env, const PipelineTask& task,
   for (int attempt = 1;; ++attempt) {
     outcome.status = RunAttempt(env, task, index,
                                 attempt == 1 ? submit_ns : 0,
-                                /*identity=*/false, out, &outcome.peak_bytes);
+                                /*identity=*/false, cancel, out,
+                                &outcome.peak_bytes);
     outcome.attempts = attempt;
     // Only kUnavailable is transient: a parse error or budget blowout
     // will fail identically on every attempt.
@@ -624,7 +794,7 @@ TaskOutcome ExecuteTask(const TaskEnv& env, const PipelineTask& task,
     PipelineResult fallback;
     size_t fallback_peak = 0;
     Status fallback_status = RunAttempt(env, task, index, 0,
-                                        /*identity=*/true, &fallback,
+                                        /*identity=*/true, cancel, &fallback,
                                         &fallback_peak);
     if (fallback_status.ok()) {
       *out = std::move(fallback);
@@ -633,6 +803,52 @@ TaskOutcome ExecuteTask(const TaskEnv& env, const PipelineTask& task,
       outcome.status = Status::Ok();
       if (env.metrics.degraded_total != nullptr) {
         env.metrics.degraded_total->Increment();
+      }
+    }
+  }
+
+  if (env.watchdog != nullptr) {
+    bool fired = env.watchdog->Unwatch(index);
+    // A fired watchdog on a task that completed anyway is a non-event:
+    // the completed checkpoint record supersedes the watchdog's.
+    outcome.watchdog = fired && !outcome.status.ok();
+  }
+
+  // Durability: commit the output atomically (write *.tmp, fsync,
+  // rename), then append the completed record (fflush + fsync). Either
+  // step failing fails the task — a checkpointed run must not report
+  // work it cannot prove is on disk. Both steps carry failpoints for the
+  // chaos suite.
+  if (env.checkpoint != nullptr && outcome.status.ok()) {
+    Status durable = XMLPROJ_FAULT_HIT(env.fault, "pipeline.commit");
+    if (durable.ok()) {
+      durable = env.checkpoint->CommitOutput(index, out->output);
+    }
+    if (!durable.ok()) {
+      outcome.stage_override = "commit";
+      outcome.status = std::move(durable);
+    } else {
+      durable = XMLPROJ_FAULT_HIT(env.fault, "checkpoint.append");
+      if (durable.ok()) {
+        CheckpointTaskRecord record;
+        record.task = index;
+        record.completed = true;
+        record.degraded = out->degraded;
+        record.output_path = RunCheckpoint::TaskOutputRelPath(index);
+        record.output_bytes = out->output.size();
+        record.output_hash = ContentHash64(out->output);
+        record.input_bytes = task.xml_text->size();
+        record.input_nodes = out->stats.input_nodes;
+        record.kept_nodes = out->stats.kept_nodes;
+        record.input_text_bytes = out->stats.input_text_bytes;
+        record.kept_text_bytes = out->stats.kept_text_bytes;
+        durable = env.checkpoint->AppendTask(record);
+      }
+      if (!durable.ok()) {
+        outcome.stage_override = "checkpoint";
+        outcome.status = std::move(durable);
+      } else if (env.metrics.checkpoint_appends != nullptr) {
+        env.metrics.checkpoint_appends->Increment();
       }
     }
   }
@@ -695,6 +911,25 @@ TaskOutcome ExecuteTask(const TaskEnv& env, const PipelineTask& task,
       env.breaker->RecordSuccess();
     } else {
       env.breaker->RecordFailure();
+    }
+  }
+
+  // Quarantine-to-be tasks get their terminal outcome on disk *here*, in
+  // the worker, not at run end: crash-safety is the point. Fast-failed
+  // (circuit) tasks never executed and are deliberately not recorded —
+  // a resume should re-admit them. Under kFailFast the run aborts and
+  // nothing is settled, so failures are likewise not recorded.
+  if (env.checkpoint != nullptr && !outcome.status.ok() &&
+      !outcome.fast_failed && env.policy != ErrorPolicy::kFailFast) {
+    CheckpointTaskRecord record;
+    record.task = index;
+    record.completed = false;
+    record.stage = FailureStage(outcome, outcome.status.code(), env.validate);
+    record.code = StatusCodeName(outcome.status.code());
+    record.attempts = outcome.attempts;
+    if (env.checkpoint->AppendTask(record).ok() &&
+        env.metrics.checkpoint_appends != nullptr) {
+      env.metrics.checkpoint_appends->Increment();
     }
   }
 
@@ -786,6 +1021,41 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
   env.trace = options.trace;
   env.instrumented = instrumented;
   env.intra = options.intra_doc;
+  env.checkpoint =
+      options.checkpoint != nullptr && options.checkpoint->open()
+          ? options.checkpoint
+          : nullptr;
+
+  const ResumePlan* resume = options.resume;
+  if (resume != nullptr) {
+    if (!resume->resumable) {
+      return InvalidError("pipeline was handed a non-resumable plan: " +
+                          resume->mismatch);
+    }
+    if (resume->done.size() != tasks.size()) {
+      return InvalidError(
+          "resume plan covers " + std::to_string(resume->done.size()) +
+          " task(s) but the run has " + std::to_string(tasks.size()));
+    }
+  }
+
+  // Hung-task watchdog: only meaningful relative to a deadline budget
+  // (the grace limit is watchdog_factor × deadline). Declared before the
+  // execution scopes so it outlives every Watch/Unwatch.
+  std::optional<TaskWatchdog> watchdog;
+  if (options.watchdog_factor > 0 && options.budget.deadline_ms > 0) {
+    uint64_t limit_ns = static_cast<uint64_t>(
+        static_cast<double>(options.budget.deadline_ms) * 1e6 *
+        options.watchdog_factor);
+    watchdog.emplace(limit_ns, env.checkpoint, env.metrics.watchdog_total);
+    env.watchdog = &*watchdog;
+  }
+
+  const std::atomic<bool>* stop = options.stop;
+  auto stop_requested = [stop] {
+    return stop != nullptr && stop->load(std::memory_order_relaxed);
+  };
+
   auto wall_start = std::chrono::steady_clock::now();
 
   int threads = options.num_threads;
@@ -810,6 +1080,38 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
   // (workers write disjoint slots).
   std::vector<Status> finals(tasks.size());
   std::vector<TaskOutcome> outcomes(tasks.size());
+  // skipped[i] — settled by the resume plan, never submitted;
+  // drained[i] — abandoned un-run after a stop request (no terminal
+  // outcome: not checkpointed, not a failure, re-run on resume).
+  std::vector<char> skipped(tasks.size(), 0);
+  std::vector<char> drained(tasks.size(), 0);
+
+  if (resume != nullptr) {
+    if (env.metrics.checkpoint_resume_total != nullptr) {
+      env.metrics.checkpoint_resume_total->Increment();
+    }
+    std::vector<char> prior_failed(tasks.size(), 0);
+    for (const TaskFailure& f : resume->prior_failures) {
+      if (f.task < prior_failed.size()) prior_failed[f.task] = 1;
+    }
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      if (!resume->done[i]) continue;
+      skipped[i] = 1;
+      if (env.metrics.checkpoint_tasks_skipped != nullptr) {
+        env.metrics.checkpoint_tasks_skipped->Increment();
+      }
+      // Settled tasks count into progress immediately: a /statusz scrape
+      // of a resumed run shows the corpus position, not just this
+      // process's share.
+      if (env.metrics.progress_completed != nullptr) {
+        if (prior_failed[i]) {
+          env.metrics.progress_failed->Add(1);
+        } else {
+          env.metrics.progress_completed->Add(1);
+        }
+      }
+    }
+  }
 
   if (threads == 1) {
     // Reference sequential path: same pass, same order, documents run one
@@ -826,6 +1128,13 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
       env.pool = &*helper_pool;
     }
     for (size_t i = 0; i < tasks.size(); ++i) {
+      if (skipped[i]) continue;
+      if (stop_requested()) {
+        for (size_t j = i; j < tasks.size(); ++j) {
+          if (!skipped[j]) drained[j] = 1;
+        }
+        break;
+      }
       outcomes[i] = ExecuteTask(env, tasks[i], i, /*submit_ns=*/0,
                                 &run.results[i]);
       finals[i] = outcomes[i].status;
@@ -835,8 +1144,9 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
     }
   } else {
     std::atomic<bool> cancelled{false};
-    std::vector<std::future<Status>> done;
-    done.reserve(tasks.size());
+    // Index-aligned; slots for skipped/never-submitted tasks hold an
+    // invalid (default) future.
+    std::vector<std::future<Status>> done(tasks.size());
     {
       // One pool serves documents and (opportunistically) their chunks:
       // sized for whichever dimension wants more workers. Chunk helpers
@@ -853,10 +1163,26 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
                       options.fault);
       env.pool = &pool;
       for (size_t i = 0; i < tasks.size(); ++i) {
+        if (skipped[i]) continue;
+        if (stop_requested()) {
+          // Graceful drain, admission side: everything not yet submitted
+          // is abandoned without a terminal outcome.
+          for (size_t j = i; j < tasks.size(); ++j) {
+            if (!skipped[j]) drained[j] = 1;
+          }
+          break;
+        }
         uint64_t submit_ns = instrumented ? MonotonicNowNs() : 0;
-        done.push_back(pool.Submit([&, i, submit_ns]() -> Status {
+        done[i] = pool.Submit([&, i, submit_ns]() -> Status {
           if (cancelled.load(std::memory_order_relaxed)) {
             return CancelledError("skipped after an earlier task failed");
+          }
+          if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+            // Graceful drain, worker side: a queued task claimed after
+            // the stop request never starts. Workers own disjoint slots,
+            // so the flag write is race-free.
+            drained[i] = 1;
+            return CancelledError("drained: stop requested before start");
           }
           outcomes[i] =
               ExecuteTask(env, tasks[i], i, submit_ns, &run.results[i]);
@@ -865,13 +1191,32 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
             cancelled.store(true, std::memory_order_relaxed);
           }
           return outcomes[i].status;
-        }));
+        });
+      }
+      if (stop_requested() && options.drain_ms > 0) {
+        // Bounded drain: in-flight tasks get drain_ms to finish; work
+        // still queued past the deadline resolves kCancelled (and is
+        // marked drained below). Without a stop request the destructor
+        // drains everything, as before.
+        pool.Shutdown(std::chrono::milliseconds(options.drain_ms));
       }
       // Pool destructor drains and joins; every future below is ready.
     }
     // The future is authoritative: it carries pool-level outcomes
     // (cancellation, injected worker faults) the task body never saw.
-    for (size_t i = 0; i < done.size(); ++i) finals[i] = done[i].get();
+    for (size_t i = 0; i < done.size(); ++i) {
+      if (done[i].valid()) finals[i] = done[i].get();
+    }
+    if (stop_requested()) {
+      // Queued tasks the deadline shutdown cancelled have kCancelled
+      // futures and never ran: they drained, same as never-submitted.
+      for (size_t i = 0; i < finals.size(); ++i) {
+        if (!skipped[i] && !drained[i] &&
+            finals[i].code() == StatusCode::kCancelled) {
+          drained[i] = 1;
+        }
+      }
+    }
 
     if (options.policy == ErrorPolicy::kFailFast) {
       // Report the lowest-indexed real failure (cancelled tasks only lose
@@ -879,6 +1224,7 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
       Status first_error;
       Status first_cancelled;
       for (size_t i = 0; i < finals.size(); ++i) {
+        if (skipped[i] || drained[i]) continue;
         const Status& status = finals[i];
         if (status.ok()) continue;
         if (status.code() == StatusCode::kCancelled) {
@@ -891,8 +1237,9 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
       }
       if (!first_error.ok()) return first_error;
       // All non-OK statuses were cancellations with no originating error:
-      // cannot happen in this pipeline, but fail loudly rather than
-      // return partially-empty results.
+      // cannot happen in this pipeline (drained tasks were filtered
+      // above), but fail loudly rather than return partially-empty
+      // results.
       if (!first_cancelled.ok()) return first_cancelled;
     }
   }
@@ -901,12 +1248,12 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
   // run itself succeeds with the surviving results.
   if (options.policy != ErrorPolicy::kFailFast) {
     for (size_t i = 0; i < finals.size(); ++i) {
+      if (skipped[i] || drained[i]) continue;
       if (finals[i].ok()) continue;
       TaskFailure failure;
       failure.task = i;
-      failure.stage = outcomes[i].fast_failed
-                          ? "circuit"
-                          : StageForStatus(finals[i].code(), options.validate);
+      failure.stage =
+          FailureStage(outcomes[i], finals[i].code(), options.validate);
       failure.status = finals[i];
       failure.attempts = outcomes[i].attempts;
       failure.peak_bytes = outcomes[i].peak_bytes;
@@ -923,10 +1270,44 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
     // observation auto-tuning must not lose.
     run.summary.max_task_peak_bytes =
         std::max(run.summary.max_task_peak_bytes, outcomes[i].peak_bytes);
+    if (skipped[i] || drained[i]) continue;
     if (!finals[i].ok()) continue;
     run.summary.AddTask(tasks[i].xml_text->size(), run.results[i]);
     if (run.results[i].degraded) ++run.summary.degraded;
     run.summary.retries += static_cast<size_t>(outcomes[i].attempts - 1);
+  }
+
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    if (!drained[i]) continue;
+    ++run.summary.drained;
+    run.results[i] = PipelineResult{};
+    if (env.metrics.drained_total != nullptr) {
+      env.metrics.drained_total->Increment();
+    }
+  }
+
+  if (resume != nullptr) {
+    // Fold the interrupted run's settled work into this run's totals so
+    // the final summary describes the whole corpus, not this process's
+    // share. Prior failures re-enter the report verbatim.
+    run.summary.resumed_skipped = resume->skipped_completed +
+                                  resume->skipped_quarantined;
+    const PipelineSummary& prior = resume->prior;
+    run.summary.tasks += prior.tasks;
+    run.summary.input_bytes += prior.input_bytes;
+    run.summary.output_bytes += prior.output_bytes;
+    run.summary.input_nodes += prior.input_nodes;
+    run.summary.kept_nodes += prior.kept_nodes;
+    run.summary.input_text_bytes += prior.input_text_bytes;
+    run.summary.kept_text_bytes += prior.kept_text_bytes;
+    run.summary.degraded += prior.degraded;
+    for (const TaskFailure& f : resume->prior_failures) {
+      run.failures.push_back(f);
+    }
+    std::sort(run.failures.begin(), run.failures.end(),
+              [](const TaskFailure& a, const TaskFailure& b) {
+                return a.task < b.task;
+              });
   }
   run.summary.failed = run.failures.size();
   run.summary.wall_seconds =

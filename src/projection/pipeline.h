@@ -52,6 +52,7 @@
 #ifndef XMLPROJ_PROJECTION_PIPELINE_H_
 #define XMLPROJ_PROJECTION_PIPELINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -69,6 +70,8 @@
 namespace xmlproj {
 
 class CircuitBreaker;  // common/circuit.h
+class RunCheckpoint;   // projection/checkpoint.h
+struct ResumePlan;     // projection/checkpoint.h
 
 // How the pipeline reacts to a failing task (see file comment).
 enum class ErrorPolicy {
@@ -182,6 +185,38 @@ struct PipelineOptions {
   // and SuggestBudgets() auto-tunes from — a budget has to be measured
   // before it can be enforced.
   bool meter_memory = false;
+  // Crash-safe checkpointing (projection/checkpoint.h). With `checkpoint`
+  // attached (open), every executed task's terminal outcome is made
+  // durable as it happens: completed outputs are committed atomically to
+  // the checkpoint's out/ directory (write *.tmp, fsync, rename) and one
+  // fsync'd JSONL line records the outcome — one append per task,
+  // nothing on the per-event hot path. A failed commit or append fails
+  // the task (stage "commit" / "checkpoint"): a run that cannot promise
+  // durability must not pretend it did. Borrowed; must outlive the run.
+  RunCheckpoint* checkpoint = nullptr;
+  // Resume plan from PlanResume(): tasks the plan marks done are skipped
+  // (their committed outputs already re-verified by size + hash), their
+  // recorded stats fold into the final PipelineSummary, and carried
+  // quarantines resurface in PipelineRun::failures. Requires
+  // `resume->resumable` and done.size() == task count. Borrowed.
+  const ResumePlan* resume = nullptr;
+  // Graceful drain: when `stop` flips true (a signal handler's atomic),
+  // the pipeline stops admitting tasks — queued-but-unstarted tasks are
+  // abandoned without a terminal outcome (counted in
+  // PipelineSummary::drained, absent from failures and the checkpoint,
+  // so a resume re-runs them) — and in-flight tasks finish. With
+  // `drain_ms` > 0 the pool shutdown bounds the wait; past the deadline
+  // still-queued work is cancelled. Borrowed; may be null.
+  const std::atomic<bool>* stop = nullptr;
+  uint64_t drain_ms = 0;
+  // Per-task watchdog (requires budget.deadline_ms > 0): a monitor
+  // thread flags any task still running past watchdog_factor × the
+  // deadline budget — the task aborts at its next SAX event with
+  // kDeadlineExceeded and is quarantined with stage "watchdog", and when
+  // a checkpoint is attached the quarantine record is appended *while
+  // the task is still wedged*, so even a subsequent crash leaves the
+  // poisonous document on record. <= 0 (default) disables the watchdog.
+  double watchdog_factor = 0;
 };
 
 // One unit of work: prune `xml_text` with `projector`. All pointers are
@@ -221,6 +256,12 @@ struct PipelineSummary {
   size_t failed = 0;    // tasks quarantined under kIsolate / kRetry
   size_t degraded = 0;  // tasks that fell back to the identity pass
   size_t retries = 0;   // extra attempts consumed under kRetry
+  // Checkpoint/resume and drain accounting. Skipped tasks *are* counted
+  // in `tasks` and the byte/node totals (their recorded stats fold in),
+  // so a resumed run's summary matches an uninterrupted one; drained
+  // tasks are counted nowhere else — they have no terminal outcome.
+  size_t resumed_skipped = 0;  // settled by a prior run, not re-executed
+  size_t drained = 0;          // abandoned un-run after a stop request
   // Largest per-task metered memory peak across the run (0 when neither
   // a byte budget nor meter_memory was active). Feeds the run journal's
   // peak_memory_bytes and budget auto-tuning.

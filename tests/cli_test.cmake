@@ -101,6 +101,38 @@ file(REMOVE_RECURSE "${journal_dir}")
 expect_output("pushing metrics every 200 ms to 1 sink"
   --docs=1 --scale=0.001 --threads=1 --statsd=127.0.0.1:1 --push-interval-ms=200)
 
+# Checkpoint/resume flag contract: strict values and mutual exclusions.
+expect_exit(1 --checkpoint=)
+expect_exit(1 --resume=)
+expect_exit(1 --drain-ms=abc)
+expect_exit(1 --drain-ms=-1)
+expect_exit(1 --watchdog-factor=0)
+expect_exit(1 --watchdog-factor=2)                     # needs --deadline-ms
+expect_exit(1 --checkpoint=/tmp/a --resume=/tmp/b)     # mutually exclusive
+expect_exit(1 --checkpoint=/tmp/a --sweep)             # sweep re-runs tasks
+expect_exit(1 --resume-retry-quarantined)              # needs --resume
+
+# The full exit-code table (README "Exit codes"), one probe per code the
+# tool can produce without a signal: 0 ok, 1 usage (above), 3 input
+# file, 4 empty corpus, 6 report write, 9 resume binding mismatch.
+expect_exit(3 --input=/nonexistent/no-such-file.xml)
+expect_exit(4 --docs=0)
+expect_exit(6 --docs=1 --scale=0.001 --threads=1
+  --metrics-out=/nonexistent-dir/metrics.json)
+
+# Checkpoint -> resume end to end: a checkpointed run commits durable
+# outputs; resuming it skips every settled task; resuming against a
+# different corpus refuses with the distinct mismatch code.
+set(ck_dir "${CMAKE_CURRENT_BINARY_DIR}/cli_test_checkpoint")
+file(REMOVE_RECURSE "${ck_dir}")
+expect_output("checkpoint: run run-"
+  --docs=2 --scale=0.001 --threads=1 --policy=isolate --checkpoint=${ck_dir})
+expect_output("resume: run run-.* settled 2 task\\(s\\) \\(2 completed"
+  --docs=2 --scale=0.001 --threads=1 --policy=isolate --resume=${ck_dir})
+expect_exit(9 --docs=3 --scale=0.001 --threads=1 --policy=isolate
+  --resume=${ck_dir})
+file(REMOVE_RECURSE "${ck_dir}")
+
 if(failures GREATER 0)
   message(FATAL_ERROR "${failures} CLI contract check(s) failed")
 endif()

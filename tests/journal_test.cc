@@ -39,6 +39,8 @@ RunRecord SampleRecord() {
   r.output_bytes = 1 << 19;
   r.peak_memory_bytes = 123456;
   r.budget_trips = 1;
+  r.resume_skipped = 40;
+  r.resume_rerun = 24;
   r.quarantine = {{"budget", 1}, {"parse", 1}};
   return r;
 }
@@ -60,6 +62,8 @@ TEST(RunRecordTest, FormatParseRoundTrip) {
   EXPECT_EQ(out.output_bytes, in.output_bytes);
   EXPECT_EQ(out.peak_memory_bytes, in.peak_memory_bytes);
   EXPECT_EQ(out.budget_trips, in.budget_trips);
+  EXPECT_EQ(out.resume_skipped, in.resume_skipped);
+  EXPECT_EQ(out.resume_rerun, in.resume_rerun);
   ASSERT_EQ(out.quarantine.size(), 2u);
   EXPECT_EQ(out.quarantine[0].first, "budget");
   EXPECT_EQ(out.quarantine[0].second, 1u);
@@ -115,6 +119,23 @@ TEST(RunJournalTest, AppendThenLoadRoundTrips) {
   EXPECT_EQ(records[0].run_id, "run-0123456789a-beef");
   EXPECT_EQ(records[1].run_id, "run-0123456789b-cafe");
   EXPECT_EQ(records[1].peak_memory_bytes, 999u);
+}
+
+TEST(RunJournalTest, FsyncModeAppendsAndLoadsIdentically) {
+  std::string dir = ScratchDir();
+  ASSERT_FALSE(dir.empty());
+  std::string error;
+  {
+    RunJournal journal;
+    journal.set_fsync(true);  // checkpoint-bearing runs harden appends
+    ASSERT_TRUE(journal.Open(dir, &error)) << error;
+    ASSERT_TRUE(journal.Append(SampleRecord(), &error)) << error;
+  }
+  std::vector<RunRecord> records;
+  ASSERT_TRUE(RunJournal::Load(dir, &records, nullptr, &error)) << error;
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].resume_skipped, 40u);
+  EXPECT_EQ(records[0].resume_rerun, 24u);
 }
 
 TEST(RunJournalTest, OpenCreatesTheDirectory) {
