@@ -1,0 +1,195 @@
+// Reusable loopback HTTP/1.1 core: the plumbing that used to live inside
+// obs/server.cc, extracted so the observability scrape surface and the
+// projection service daemon (service/service.h) share one
+// implementation — request parsing, a routing table, response writing,
+// connection deadlines, POST bodies with a size cap, and a blocking
+// client with capped reads.
+//
+// Scope and non-goals: POSIX sockets only, bound to 127.0.0.1, one
+// request per connection (every response carries `Connection: close`).
+// This is an operator/sidecar surface — a scrape endpoint and a
+// same-host pruning service — not an internet-facing web server: no
+// TLS, no keep-alive, no chunked transfer encoding (rejected with 501).
+// `Expect: 100-continue` is honored so curl can stream large POST
+// bodies without its 1s continue-timeout stall.
+//
+// Threading: Start() launches one accept thread plus
+// `options.worker_threads` handler threads fed from a bounded queue, so
+// a slow handler (a large /prune) does not stall scrapes. Handlers may
+// therefore run concurrently and must be thread-safe. Stop() wakes
+// every blocked socket wait immediately through a self-pipe — shutdown
+// latency is bounded by the running handlers, not by a poll interval.
+//
+// This library sits below obs/ in the link order (xmlproj_obs links
+// xmlproj_http): standard library + POSIX only, no other xmlproj
+// dependencies.
+
+#ifndef XMLPROJ_COMMON_HTTP_HTTP_H_
+#define XMLPROJ_COMMON_HTTP_HTTP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace xmlproj {
+
+// One parsed request. Header names are lowercased at parse time; values
+// keep their bytes (leading/trailing whitespace stripped).
+struct HttpRequest {
+  std::string method;  // as received ("GET", "POST", ...)
+  std::string target;  // raw request target ("/prune?workload=abc")
+  std::string path;    // target up to '?' ("/prune")
+  std::string query;   // after '?', "" when absent ("workload=abc")
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // First header with that (lowercase) name; "" when absent.
+  std::string_view Header(std::string_view name) const;
+  // Value of `key` in the query string (percent-decoding of %XX and '+';
+  // the service's keys and values are plain tokens); "" when absent.
+  std::string QueryParam(std::string_view key) const;
+  bool HasQueryParam(std::string_view key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  // Extra headers (e.g. {"Retry-After", "5"}); Content-Type,
+  // Content-Length and Connection are emitted automatically.
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+};
+
+// Canonical reason phrase ("Not Found"); "Status" for unknown codes.
+const char* HttpStatusReason(int status);
+
+// Convenience builders.
+HttpResponse TextResponse(int status, std::string body);
+HttpResponse JsonResponse(int status, std::string body);
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+struct HttpServerOptions {
+  // TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back from
+  // HttpServer::port() after Start).
+  uint16_t port = 0;
+  // Handler threads. 1 serializes all requests (the old ObsServer
+  // behavior); the service runs several so prunes overlap with scrapes.
+  int worker_threads = 2;
+  // Request-head cap (request line + headers). A scrape or service
+  // request head fits in a line or two; anything larger is not ours.
+  size_t max_header_bytes = 8192;
+  // POST/PUT body cap; a declared Content-Length beyond it is refused
+  // with 413 before any body byte is read.
+  size_t max_body_bytes = 1 << 20;
+  // Per-connection wall budget for reading the full request: a client
+  // that dribbles bytes or never finishes gets cut off rather than
+  // pinning a handler thread. The service raises it for big documents.
+  int connection_deadline_ms = 2000;
+  int listen_backlog = 16;
+};
+
+class HttpServer {
+ public:
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers `handler` for exact-match (method, path). Must be called
+  // before Start. A path registered under some method answers 405 (with
+  // an Allow header) for the others; unknown paths answer 404.
+  void Handle(std::string method, std::string path, HttpHandler handler);
+
+  // Binds, listens, and launches the accept + worker threads. False on
+  // any failure (port in use, no routes, ...) with a description in
+  // `*error`; the server is then inert and Start may be retried.
+  bool Start(const HttpServerOptions& options, std::string* error);
+
+  // Stops every thread promptly: the self-pipe wakes all socket waits
+  // immediately, so latency is bounded by in-flight handlers (plus
+  // one write for their queued responses), never by a poll interval.
+  // Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (the chosen one when options.port was 0); 0 before a
+  // successful Start.
+  uint16_t port() const { return port_; }
+  // Requests answered since Start (any status code).
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Route {
+    std::string method;
+    std::string path;
+    HttpHandler handler;
+  };
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+  HttpResponse Dispatch(const HttpRequest& request) const;
+  // Waits for readability of `fd`, also waking on the stop pipe and
+  // giving up after `deadline_ms` (<= 0: no deadline). False on stop,
+  // timeout, or error.
+  bool WaitReadable(int fd, int deadline_ms) const;
+
+  std::vector<Route> routes_;
+  HttpServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] read, [1] write
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+};
+
+// ---------------------------------------------------------------------
+// Blocking client (127.0.0.1 only).
+
+struct HttpClientOptions {
+  int timeout_ms = 5000;
+  // Cap on the bytes read off the socket (headers + body): a misbehaving
+  // server cannot OOM the caller. Exceeding it fails the call.
+  size_t max_response_bytes = 64u << 20;
+};
+
+struct HttpClientResult {
+  int status = 0;             // parsed from the status line (0 = none)
+  std::string status_line;    // e.g. "HTTP/1.1 200 OK"
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;  // lowercased
+
+  std::string_view Header(std::string_view name) const;
+};
+
+// One blocking HTTP/1.1 exchange against 127.0.0.1:<port>. `body` is
+// sent with a Content-Length (and `content_type` when non-empty) for
+// POST/PUT; pass "" for GET. False on connect/send/recv failure,
+// timeout, response-size overflow, or an unparseable response —
+// `*error` (nullable) says which.
+bool HttpCall(uint16_t port, const std::string& method,
+              const std::string& target, std::string_view body,
+              const std::string& content_type, HttpClientResult* result,
+              const HttpClientOptions& options = {}, std::string* error = nullptr);
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_COMMON_HTTP_HTTP_H_

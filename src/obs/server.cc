@@ -1,30 +1,13 @@
 #include "obs/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
-#include <cstring>
 #include <map>
 
 #include "obs/export.h"
 
 namespace xmlproj {
 namespace {
-
-// How long socket waits sleep between checks of the stop flag. Bounds
-// Stop() latency; small enough to be invisible next to a scrape interval.
-constexpr int kPollIntervalMs = 50;
-// A scrape request fits in one line; anything larger is not ours.
-constexpr size_t kMaxRequestBytes = 4096;
-// Per-connection budget: a client that dribbles bytes or never finishes
-// its request gets cut off rather than pinning the serving thread.
-constexpr int kConnectionDeadlineMs = 2000;
 
 void AppendU64(uint64_t v, std::string* out) {
   char buf[24];
@@ -100,7 +83,7 @@ void AppendHealthz(const MetricsRegistry& registry, uint64_t uptime_ns,
   uint64_t degraded = snap.CounterOr0("xmlproj_pipeline_degraded_total");
   // Status follows the breaker state machine when one is wired in:
   // closed → ok, half-open → degraded (probing), open → open (and the
-  // endpoint returns 503, see BuildResponse).
+  // endpoint returns 503, see MountObsEndpoints).
   const char* status = "ok";
   if (circuit == 1) status = "degraded";
   if (circuit == 2) status = "open";
@@ -214,54 +197,59 @@ void AppendStatusz(const MetricsRegistry& registry, uint64_t uptime_ns,
   out->append("}}\n");
 }
 
-std::string HttpResponse(const char* status, const char* content_type,
-                         const std::string& body) {
-  std::string response("HTTP/1.1 ");
-  response.append(status);
-  response.append("\r\nContent-Type: ");
-  response.append(content_type);
-  response.append("\r\nContent-Length: ");
-  AppendU64(body.size(), &response);
-  response.append("\r\nConnection: close\r\n\r\n");
-  response.append(body);
-  return response;
-}
-
-// Waits for readability, re-checking `stop` at kPollIntervalMs. Returns
-// false on stop, error, or `deadline_ms` elapsed without readiness.
-bool WaitReadable(int fd, const std::atomic<bool>* stop, int deadline_ms) {
-  int waited = 0;
-  while (stop == nullptr || !stop->load(std::memory_order_acquire)) {
-    struct pollfd pfd;
-    pfd.fd = fd;
-    pfd.events = POLLIN;
-    pfd.revents = 0;
-    int rc = poll(&pfd, 1, kPollIntervalMs);
-    if (rc > 0) return (pfd.revents & (POLLIN | POLLHUP)) != 0;
-    if (rc < 0 && errno != EINTR) return false;
-    waited += kPollIntervalMs;
-    if (deadline_ms > 0 && waited >= deadline_ms) return false;
-  }
-  return false;
-}
-
-bool SendAll(int fd, const std::string& data) {
-  size_t sent = 0;
-  while (sent < data.size()) {
-    ssize_t n = send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<size_t>(n);
-  }
-  return true;
-}
-
 }  // namespace
 
+void MountObsEndpoints(HttpServer* server, const ObsServerOptions& options) {
+  const MetricsRegistry* registry = options.registry;
+  const TraceCollector* trace = options.trace;
+  const size_t tracez_max_spans = options.tracez_max_spans;
+  const std::function<int()> circuit_state = options.circuit_state;
+  const uint64_t start_ns = MonotonicNowNs();
+
+  server->Handle("GET", "/metrics", [registry](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    AppendPrometheusText(*registry, &response.body);
+    return response;
+  });
+  server->Handle("GET", "/metrics.json", [registry](const HttpRequest&) {
+    HttpResponse response;
+    response.content_type = "application/json";
+    AppendMetricsJson(*registry, &response.body);
+    return response;
+  });
+  // `server` outlives its handlers, so requests_served() is safe to read.
+  HttpServer* owner = server;
+  server->Handle(
+      "GET", "/healthz",
+      [registry, circuit_state, start_ns, owner](const HttpRequest&) {
+        int circuit = circuit_state ? circuit_state() : -1;
+        std::string body;
+        AppendHealthz(*registry, MonotonicNowNs() - start_ns,
+                      owner->requests_served(), circuit, &body);
+        // An open breaker is the one condition a load balancer should
+        // act on: stop routing until the cooldown lets probes through.
+        return JsonResponse(circuit == 2 ? 503 : 200, std::move(body));
+      });
+  server->Handle("GET", "/statusz", [registry, start_ns](const HttpRequest&) {
+    std::string body;
+    AppendStatusz(*registry, MonotonicNowNs() - start_ns, &body);
+    return JsonResponse(200, std::move(body));
+  });
+  server->Handle(
+      "GET", "/tracez", [trace, tracez_max_spans](const HttpRequest&) {
+        std::string body;
+        if (trace != nullptr) {
+          trace->AppendRecentSpansJson(tracez_max_spans, &body);
+        } else {
+          body = "{\"dropped\":0,\"spans\":[]}\n";
+        }
+        return JsonResponse(200, std::move(body));
+      });
+}
+
 bool ObsServer::Start(const ObsServerOptions& options, std::string* error) {
-  if (running_.load(std::memory_order_acquire)) {
+  if (http_.running()) {
     if (error != nullptr) *error = "server already running";
     return false;
   }
@@ -269,198 +257,35 @@ bool ObsServer::Start(const ObsServerOptions& options, std::string* error) {
     if (error != nullptr) *error = "ObsServerOptions.registry is required";
     return false;
   }
-  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) {
-    if (error != nullptr) *error = std::string("socket: ") + strerror(errno);
-    return false;
+  if (!mounted_) {
+    MountObsEndpoints(&http_, options);
+    http_.Handle("GET", "/", [](const HttpRequest&) {
+      return TextResponse(
+          200,
+          "xmlproj obs server\n"
+          "endpoints: /metrics /metrics.json /healthz /statusz /tracez\n");
+    });
+    mounted_ = true;
   }
-  int one = 1;
-  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(options.port);
-  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
-    if (error != nullptr) *error = std::string("bind: ") + strerror(errno);
-    close(fd);
-    return false;
-  }
-  if (listen(fd, 16) < 0) {
-    if (error != nullptr) *error = std::string("listen: ") + strerror(errno);
-    close(fd);
-    return false;
-  }
-  socklen_t len = sizeof(addr);
-  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) < 0) {
-    if (error != nullptr) {
-      *error = std::string("getsockname: ") + strerror(errno);
-    }
-    close(fd);
-    return false;
-  }
-  options_ = options;
-  listen_fd_ = fd;
-  port_ = ntohs(addr.sin_port);
-  start_ns_ = MonotonicNowNs();
-  requests_.store(0, std::memory_order_relaxed);
-  stop_.store(false, std::memory_order_release);
-  running_.store(true, std::memory_order_release);
-  thread_ = std::thread(&ObsServer::ServeLoop, this);
-  return true;
+  HttpServerOptions http_options;
+  http_options.port = options.port;
+  return http_.Start(http_options, error);
 }
 
-void ObsServer::Stop() {
-  if (!running_.load(std::memory_order_acquire)) return;
-  stop_.store(true, std::memory_order_release);
-  if (thread_.joinable()) thread_.join();
-  if (listen_fd_ >= 0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  running_.store(false, std::memory_order_release);
-}
-
-void ObsServer::ServeLoop() {
-  while (!stop_.load(std::memory_order_acquire)) {
-    if (!WaitReadable(listen_fd_, &stop_, /*deadline_ms=*/0)) continue;
-    int fd = accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    HandleConnection(fd);
-    close(fd);
-  }
-}
-
-void ObsServer::HandleConnection(int fd) {
-  // Read until the end of the request headers. Scrapers send one small
-  // GET; the loop re-checks stop_ so an open idle connection cannot
-  // stall shutdown.
-  std::string request;
-  char buf[1024];
-  while (request.find("\r\n\r\n") == std::string::npos &&
-         request.size() < kMaxRequestBytes) {
-    if (!WaitReadable(fd, &stop_, kConnectionDeadlineMs)) return;
-    ssize_t n = recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;  // peer closed or error before a full request
-    }
-    request.append(buf, static_cast<size_t>(n));
-  }
-  requests_.fetch_add(1, std::memory_order_relaxed);
-
-  // Request line: METHOD SP TARGET SP VERSION.
-  size_t line_end = request.find("\r\n");
-  std::string line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
-  size_t sp1 = line.find(' ');
-  size_t sp2 = sp1 == std::string::npos ? std::string::npos
-                                        : line.find(' ', sp1 + 1);
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    SendAll(fd, HttpResponse("400 Bad Request", "text/plain; charset=utf-8",
-                             "malformed request line\n"));
-    return;
-  }
-  std::string method = line.substr(0, sp1);
-  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  SendAll(fd, BuildResponse(method, target));
-}
-
-std::string ObsServer::BuildResponse(const std::string& method,
-                                     const std::string& target) const {
-  if (method != "GET") {
-    return HttpResponse("405 Method Not Allowed", "text/plain; charset=utf-8",
-                        "only GET is supported\n");
-  }
-  // Strip any query string; scrape paths take no parameters.
-  std::string path = target.substr(0, target.find('?'));
-  uint64_t uptime_ns = MonotonicNowNs() - start_ns_;
-  std::string body;
-  if (path == "/metrics") {
-    AppendPrometheusText(*options_.registry, &body);
-    return HttpResponse("200 OK", "text/plain; version=0.0.4; charset=utf-8",
-                        body);
-  }
-  if (path == "/metrics.json") {
-    AppendMetricsJson(*options_.registry, &body);
-    return HttpResponse("200 OK", "application/json", body);
-  }
-  if (path == "/healthz") {
-    int circuit = options_.circuit_state ? options_.circuit_state() : -1;
-    AppendHealthz(*options_.registry, uptime_ns,
-                  requests_.load(std::memory_order_relaxed), circuit, &body);
-    // An open breaker is the one condition a load balancer should act
-    // on: stop routing until the cooldown lets probes through.
-    return HttpResponse(circuit == 2 ? "503 Service Unavailable" : "200 OK",
-                        "application/json", body);
-  }
-  if (path == "/statusz") {
-    AppendStatusz(*options_.registry, uptime_ns, &body);
-    return HttpResponse("200 OK", "application/json", body);
-  }
-  if (path == "/tracez") {
-    if (options_.trace != nullptr) {
-      options_.trace->AppendRecentSpansJson(options_.tracez_max_spans, &body);
-    } else {
-      body = "{\"dropped\":0,\"spans\":[]}\n";
-    }
-    return HttpResponse("200 OK", "application/json", body);
-  }
-  if (path == "/") {
-    body =
-        "xmlproj obs server\n"
-        "endpoints: /metrics /metrics.json /healthz /statusz /tracez\n";
-    return HttpResponse("200 OK", "text/plain; charset=utf-8", body);
-  }
-  return HttpResponse("404 Not Found", "text/plain; charset=utf-8",
-                      "unknown path\n");
-}
+void ObsServer::Stop() { http_.Stop(); }
 
 bool HttpGet(uint16_t port, const std::string& path, std::string* status_line,
-             std::string* body, int timeout_ms) {
-  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return false;
-  struct sockaddr_in addr;
-  std::memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    close(fd);
+             std::string* body, int timeout_ms, size_t max_response_bytes) {
+  HttpClientOptions options;
+  options.timeout_ms = timeout_ms;
+  options.max_response_bytes = max_response_bytes;
+  HttpClientResult result;
+  if (!HttpCall(port, "GET", path, /*body=*/{}, /*content_type=*/{}, &result,
+                options)) {
     return false;
   }
-  std::string request("GET ");
-  request.append(path);
-  request.append(" HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n");
-  if (!SendAll(fd, request)) {
-    close(fd);
-    return false;
-  }
-  std::string response;
-  char buf[4096];
-  while (true) {
-    if (!WaitReadable(fd, nullptr, timeout_ms)) {
-      close(fd);
-      return false;
-    }
-    ssize_t n = recv(fd, buf, sizeof(buf), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      close(fd);
-      return false;
-    }
-    if (n == 0) break;
-    response.append(buf, static_cast<size_t>(n));
-  }
-  close(fd);
-  size_t line_end = response.find("\r\n");
-  size_t header_end = response.find("\r\n\r\n");
-  if (line_end == std::string::npos || header_end == std::string::npos) {
-    return false;
-  }
-  if (status_line != nullptr) *status_line = response.substr(0, line_end);
-  if (body != nullptr) *body = response.substr(header_end + 4);
+  if (status_line != nullptr) *status_line = result.status_line;
+  if (body != nullptr) *body = std::move(result.body);
   return true;
 }
 

@@ -1,8 +1,8 @@
 // Embedded observability HTTP server: a background thread serving the
 // live MetricsRegistry / TraceCollector over plain HTTP while a pipeline
-// run is in flight. POSIX sockets only — no third-party dependencies —
-// and bound to 127.0.0.1: this is an operator scrape surface, not an
-// internet-facing service.
+// run is in flight. Built on the reusable loopback HTTP core
+// (common/http/http.h) and bound to 127.0.0.1: this is an operator
+// scrape surface, not an internet-facing service.
 //
 // Endpoints:
 //   /metrics       Prometheus text exposition (version 0.0.4)
@@ -12,21 +12,27 @@
 //                  latencies, pool state, uptime (JSON)
 //   /tracez        most recent sampled trace spans (JSON)
 //
-// The server only reads: relaxed-atomic metric values under the
+// The endpoints only read: relaxed-atomic metric values under the
 // registry's iteration lock, never blocking the hot path beyond what an
 // exporter already does. With no server started, instrumented code does
 // zero additional socket or clock work — the server is an observer, not
 // a participant.
+//
+// Two deployment shapes:
+//  - ObsServer: the standalone scrape server (what the pipeline tool's
+//    --serve-metrics runs) — owns an HttpServer with the routes above.
+//  - MountObsEndpoints(): registers the same routes onto a router the
+//    caller owns, so a service daemon (service/service.h) serves its
+//    data plane and this observability plane from one port.
 
 #ifndef XMLPROJ_OBS_SERVER_H_
 #define XMLPROJ_OBS_SERVER_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <thread>
 
+#include "common/http/http.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -55,6 +61,13 @@ struct ObsServerOptions {
   std::function<int()> circuit_state;
 };
 
+// Registers the observability endpoints (/metrics, /metrics.json,
+// /healthz, /statusz, /tracez) on `server`, which must not have been
+// started yet. `options.port` is ignored — the owning router decides
+// where to listen. Uptime is measured from the mount. The borrowed
+// registry/trace pointers must outlive the server.
+void MountObsEndpoints(HttpServer* server, const ObsServerOptions& options);
+
 class ObsServer {
  public:
   ObsServer() = default;
@@ -67,43 +80,33 @@ class ObsServer {
   // `*error`; the server is then inert and Start may be retried.
   bool Start(const ObsServerOptions& options, std::string* error);
 
-  // Stops the serving thread, draining the in-flight connection (an
-  // open idle connection does not block shutdown: all socket waits are
-  // bounded polls that re-check the stop flag). Idempotent.
+  // Stops the serving threads promptly: the HTTP core's self-pipe wakes
+  // every blocked socket wait immediately, so shutdown latency is not
+  // floored by a poll interval. Idempotent.
   void Stop();
 
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool running() const { return http_.running(); }
   // The bound port (the chosen one when options.port was 0); 0 before
   // a successful Start.
-  uint16_t port() const { return port_; }
+  uint16_t port() const { return http_.port(); }
   // Requests answered since Start (any status code).
-  uint64_t requests_served() const {
-    return requests_.load(std::memory_order_relaxed);
-  }
+  uint64_t requests_served() const { return http_.requests_served(); }
 
  private:
-  void ServeLoop();
-  void HandleConnection(int fd);
-  // Full HTTP response (headers + body) for one request target.
-  std::string BuildResponse(const std::string& method,
-                            const std::string& target) const;
-
-  ObsServerOptions options_;
-  int listen_fd_ = -1;
-  uint16_t port_ = 0;
-  uint64_t start_ns_ = 0;
-  std::thread thread_;
-  std::atomic<bool> stop_{false};
-  std::atomic<bool> running_{false};
-  std::atomic<uint64_t> requests_{0};
+  HttpServer http_;
+  bool mounted_ = false;  // routes registered (Start may be retried)
 };
 
 // Minimal blocking HTTP/1.1 GET against 127.0.0.1:<port> (the scrape
 // client used by tests and the bench self-scrape; also handy in tools).
 // On success fills `*status_line` (e.g. "HTTP/1.1 200 OK") and `*body`,
-// true. False on connect/send/recv failure or after `timeout_ms`.
+// true. False on connect/send/recv failure, after `timeout_ms`, or once
+// the response exceeds `max_response_bytes` — a misbehaving server must
+// not OOM the caller. Thin wrapper over HttpCall (common/http/http.h),
+// which the service client library builds on too.
 bool HttpGet(uint16_t port, const std::string& path, std::string* status_line,
-             std::string* body, int timeout_ms = 5000);
+             std::string* body, int timeout_ms = 5000,
+             size_t max_response_bytes = 64u << 20);
 
 }  // namespace xmlproj
 

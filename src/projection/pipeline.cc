@@ -1333,6 +1333,15 @@ Result<PipelineRun> PruneCorpus(std::span<const std::string> corpus,
   return RunPruningPipeline(tasks, dtd, options);
 }
 
+Result<PipelineRun> PruneDocument(const std::string& xml_text, const Dtd& dtd,
+                                  const NameSet& projector,
+                                  const PipelineOptions& options) {
+  PipelineOptions doc_options = options;
+  doc_options.num_threads = 1;  // inline: one task, no pool
+  doc_options.policy = ErrorPolicy::kFailFast;
+  return PruneCorpus({&xml_text, 1}, dtd, projector, doc_options);
+}
+
 Result<PipelineRun> PruneCorpusPerQuery(std::span<const std::string> corpus,
                                         const Dtd& dtd,
                                         std::span<const NameSet> projectors,

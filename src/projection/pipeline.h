@@ -304,6 +304,19 @@ Result<PipelineRun> PruneCorpus(std::span<const std::string> corpus,
                                 const Dtd& dtd, const NameSet& projector,
                                 const PipelineOptions& options = {});
 
+// One document × one projector, inline on the calling thread: the
+// service-daemon entry point (service/service.h prunes one POSTed
+// document per request). By construction this is a one-document corpus
+// through the exact same fused pass as the batch pipeline — byte
+// parity between the service and batch planes is structural, not
+// re-implemented. Pool-shaped options (num_threads, queue_capacity) are
+// ignored; budgets, validation, metrics, intra-doc chunking and fault
+// injection all apply. Returns the failing task's Status on error
+// (kFailFast semantics): no corpus to quarantine into.
+Result<PipelineRun> PruneDocument(const std::string& xml_text, const Dtd& dtd,
+                                  const NameSet& projector,
+                                  const PipelineOptions& options = {});
+
 // Corpus × per-query projectors (the multi-query deployment): task and
 // result index is `doc * projectors.size() + query`.
 Result<PipelineRun> PruneCorpusPerQuery(std::span<const std::string> corpus,

@@ -1,0 +1,108 @@
+#include "service/projector_cache.h"
+
+namespace xmlproj {
+
+ProjectorCache::ProjectorCache(size_t capacity, MetricsRegistry* metrics)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  if (metrics != nullptr) {
+    metrics->SetHelp("xmlproj_projector_cache_hits_total",
+                     "Projector cache lookups served from cache.");
+    metrics->SetHelp("xmlproj_projector_cache_misses_total",
+                     "Projector cache lookups that required compilation.");
+    metrics->SetHelp("xmlproj_projector_cache_evictions_total",
+                     "Projectors evicted by the LRU policy.");
+    metrics->SetHelp("xmlproj_projector_cache_size",
+                     "Compiled projectors currently cached.");
+    hits_counter_ = metrics->GetCounter("xmlproj_projector_cache_hits_total");
+    misses_counter_ =
+        metrics->GetCounter("xmlproj_projector_cache_misses_total");
+    evictions_counter_ =
+        metrics->GetCounter("xmlproj_projector_cache_evictions_total");
+    size_gauge_ = metrics->GetGauge("xmlproj_projector_cache_size");
+  }
+}
+
+std::shared_ptr<const NameSet> ProjectorCache::Get(
+    const ProjectorCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    if (misses_counter_ != nullptr) misses_counter_->Increment();
+    return nullptr;
+  }
+  ++hits_;
+  if (hits_counter_ != nullptr) hits_counter_->Increment();
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void ProjectorCache::Put(const ProjectorCacheKey& key,
+                         std::shared_ptr<const NameSet> projector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PutLocked(key, std::move(projector));
+}
+
+void ProjectorCache::PutLocked(const ProjectorCacheKey& key,
+                               std::shared_ptr<const NameSet> projector) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(projector);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(projector));
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+    if (evictions_counter_ != nullptr) evictions_counter_->Increment();
+  }
+  if (size_gauge_ != nullptr) {
+    size_gauge_->Set(static_cast<int64_t>(lru_.size()));
+  }
+}
+
+Result<std::shared_ptr<const NameSet>> ProjectorCache::GetOrCompile(
+    const ProjectorCacheKey& key,
+    const std::function<Result<NameSet>()>& compile, bool* hit) {
+  if (std::shared_ptr<const NameSet> cached = Get(key)) {
+    if (hit != nullptr) *hit = true;
+    return cached;
+  }
+  // Compile outside the lock: a slow inference must not block unrelated
+  // lookups, and a duplicate concurrent compile is benign (deterministic
+  // result, last insert wins).
+  Result<NameSet> compiled = compile();
+  if (!compiled.ok()) return compiled.status();
+  auto projector = std::make_shared<const NameSet>(std::move(*compiled));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PutLocked(key, projector);
+  }
+  if (hit != nullptr) *hit = false;
+  return projector;
+}
+
+size_t ProjectorCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+uint64_t ProjectorCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ProjectorCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+uint64_t ProjectorCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace xmlproj

@@ -1,0 +1,115 @@
+// LRU cache of compiled type projectors, keyed by (DTD hash, workload
+// fingerprint).
+//
+// This cache is the economic argument for running projection as a
+// service: the expensive step — parsing the query workload and running
+// projector inference over the DTD (paper §1.2's static analysis) — is a
+// pure function of the DTD text and the workload text, so its result can
+// be keyed by two content hashes and reused across every document a
+// client streams through POST /prune. The cached value is the *closed*
+// NameSet projector: a few hundred bits for XMark, independent of
+// document size. See DESIGN.md "Why the projector cache key is cheap".
+//
+// Values are shared_ptr<const NameSet> so an eviction never invalidates
+// a projector an in-flight prune is still using — the request keeps its
+// reference; the cache merely forgets it. Compilation on a miss runs
+// *outside* the cache lock (two concurrent misses of the same key both
+// compile and the second insert wins; inference is deterministic, so
+// both produce the same projector and only the accounting differs).
+//
+// Metrics (when a registry is attached):
+//   xmlproj_projector_cache_hits_total / _misses_total / _evictions_total
+//   xmlproj_projector_cache_size (gauge, current entries)
+
+#ifndef XMLPROJ_SERVICE_PROJECTOR_CACHE_H_
+#define XMLPROJ_SERVICE_PROJECTOR_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/status.h"
+#include "dtd/name_set.h"
+#include "obs/metrics.h"
+
+namespace xmlproj {
+
+struct ProjectorCacheKey {
+  uint64_t dtd_hash = 0;              // Fnv1a64 over the DTD text
+  uint64_t workload_fingerprint = 0;  // Fnv1a64 chain over canonical queries
+
+  bool operator==(const ProjectorCacheKey& o) const {
+    return dtd_hash == o.dtd_hash &&
+           workload_fingerprint == o.workload_fingerprint;
+  }
+};
+
+class ProjectorCache {
+ public:
+  // `capacity` is clamped to >= 1; `metrics` (borrowed, nullable) must
+  // outlive the cache.
+  explicit ProjectorCache(size_t capacity, MetricsRegistry* metrics = nullptr);
+  ProjectorCache(const ProjectorCache&) = delete;
+  ProjectorCache& operator=(const ProjectorCache&) = delete;
+
+  // Looks up `key`, promoting it to most-recently-used. Null on miss.
+  // Counts one hit or one miss.
+  std::shared_ptr<const NameSet> Get(const ProjectorCacheKey& key);
+
+  // Inserts (or replaces) `key`, evicting the least-recently-used entry
+  // beyond capacity. Does not count a hit or miss.
+  void Put(const ProjectorCacheKey& key,
+           std::shared_ptr<const NameSet> projector);
+
+  // Get, compiling on a miss: `compile` runs outside the cache lock and
+  // its result is inserted. On success sets *hit to whether the lookup
+  // was served from cache (nullable). Propagates `compile`'s error
+  // without inserting.
+  Result<std::shared_ptr<const NameSet>> GetOrCompile(
+      const ProjectorCacheKey& key,
+      const std::function<Result<NameSet>()>& compile, bool* hit = nullptr);
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t evictions() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const ProjectorCacheKey& k) const {
+      // The fields are already FNV hashes; mixing them with a rotate is
+      // enough for a table this small.
+      return static_cast<size_t>(k.dtd_hash ^
+                                 (k.workload_fingerprint << 1 |
+                                  k.workload_fingerprint >> 63));
+    }
+  };
+  using Entry = std::pair<ProjectorCacheKey, std::shared_ptr<const NameSet>>;
+
+  // Assumes mu_ held.
+  void PutLocked(const ProjectorCacheKey& key,
+                 std::shared_ptr<const NameSet> projector);
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<ProjectorCacheKey, std::list<Entry>::iterator, KeyHash>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  // Resolved metric handles (null without a registry).
+  Counter* hits_counter_ = nullptr;
+  Counter* misses_counter_ = nullptr;
+  Counter* evictions_counter_ = nullptr;
+  Gauge* size_gauge_ = nullptr;
+};
+
+}  // namespace xmlproj
+
+#endif  // XMLPROJ_SERVICE_PROJECTOR_CACHE_H_
