@@ -21,9 +21,15 @@ task) adds on top of a run that already commits every output durably
 baseline-relative, so baselines recorded before the arm existed still
 compare cleanly; a candidate lacking the field skips the check.
 
+The traced-service arm gates the same way: obs_overhead.traced_pct —
+what per-request tracing, structured access logging, and SLO accounting
+add to serial /prune requests over a metrics-only service (README
+"Request-scoped observability") — must stay at or below
+--traced-threshold-pct (default 5), absolute, skip-if-absent.
+
 Usage:
   compare_bench.py BASELINE CANDIDATE [--threshold 0.10] [--out diff.json]
-                   [--checkpoint-threshold-pct 5]
+                   [--checkpoint-threshold-pct 5] [--traced-threshold-pct 5]
 
 Exit codes: 0 ok (improvements are reported), 1 regression beyond the
 threshold, 2 malformed input (missing file / key / single-thread point).
@@ -81,6 +87,9 @@ def main():
     parser.add_argument("--checkpoint-threshold-pct", type=float, default=5.0,
                         help="max allowed obs_overhead.checkpoint_pct in the "
                              "candidate (absolute bound, default 5)")
+    parser.add_argument("--traced-threshold-pct", type=float, default=5.0,
+                        help="max allowed obs_overhead.traced_pct in the "
+                             "candidate (absolute bound, default 5)")
     args = parser.parse_args()
 
     cand_doc = load(args.candidate)
@@ -133,6 +142,25 @@ def main():
                   f"above the {args.checkpoint_threshold_pct:.0f}% bound",
                   file=sys.stderr)
 
+    traced = None
+    traced_pct = cand_doc.get("obs_overhead", {}).get("traced_pct")
+    if isinstance(traced_pct, (int, float)):
+        over = traced_pct > args.traced_threshold_pct
+        failed = failed or over
+        traced = {
+            "traced_pct": round(float(traced_pct), 2),
+            "threshold_pct": args.traced_threshold_pct,
+            "regressed": over,
+        }
+        verdict = "REGRESSION" if over else "ok"
+        print(f"traced-request overhead: {traced_pct:+.1f}% vs metrics-only "
+              f"/prune (bound {args.traced_threshold_pct:.0f}%) {verdict}")
+        if over:
+            print(f"compare_bench: request tracing+logging+SLO accounting "
+                  f"costs {traced_pct:.1f}% over a metrics-only service, "
+                  f"above the {args.traced_threshold_pct:.0f}% bound",
+                  file=sys.stderr)
+
     report = {
         "threshold_pct": args.threshold * 100,
         "passed": not failed,
@@ -140,6 +168,8 @@ def main():
     }
     if checkpoint is not None:
         report["checkpoint_overhead"] = checkpoint
+    if traced is not None:
+        report["traced_overhead"] = traced
     if args.out:
         with open(args.out, "w") as f:
             json.dump(report, f, indent=2)

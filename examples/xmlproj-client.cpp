@@ -15,11 +15,16 @@
 //       response JSON (including the workload id) to stdout
 //   xmlproj-client prune --port=P --workload=ID [--validate]
 //                  [--max-bytes=N] [--deadline-ms=N] [--file=DOC]
+//                  [--traceparent=00-<32hex>-<16hex>-<2hex>]
 //       prune the document (from --file or stdin); pruned bytes on
 //       stdout, cache disposition on stderr
 //   xmlproj-client list --port=P        GET /workloads
 //   xmlproj-client health --port=P      GET /healthz
 //   xmlproj-client get --port=P PATH    any GET (e.g. /metrics)
+//   xmlproj-client dashboard --port=P
+//       per-workload request latency: one row per
+//       xmlproj_request_duration_seconds series (workload, route,
+//       status code, count, p50/p99 in ms) from /metrics.json
 //
 // Exit codes: 0 success, 1 bad usage, 2 request failed (transport or
 // non-2xx; the error is printed to stderr).
@@ -63,9 +68,74 @@ bool ReadInput(const std::string& file, std::string* out) {
 int Usage() {
   std::fprintf(stderr,
                "usage: xmlproj-client "
-               "gen|workload-spec|register|prune|list|health|get ...\n"
+               "gen|workload-spec|register|prune|list|health|get|dashboard "
+               "...\n"
                "(see the file comment in examples/xmlproj-client.cpp)\n");
   return 1;
+}
+
+// The RED-series latency dashboard: scans /metrics.json for the
+// xmlproj_request_duration_seconds histograms (values are raw
+// nanoseconds there — only the Prometheus exposition scales to seconds)
+// and prints one row per {workload,route,code} series.
+int PrintDashboard(xmlproj::ProjectionClient& client) {
+  auto body = client.Get("/metrics.json");
+  if (!body.ok()) {
+    std::fprintf(stderr, "dashboard failed: %s\n",
+                 body.status().ToString().c_str());
+    return 2;
+  }
+  const std::string& json = *body;
+  const std::string prefix = "\"xmlproj_request_duration_seconds{";
+  std::printf("%-22s %-14s %-5s %10s %12s %12s\n", "workload", "route",
+              "code", "count", "p50_ms", "p99_ms");
+  size_t at = 0;
+  bool any = false;
+  while ((at = json.find(prefix, at)) != std::string::npos) {
+    size_t key_start = at + prefix.size();
+    size_t key_end = json.find("}\"", key_start);
+    if (key_end == std::string::npos) break;
+    // The series key is JSON-quoted, so embedded label quotes arrive
+    // backslash-escaped; undo that before slicing out label values.
+    std::string labels;
+    for (size_t i = key_start; i < key_end; ++i) {
+      if (json[i] == '\\' && i + 1 < key_end) {
+        labels.push_back(json[++i]);
+        continue;
+      }
+      labels.push_back(json[i]);
+    }
+    auto label_value = [&labels](const char* key) {
+      std::string needle = std::string(key) + "=\"";
+      size_t pos = labels.find(needle);
+      if (pos == std::string::npos) return std::string();
+      pos += needle.size();
+      size_t end = labels.find('"', pos);
+      return labels.substr(pos,
+                           end == std::string::npos ? end : end - pos);
+    };
+    // The value object starts right after the key, leading with count
+    // then the percentiles, so first-occurrence extraction is exact.
+    std::string_view tail(json.data() + key_end,
+                          std::min<size_t>(json.size() - key_end, 2048));
+    uint64_t count = 0, p50 = 0, p99 = 0;
+    xmlproj::ExtractJsonU64Field(tail, "count", &count);
+    xmlproj::ExtractJsonU64Field(tail, "p50", &p50);
+    xmlproj::ExtractJsonU64Field(tail, "p99", &p99);
+    std::printf("%-22s %-14s %-5s %10llu %12.3f %12.3f\n",
+                label_value("workload").c_str(), label_value("route").c_str(),
+                label_value("code").c_str(),
+                static_cast<unsigned long long>(count),
+                static_cast<double>(p50) / 1e6,
+                static_cast<double>(p99) / 1e6);
+    any = true;
+    at = key_end;
+  }
+  if (!any) {
+    std::printf("(no xmlproj_request_duration_seconds series yet — "
+                "send some requests first)\n");
+  }
+  return 0;
 }
 
 }  // namespace
@@ -101,6 +171,8 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--deadline-ms", &value)) {
       prune_options.deadline_ms =
           static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--traceparent", &value)) {
+      prune_options.traceparent = value;
     } else if (std::strcmp(argv[i], "--validate") == 0) {
       prune_options.validate = true;
     } else if (std::strcmp(argv[i], "--dashboard") == 0) {
@@ -179,8 +251,14 @@ int main(int argc, char** argv) {
     std::fwrite(outcome->output.data(), 1, outcome->output.size(), stdout);
     std::fprintf(stderr, "projector cache: %s\n",
                  outcome->cache_hit ? "hit" : "miss");
+    if (!outcome->trace_id.empty()) {
+      std::fprintf(stderr, "trace: %s request: %s\n",
+                   outcome->trace_id.c_str(), outcome->request_id.c_str());
+    }
     return 0;
   }
+
+  if (command == "dashboard") return PrintDashboard(client);
 
   Result<std::string> body = InternalError("unhandled");
   if (command == "list") {

@@ -13,6 +13,8 @@
 //            [--default-max-bytes=N] [--default-deadline-ms=N]
 //            [--breaker] [--breaker-window=N] [--breaker-threshold=R]
 //            [--breaker-cooldown-ms=N]
+//            [--log=FILE|stderr] [--log-level=L] [--trace-export=FILE]
+//            [--slo-latency-ms=N]
 //
 //   --port=N          listen port (default 0 = ephemeral; the chosen
 //                     port is printed on stdout either way)
@@ -23,6 +25,15 @@
 //   --breaker         enable the admission circuit breaker: /prune
 //                     fast-fails 503 (+Retry-After) while open and
 //                     /healthz reports open/503 in agreement
+//   --log=DEST        structured one-line-JSON logs (obs/log.h) to a
+//                     file path or the literal "stderr": access lines,
+//                     prune errors, breaker transitions
+//   --log-level=L     debug | info (default) | warn | error
+//   --trace-export=F  append OTLP-shaped trace JSON lines to F (one
+//                     resourceSpans document per flush interval)
+//   --slo-latency-ms=N  per-workload SLO latency threshold (default
+//                     250 ms); burn-rate gauges + the /statusz "slo"
+//                     block follow from it
 //
 // Lifecycle: runs until SIGINT/SIGTERM, then drains in-flight requests,
 // flushes pending journal batches, and exits 0. Exit codes: 0 clean
@@ -37,7 +48,10 @@
 
 #include "common/circuit.h"
 #include "obs/journal.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/push.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "service/service.h"
 #include "xmark/xmark_dtd.h"
@@ -62,8 +76,12 @@ int main(int argc, char** argv) {
 
   uint16_t port = 0;
   std::string journal_dir;
+  std::string log_dest;
+  std::string trace_export;
   bool breaker_enabled = false;
   CircuitBreakerOptions breaker_options;
+  StructuredLoggerOptions log_options;
+  SloOptions slo_options;
   ServiceLimits limits;
 
   for (int i = 1; i < argc; ++i) {
@@ -94,6 +112,20 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "--breaker-cooldown-ms", &value)) {
       breaker_options.cooldown_ms =
           static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(argv[i], "--log", &value)) {
+      log_dest = value;
+    } else if (ParseFlag(argv[i], "--log-level", &value)) {
+      if (!ParseLogLevel(value, &log_options.min_level)) {
+        std::fprintf(stderr,
+                     "--log-level=%s: want debug, info, warn or error\n",
+                     value.c_str());
+        return 1;
+      }
+    } else if (ParseFlag(argv[i], "--trace-export", &value)) {
+      trace_export = value;
+    } else if (ParseFlag(argv[i], "--slo-latency-ms", &value)) {
+      slo_options.latency_threshold_ms =
+          static_cast<uint64_t>(std::atoll(value.c_str()));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 1;
@@ -102,22 +134,60 @@ int main(int argc, char** argv) {
 
   MetricsRegistry metrics;
   TraceCollector trace;
+  std::string error;
+
+  StructuredLogger logger;
+  if (!log_dest.empty() && !logger.Open(log_dest, log_options, &error)) {
+    std::fprintf(stderr, "log open failed: %s\n", error.c_str());
+    return 2;
+  }
+
+  slo_options.metrics = &metrics;
+  SloTracker slo(slo_options);
+
   breaker_options.metrics = &metrics;
+  if (!log_dest.empty()) breaker_options.logger = &logger;
   CircuitBreaker breaker(breaker_options);
-  if (breaker_enabled && !journal_dir.empty()) {
-    // Seed the breaker window from the most recent prior run: a service
-    // that was failing when the last process died starts degraded.
+  if (!journal_dir.empty()) {
     std::vector<RunRecord> records;
-    std::string error;
-    if (RunJournal::Load(journal_dir, &records, nullptr, &error) &&
-        !records.empty()) {
-      const RunRecord& last = records.back();
-      breaker.Seed(last.tasks, last.failed);
+    size_t skipped = 0;
+    if (RunJournal::Load(journal_dir, &records, &skipped, &error)) {
+      // Corrupt/truncated lines survive into the scrape so an operator
+      // sees journal damage without reading the file.
+      metrics.SetHelp("xmlproj_journal_corrupt_lines_total",
+                      "Journal lines skipped as corrupt or truncated at "
+                      "startup load.");
+      metrics.GetCounter("xmlproj_journal_corrupt_lines_total")
+          ->Increment(skipped);
+      if (breaker_enabled && !records.empty()) {
+        // Seed the breaker window from the most recent prior run: a
+        // service that was failing when the last process died starts
+        // degraded.
+        const RunRecord& last = records.back();
+        breaker.Seed(last.tasks, last.failed);
+      }
+    }
+  }
+
+  // OTLP trace export: a trace-only flusher draining new request/stage
+  // spans to a JSONL file once a second (and once more on shutdown).
+  JsonlFileSink trace_sink;
+  PushFlusher trace_flusher;
+  if (!trace_export.empty()) {
+    if (!trace_sink.Open(trace_export, &error)) {
+      std::fprintf(stderr, "trace export open failed: %s\n", error.c_str());
+      return 2;
+    }
+    PushFlusherOptions flush_options;
+    flush_options.trace = &trace;
+    flush_options.trace_sink = &trace_sink;
+    if (!trace_flusher.Start(flush_options, &error)) {
+      std::fprintf(stderr, "trace export start failed: %s\n", error.c_str());
+      return 2;
     }
   }
 
   ProjectionService service;
-  std::string error;
   if (!service.RegisterDtd("xmark", XMarkDtdText(), "site", &error)) {
     std::fprintf(stderr, "xmark DTD registration failed: %s\n", error.c_str());
     return 2;
@@ -128,6 +198,8 @@ int main(int argc, char** argv) {
   options.metrics = &metrics;
   options.trace = &trace;
   options.breaker = breaker_enabled ? &breaker : nullptr;
+  options.logger = log_dest.empty() ? nullptr : &logger;
+  options.slo = &slo;
   options.journal_dir = journal_dir;
   options.limits = limits;
   if (!service.Start(options, &error)) {
@@ -142,6 +214,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned>(service.port()));
   std::printf("dtds: xmark (root 'site'); POST /workloads to register\n");
   std::fflush(stdout);
+  if (logger.enabled(LogLevel::kInfo)) {
+    logger.Log(LogLevel::kInfo, "daemon.start",
+               {{"port", static_cast<uint64_t>(service.port())},
+                {"breaker", breaker_enabled ? 1 : 0}});
+  }
 
   while (g_stop == 0) pause();  // signals end the nap
 
@@ -149,5 +226,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(service.requests_served()));
   std::fflush(stdout);
   service.Stop();
+  trace_flusher.Stop();  // final flush ships the tail spans
+  if (logger.enabled(LogLevel::kInfo)) {
+    logger.Log(LogLevel::kInfo, "daemon.stop",
+               {{"requests", service.requests_served()}});
+  }
   return 0;
 }

@@ -47,6 +47,15 @@ uint64_t CircuitBreaker::NowNs() const {
 
 void CircuitBreaker::TransitionTo(CircuitState next, uint64_t now) {
   if (state_ == next) return;
+  if (options_.logger != nullptr) {
+    options_.logger->Log(
+        next == CircuitState::kOpen ? LogLevel::kWarn : LogLevel::kInfo,
+        "circuit.transition",
+        {{"from", CircuitStateName(state_)},
+         {"to", CircuitStateName(next)},
+         {"failures_in_window", failures_in_window_},
+         {"window_filled", static_cast<uint64_t>(filled_)}});
+  }
   state_ = next;
   if (next == CircuitState::kOpen) {
     opened_at_ns_ = now;

@@ -35,6 +35,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 
 namespace xmlproj {
@@ -67,6 +68,10 @@ struct CircuitBreakerOptions {
   // CircuitState integer), xmlproj_circuit_opened_total and
   // xmlproj_circuit_fast_fail_total. Must outlive the breaker.
   MetricsRegistry* metrics = nullptr;
+  // Optional structured log: every state transition emits a
+  // "circuit.transition" line (warn entering open, info otherwise).
+  // Must outlive the breaker.
+  StructuredLogger* logger = nullptr;
 };
 
 class CircuitBreaker {

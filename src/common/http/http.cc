@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <random>
 
 namespace xmlproj {
 namespace {
@@ -18,6 +19,13 @@ int64_t SteadyNowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 char AsciiLower(char c) {
@@ -171,7 +179,138 @@ std::string SerializeResponse(const HttpResponse& response) {
   return out;
 }
 
+// Lowercase-hex-only check for traceparent fields (the spec mandates
+// lowercase; uppercase is a violation, not a variant).
+bool IsLowerHex(std::string_view s) {
+  for (char c : s) {
+    bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool IsAllZero(std::string_view s) {
+  for (char c : s) {
+    if (c != '0') return false;
+  }
+  return true;
+}
+
+// A client-chosen request id is kept only when it cannot corrupt a log
+// line or a response header: bounded and [A-Za-z0-9._-].
+bool IsSaneRequestId(std::string_view id) {
+  if (id.empty() || id.size() > 128) return false;
+  for (char c : id) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string MintHex(size_t digits) {
+  // Thread-local PRNG: minting must not serialize request workers, and
+  // ids only need to be unique, not unpredictable.
+  thread_local std::mt19937_64 rng(
+      std::random_device{}() ^
+      (std::hash<std::thread::id>{}(std::this_thread::get_id()) << 1));
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(digits);
+  uint64_t bits = 0;
+  size_t left = 0;
+  bool all_zero = true;
+  for (size_t i = 0; i < digits; ++i) {
+    if (left == 0) {
+      bits = rng();
+      left = 16;
+    }
+    char c = kHex[bits & 0xf];
+    if (c != '0') all_zero = false;
+    out.push_back(c);
+    bits >>= 4;
+    --left;
+  }
+  if (all_zero) out.back() = '1';  // all-zero ids are invalid on the wire
+  return out;
+}
+
+// Stamps the request's trace context from its headers (or mints one)
+// and resolves the request id. Called once per parsed request, before
+// any response — error responses carry the context too.
+void StampRequestTrace(HttpRequest* request) {
+  if (!ParseTraceparent(request->Header("traceparent"), &request->trace)) {
+    request->trace = MintTraceContext();
+  } else {
+    request->trace.span_id = MintSpanId();
+  }
+  std::string_view id = request->Header("x-request-id");
+  request->request_id =
+      IsSaneRequestId(id) ? std::string(id) : request->trace.span_id;
+}
+
+// Echoes the request's trace context on a response unless the handler
+// already set the headers itself.
+void EchoTraceHeaders(const HttpRequest& request, HttpResponse* response) {
+  bool has_traceparent = false;
+  bool has_request_id = false;
+  for (const auto& [name, value] : response->headers) {
+    std::string lower(name);
+    LowerInPlace(&lower);
+    if (lower == "traceparent") has_traceparent = true;
+    if (lower == "x-request-id") has_request_id = true;
+  }
+  if (!has_traceparent && request.trace.valid()) {
+    response->headers.emplace_back("traceparent",
+                                   FormatTraceparent(request.trace));
+  }
+  if (!has_request_id && !request.request_id.empty()) {
+    response->headers.emplace_back("X-Request-Id", request.request_id);
+  }
+}
+
 }  // namespace
+
+bool ParseTraceparent(std::string_view header, TraceContext* out) {
+  // Exactly "00-<32 hex>-<16 hex>-<2 hex>": 55 bytes. Anything else —
+  // other versions (including the forbidden "ff"), extra fields,
+  // oversized headers — is treated as absent rather than guessed at.
+  if (header.size() != 55) return false;
+  if (header[0] != '0' || header[1] != '0') return false;
+  if (header[2] != '-' || header[35] != '-' || header[52] != '-') return false;
+  std::string_view trace_id = header.substr(3, 32);
+  std::string_view span_id = header.substr(36, 16);
+  std::string_view flags = header.substr(53, 2);
+  if (!IsLowerHex(trace_id) || !IsLowerHex(span_id) || !IsLowerHex(flags)) {
+    return false;
+  }
+  if (IsAllZero(trace_id) || IsAllZero(span_id)) return false;
+  out->trace_id = std::string(trace_id);
+  out->parent_id = std::string(span_id);
+  out->span_id.clear();
+  out->sampled = (HexDigit(flags[1]) & 1) != 0;
+  return true;
+}
+
+std::string FormatTraceparent(const TraceContext& context) {
+  std::string out("00-");
+  out.append(context.trace_id);
+  out.push_back('-');
+  out.append(context.span_id);
+  out.append(context.sampled ? "-01" : "-00");
+  return out;
+}
+
+std::string MintTraceId() { return MintHex(32); }
+
+std::string MintSpanId() { return MintHex(16); }
+
+TraceContext MintTraceContext() {
+  TraceContext context;
+  context.trace_id = MintTraceId();
+  context.span_id = MintSpanId();
+  return context;
+}
 
 std::string_view HttpRequest::Header(std::string_view name) const {
   for (const auto& [n, v] : headers) {
@@ -231,6 +370,10 @@ HttpResponse JsonResponse(int status, std::string body) {
 void HttpServer::Handle(std::string method, std::string path,
                         HttpHandler handler) {
   routes_.push_back({std::move(method), std::move(path), std::move(handler)});
+}
+
+void HttpServer::SetObserver(HttpObserver observer) {
+  observer_ = std::move(observer);
 }
 
 bool HttpServer::Start(const HttpServerOptions& options, std::string* error) {
@@ -377,6 +520,7 @@ void HttpServer::WorkerLoop() {
 }
 
 void HttpServer::HandleConnection(int fd) {
+  uint64_t start_ns = SteadyNowNs();
   int64_t deadline = SteadyNowMs() + options_.connection_deadline_ms;
   auto remaining_ms = [deadline]() -> int {
     int64_t remaining = deadline - SteadyNowMs();
@@ -411,24 +555,32 @@ void HttpServer::HandleConnection(int fd) {
                     TextResponse(parse_status, "malformed request line\n")));
     return;
   }
+  // From here on the request is attributable: it carries a trace
+  // context (extracted or minted) that every response — errors
+  // included — echoes, and the observer sees it.
+  StampRequestTrace(&request);
+  auto respond = [&](HttpResponse response) {
+    EchoTraceHeaders(request, &response);
+    if (observer_) {
+      observer_(request, response, start_ns, SteadyNowNs() - start_ns);
+    }
+    SendAll(fd, SerializeResponse(response));
+  };
 
   // Body, when declared. No streaming transfer encodings here.
   if (!request.Header("transfer-encoding").empty()) {
-    SendAll(fd, SerializeResponse(TextResponse(
-                    501, "transfer-encoding is not supported\n")));
+    respond(TextResponse(501, "transfer-encoding is not supported\n"));
     return;
   }
   size_t content_length = 0;
   std::string_view length_header = request.Header("content-length");
   if (!length_header.empty() &&
       !ParseContentLength(length_header, &content_length)) {
-    SendAll(fd, SerializeResponse(
-                    TextResponse(400, "malformed content-length\n")));
+    respond(TextResponse(400, "malformed content-length\n"));
     return;
   }
   if (content_length > options_.max_body_bytes) {
-    SendAll(fd, SerializeResponse(TextResponse(
-                    413, "request body exceeds the configured cap\n")));
+    respond(TextResponse(413, "request body exceeds the configured cap\n"));
     return;
   }
   if (content_length > 0) {
@@ -444,8 +596,7 @@ void HttpServer::HandleConnection(int fd) {
     while (request.body.size() < content_length) {
       int wait = remaining_ms();
       if (wait < 0 || !WaitReadable(fd, wait)) {
-        SendAll(fd, SerializeResponse(
-                        TextResponse(408, "request body timed out\n")));
+        respond(TextResponse(408, "request body timed out\n"));
         return;
       }
       ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
@@ -458,7 +609,7 @@ void HttpServer::HandleConnection(int fd) {
     request.body.resize(content_length);  // ignore pipelined trailing bytes
   }
 
-  SendAll(fd, SerializeResponse(Dispatch(request)));
+  respond(Dispatch(request));
 }
 
 HttpResponse HttpServer::Dispatch(const HttpRequest& request) const {
@@ -535,6 +686,11 @@ bool HttpCall(uint16_t port, const std::string& method,
   request.push_back(' ');
   request.append(target);
   request.append(" HTTP/1.1\r\nHost: 127.0.0.1\r\n");
+  if (!options.traceparent.empty()) {
+    request.append("traceparent: ");
+    request.append(options.traceparent);
+    request.append("\r\n");
+  }
   if (!body.empty() || method == "POST" || method == "PUT") {
     if (!content_type.empty()) {
       request.append("Content-Type: ");

@@ -41,6 +41,42 @@
 
 namespace xmlproj {
 
+// ---------------------------------------------------------------------
+// W3C Trace Context (https://www.w3.org/TR/trace-context/).
+//
+// The server extracts a `traceparent` header from every request — or
+// mints a fresh context when the header is absent or hostile — so each
+// request carries a {trace_id, span_id, parent_id} triple the layers
+// above (obs/trace.h, service/service.cc) hang request spans and log
+// lines on. The client side injects the same header on outgoing calls.
+
+struct TraceContext {
+  std::string trace_id;   // 32 lowercase hex chars, not all-zero
+  std::string span_id;    // 16 lowercase hex chars: *our* span
+  std::string parent_id;  // the caller's span id; "" for a root span
+  bool sampled = true;    // trace-flags bit 0 from the caller
+
+  bool valid() const { return !trace_id.empty(); }
+};
+
+// Strict `traceparent` parse: exactly "00-<32 hex>-<16 hex>-<2 hex>"
+// (55 bytes, lowercase hex only, version 00, ids not all-zero). On
+// success fills trace_id and parent_id (the header's span id — the
+// caller's span) and sampled, leaves span_id empty for the receiver to
+// mint. Any deviation — bad version (incl. "ff"), short/long ids,
+// uppercase, all-zero ids, oversized header — returns false and leaves
+// `*out` untouched: hostile input never propagates.
+bool ParseTraceparent(std::string_view header, TraceContext* out);
+
+// "00-<trace_id>-<span_id>-01" ("-00" when !sampled). Requires a valid
+// context (non-empty trace_id/span_id).
+std::string FormatTraceparent(const TraceContext& context);
+
+// Fresh random ids (thread-local PRNG seeded from std::random_device).
+std::string MintTraceId();  // 32 lowercase hex, never all-zero
+std::string MintSpanId();   // 16 lowercase hex, never all-zero
+TraceContext MintTraceContext();
+
 // One parsed request. Header names are lowercased at parse time; values
 // keep their bytes (leading/trailing whitespace stripped).
 struct HttpRequest {
@@ -50,6 +86,15 @@ struct HttpRequest {
   std::string query;   // after '?', "" when absent ("workload=abc")
   std::vector<std::pair<std::string, std::string>> headers;
   std::string body;
+  // The request's trace context: continued from a valid incoming
+  // `traceparent` (trace_id kept, parent_id = the caller's span id,
+  // span_id freshly minted) or minted whole otherwise. Always valid by
+  // the time a handler runs.
+  TraceContext trace;
+  // The client's `x-request-id` when present and sane (<= 128 bytes of
+  // [A-Za-z0-9._-]); otherwise the request's span id. Echoed on every
+  // response as X-Request-Id.
+  std::string request_id;
 
   // First header with that (lowercase) name; "" when absent.
   std::string_view Header(std::string_view name) const;
@@ -76,6 +121,16 @@ HttpResponse TextResponse(int status, std::string body);
 HttpResponse JsonResponse(int status, std::string body);
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+// Observation hook called once per parsed request, after the response
+// is computed and before it is written: (request, response, start_ns,
+// duration_ns), both times from a monotonic clock. Runs on the worker
+// thread that served the request; must be thread-safe. Requests that
+// die before parsing (garbage request line, oversized head) are not
+// observed — there is nothing to attribute them to.
+using HttpObserver = std::function<void(
+    const HttpRequest&, const HttpResponse&, uint64_t start_ns,
+    uint64_t duration_ns)>;
 
 struct HttpServerOptions {
   // TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back from
@@ -108,6 +163,11 @@ class HttpServer {
   // before Start. A path registered under some method answers 405 (with
   // an Allow header) for the others; unknown paths answer 404.
   void Handle(std::string method, std::string path, HttpHandler handler);
+
+  // Installs the per-request observation hook (see HttpObserver). Must
+  // be called before Start; a default-constructed (empty) observer
+  // clears it.
+  void SetObserver(HttpObserver observer);
 
   // Binds, listens, and launches the accept + worker threads. False on
   // any failure (port in use, no routes, ...) with a description in
@@ -146,6 +206,7 @@ class HttpServer {
   bool WaitReadable(int fd, int deadline_ms) const;
 
   std::vector<Route> routes_;
+  HttpObserver observer_;
   HttpServerOptions options_;
   int listen_fd_ = -1;
   int wake_fds_[2] = {-1, -1};  // self-pipe: [0] read, [1] write
@@ -169,6 +230,10 @@ struct HttpClientOptions {
   // Cap on the bytes read off the socket (headers + body): a misbehaving
   // server cannot OOM the caller. Exceeding it fails the call.
   size_t max_response_bytes = 64u << 20;
+  // Sent verbatim as a `traceparent` header when non-empty, so a
+  // caller's trace context propagates across the hop (build it with
+  // FormatTraceparent).
+  std::string traceparent;
 };
 
 struct HttpClientResult {

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <string_view>
 
 namespace xmlproj {
 namespace {
@@ -146,6 +147,24 @@ void AppendSeriesRef(const std::string& safe_name, const std::string& labels,
   }
 }
 
+// Unit convention: histograms are integer-valued and recorded in
+// nanoseconds, but a family named `*_seconds` is exported in base
+// units — le bounds and _sum scaled by 1e-9 — so the scrape follows
+// Prometheus naming rules (promtool-clean) while Record() stays a
+// cheap integer path.
+bool IsSecondsFamily(const std::string& name) {
+  constexpr std::string_view kSuffix = "_seconds";
+  return name.size() >= kSuffix.size() &&
+         name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                      kSuffix) == 0;
+}
+
+void AppendSeconds(uint64_t ns, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(ns) * 1e-9);
+  out->append(buf);
+}
+
 void AppendHistogramJson(const Histogram& hist, std::string* out) {
   char buf[48];
   out->append("{\"count\":");
@@ -250,6 +269,7 @@ void AppendPrometheusText(const MetricsRegistry& registry, std::string* out) {
                                 const std::string& labels,
                                 const Histogram& h) {
     const std::string& safe = hist_header.Begin(name);
+    const bool seconds = IsSecondsFamily(safe);
     // A labeled `_bucket` line carries the series labels plus `le`.
     std::string bucket_prefix = safe + "_bucket{";
     if (!labels.empty()) {
@@ -263,7 +283,11 @@ void AppendPrometheusText(const MetricsRegistry& registry, std::string* out) {
       if (n == 0) continue;
       cumulative += n;
       out->append(bucket_prefix);
-      AppendU64(Histogram::BucketUpperBound(i), out);
+      if (seconds) {
+        AppendSeconds(Histogram::BucketUpperBound(i), out);
+      } else {
+        AppendU64(Histogram::BucketUpperBound(i), out);
+      }
       out->append("\"} ");
       AppendU64(cumulative, out);
       out->push_back('\n');
@@ -278,7 +302,11 @@ void AppendPrometheusText(const MetricsRegistry& registry, std::string* out) {
       out->push_back('}');
     }
     out->push_back(' ');
-    AppendU64(h.Sum(), out);
+    if (seconds) {
+      AppendSeconds(h.Sum(), out);
+    } else {
+      AppendU64(h.Sum(), out);
+    }
     out->push_back('\n');
     out->append(safe).append("_count");
     if (!labels.empty()) {

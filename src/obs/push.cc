@@ -9,6 +9,8 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace xmlproj {
 
 namespace {
@@ -317,6 +319,15 @@ bool JsonlFileSink::Push(const PushBatch& batch) {
   return std::fflush(file_) == 0;
 }
 
+bool JsonlFileSink::WriteLine(const std::string& line) {
+  if (file_ == nullptr) return false;
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return false;
+  }
+  if (std::fwrite("\n", 1, 1, file_) != 1) return false;
+  return std::fflush(file_) == 0;
+}
+
 // ---------------------------------------------------------------------------
 // PushFlusher
 
@@ -325,11 +336,12 @@ bool PushFlusher::Start(const PushFlusherOptions& options, std::string* error) {
     if (error != nullptr) *error = "push flusher already running";
     return false;
   }
-  if (options.registry == nullptr) {
+  const bool has_trace = options.trace != nullptr && options.trace_sink != nullptr;
+  if (!options.sinks.empty() && options.registry == nullptr) {
     if (error != nullptr) *error = "push flusher needs a registry";
     return false;
   }
-  if (options.sinks.empty()) {
+  if (options.sinks.empty() && !has_trace) {
     if (error != nullptr) *error = "push flusher needs at least one sink";
     return false;
   }
@@ -449,15 +461,36 @@ void PushFlusher::BuildBatch(PushBatch* batch) {
 }
 
 bool PushFlusher::FlushNow() {
-  if (options_.registry == nullptr || options_.sinks.empty()) return false;
-  PushBatch batch;
-  {
-    std::lock_guard<std::mutex> lock(delta_mu_);
-    BuildBatch(&batch);
-  }
+  const bool metrics_ready =
+      options_.registry != nullptr && !options_.sinks.empty();
+  const bool trace_ready =
+      options_.trace != nullptr && options_.trace_sink != nullptr;
+  if (!metrics_ready && !trace_ready) return false;
   bool ok = true;
-  for (PushSink* sink : options_.sinks) {
-    if (!sink->Push(batch)) {
+  if (metrics_ready) {
+    PushBatch batch;
+    {
+      std::lock_guard<std::mutex> lock(delta_mu_);
+      BuildBatch(&batch);
+    }
+    for (PushSink* sink : options_.sinks) {
+      if (!sink->Push(batch)) {
+        ok = false;
+        sink_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (trace_ready) {
+    // Spans accumulated since the previous flush, as one OTLP line. The
+    // cursor shares delta_mu_ with the counter state: FlushNow may race
+    // between the flusher thread and Stop's final flush.
+    std::string line;
+    bool have;
+    {
+      std::lock_guard<std::mutex> lock(delta_mu_);
+      have = options_.trace->AppendOtlpSpansJson(&trace_cursor_, &line);
+    }
+    if (have && !options_.trace_sink->WriteLine(line)) {
       ok = false;
       sink_errors_.fetch_add(1, std::memory_order_relaxed);
     }

@@ -43,6 +43,8 @@
 
 namespace xmlproj {
 
+class TraceCollector;
+
 // Inverse of EncodeMetricLabels: parses the canonical `k1="v1",k2="v2"`
 // form back into decoded key/value pairs (unescaping `\\`, `\"`, `\n`).
 // Malformed input yields the pairs decoded so far (best effort; the
@@ -139,6 +141,11 @@ class JsonlFileSink : public PushSink {
   bool Push(const PushBatch& batch) override;
   std::string Describe() const override { return "jsonl://" + path_; }
 
+  // Appends one pre-serialized JSON document as its own line — the
+  // trace-export path, whose OTLP spans the TraceCollector serializes
+  // itself. False on a write error or before Open.
+  bool WriteLine(const std::string& line);
+
   // Serializes one batch to its JSON line (without trailing newline);
   // exposed for tests.
   static std::string FormatBatch(const PushBatch& batch);
@@ -149,13 +156,20 @@ class JsonlFileSink : public PushSink {
 };
 
 struct PushFlusherOptions {
-  // Snapshot source; must outlive the flusher. Required.
+  // Snapshot source; must outlive the flusher. Required when `sinks`
+  // is non-empty.
   const MetricsRegistry* registry = nullptr;
-  // Destinations; borrowed, must outlive the flusher. At least one.
+  // Destinations; borrowed, must outlive the flusher.
   std::vector<PushSink*> sinks;
   // Flush cadence. The final flush on Stop() happens regardless, so a
   // run shorter than one interval still pushes exactly once.
   uint64_t interval_ms = 1000;
+  // Optional trace export: each flush drains the collector's new
+  // trace-stamped spans (see TraceCollector::AppendOtlpSpansJson) into
+  // `trace_sink` as one OTLP resourceSpans JSON line. Both pointers are
+  // borrowed; a flusher may run trace-only (empty `sinks`).
+  const TraceCollector* trace = nullptr;
+  JsonlFileSink* trace_sink = nullptr;
 };
 
 // Background flusher: snapshot → counter deltas → every sink, on an
@@ -172,7 +186,8 @@ class PushFlusher {
   PushFlusher& operator=(const PushFlusher&) = delete;
 
   // Validates options and launches the flusher thread. False with a
-  // description in *error (no registry, no sinks, zero interval).
+  // description in *error (metric sinks without a registry, nothing to
+  // flush at all, zero interval).
   bool Start(const PushFlusherOptions& options, std::string* error);
 
   // Final flush, then joins the thread. Idempotent.
@@ -210,6 +225,7 @@ class PushFlusher {
   std::mutex delta_mu_;
   std::map<std::string, uint64_t> last_values_;
   uint64_t sequence_ = 0;
+  size_t trace_cursor_ = 0;  // events already exported (same guard)
 };
 
 }  // namespace xmlproj

@@ -141,7 +141,7 @@ void AppendStageStats(const RegistrySnapshot& snap, const char* json_name,
 }
 
 void AppendStatusz(const MetricsRegistry& registry, uint64_t uptime_ns,
-                   std::string* out) {
+                   const SloTracker* slo, std::string* out) {
   RegistrySnapshot snap(registry);
   out->append("{\"uptime_ms\":");
   AppendU64(uptime_ns / 1000000, out);
@@ -194,7 +194,12 @@ void AppendStatusz(const MetricsRegistry& registry, uint64_t uptime_ns,
   AppendStageStats(snap, "task", "xmlproj_stage_task_ns", &first, out);
   AppendStageStats(snap, "queue_wait", "xmlproj_stage_queue_wait_ns", &first,
                    out);
-  out->append("}}\n");
+  out->push_back('}');
+  if (slo != nullptr) {
+    out->append(",\"slo\":");
+    slo->AppendSloJson(out);
+  }
+  out->append("}\n");
 }
 
 }  // namespace
@@ -231,16 +236,22 @@ void MountObsEndpoints(HttpServer* server, const ObsServerOptions& options) {
         // act on: stop routing until the cooldown lets probes through.
         return JsonResponse(circuit == 2 ? 503 : 200, std::move(body));
       });
-  server->Handle("GET", "/statusz", [registry, start_ns](const HttpRequest&) {
-    std::string body;
-    AppendStatusz(*registry, MonotonicNowNs() - start_ns, &body);
-    return JsonResponse(200, std::move(body));
-  });
+  const SloTracker* slo = options.slo;
+  server->Handle("GET", "/statusz",
+                 [registry, slo, start_ns](const HttpRequest&) {
+                   std::string body;
+                   AppendStatusz(*registry, MonotonicNowNs() - start_ns, slo,
+                                 &body);
+                   return JsonResponse(200, std::move(body));
+                 });
   server->Handle(
-      "GET", "/tracez", [trace, tracez_max_spans](const HttpRequest&) {
+      "GET", "/tracez",
+      [trace, tracez_max_spans](const HttpRequest& request) {
         std::string body;
         if (trace != nullptr) {
-          trace->AppendRecentSpansJson(tracez_max_spans, &body);
+          trace->AppendRecentSpansJson(tracez_max_spans,
+                                       request.QueryParam("trace_id"),
+                                       request.QueryParam("workload"), &body);
         } else {
           body = "{\"dropped\":0,\"spans\":[]}\n";
         }

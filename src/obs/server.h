@@ -34,6 +34,7 @@
 
 #include "common/http/http.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace xmlproj {
@@ -45,7 +46,12 @@ struct ObsServerOptions {
   // Metrics source; must outlive the server. Required.
   const MetricsRegistry* registry = nullptr;
   // Span source for /tracez; optional (null serves an empty span list).
+  // /tracez accepts ?trace_id=<32 hex> and ?workload=<id> filters,
+  // applied before the max_spans cut.
   const TraceCollector* trace = nullptr;
+  // Per-workload SLO burn rates; optional. When set, /statusz gains an
+  // "slo" block (objectives plus 5m/1h burn per workload).
+  const SloTracker* slo = nullptr;
   // Upper bound on spans returned by /tracez (most recent first dropped
   // counts reported in the payload).
   size_t tracez_max_spans = 256;

@@ -20,6 +20,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -41,11 +42,24 @@ struct TraceOptions {
   uint64_t sample_every_n = 1;
 };
 
+// The request-scoped identity a span belongs to (W3C Trace Context ids,
+// common/http/http.h mints and parses them). While a thread has a
+// SpanContext installed (ScopedSpanContext below), every event it
+// records is stamped with the trace id and parented under `span_id`;
+// AddSpanEvent records the request span itself.
+struct SpanContext {
+  std::string trace_id;   // 32 lowercase hex
+  std::string span_id;    // this span's own id (16 hex)
+  std::string parent_id;  // "" for a root span
+  std::string workload;   // optional tenant attribution
+
+  bool valid() const { return !trace_id.empty(); }
+};
+
 class TraceCollector {
  public:
   TraceCollector() : TraceCollector(TraceOptions{}) {}
-  explicit TraceCollector(const TraceOptions& options)
-      : options_(options), epoch_ns_(MonotonicNowNs()) {}
+  explicit TraceCollector(const TraceOptions& options);
   TraceCollector(const TraceCollector&) = delete;
   TraceCollector& operator=(const TraceCollector&) = delete;
 
@@ -68,6 +82,22 @@ class TraceCollector {
   // Counter event ("ph":"C"): plots `value` over time (e.g. queue depth).
   void AddCounterEvent(std::string name, uint64_t ts_ns, int64_t value);
 
+  // Complete event recorded *as* `context` — the request span itself:
+  // the event's span id is context.span_id, its parent
+  // context.parent_id. Stage spans recorded by the same thread while
+  // the context is installed become its children.
+  void AddSpanEvent(std::string name, std::string category,
+                    uint64_t start_ns, uint64_t duration_ns,
+                    const SpanContext& context,
+                    std::vector<TraceArg> args = {});
+
+  // Installs/clears the calling thread's span context: while installed,
+  // AddCompleteEvent stamps each event with the context's trace id and
+  // workload, a freshly minted child span id, and parent_id =
+  // context.span_id. Prefer ScopedSpanContext.
+  void SetThreadSpanContext(const SpanContext& context);
+  void ClearThreadSpanContext();
+
   size_t event_count() const;
 
   // Serializes {"traceEvents":[...]} with one event per line.
@@ -76,8 +106,22 @@ class TraceCollector {
   // Serializes the most recent `max_events` events (all, if fewer) as
   // {"spans":[...],"dropped":N} in the same per-event shape as the
   // Chrome trace — the /tracez payload. `dropped` counts the older
-  // events not included.
+  // events not included. Non-empty `trace_id` / `workload` restrict the
+  // listing to events stamped with that id / workload (the
+  // /tracez?trace_id=&workload= filters).
   void AppendRecentSpansJson(size_t max_events, std::string* out) const;
+  void AppendRecentSpansJson(size_t max_events, std::string_view trace_id,
+                             std::string_view workload,
+                             std::string* out) const;
+
+  // OTLP-shaped trace export: appends one JSON object (a
+  // `resourceSpans` batch, single line, no trailing newline) holding
+  // every trace-stamped complete event recorded since `*cursor`, and
+  // advances the cursor past all current events. Returns false — with
+  // `*out` untouched — when no new qualifying span exists. Timestamps
+  // are unix nanos (the collector pins a wall-clock epoch at
+  // construction). The PushFlusher drives this onto a JsonlFileSink.
+  bool AppendOtlpSpansJson(size_t* cursor, std::string* out) const;
 
  private:
   struct Event {
@@ -89,6 +133,12 @@ class TraceCollector {
     int tid = 0;
     int64_t counter_value = 0;
     std::vector<TraceArg> args;
+    // Request attribution; empty for events recorded outside any span
+    // context (the pre-PR-10 anonymous spans).
+    std::string trace_id;
+    std::string span_id;
+    std::string parent_id;
+    std::string workload;
   };
 
   uint64_t Rebase(uint64_t abs_ns) const {
@@ -99,12 +149,37 @@ class TraceCollector {
   int TidLocked();
   // One event as a JSON object (no trailing separator). Caller holds mu_.
   void AppendEventJsonLocked(const Event& event, std::string* out) const;
+  // Stamps `event` from the calling thread's span context (if any),
+  // minting a child span id. Caller holds mu_.
+  void StampFromThreadContextLocked(Event* event);
 
   const TraceOptions options_;
   const uint64_t epoch_ns_;
+  const uint64_t unix_epoch_ns_;  // wall clock at construction (OTLP)
+  uint64_t next_child_span_ = 0;  // child span id sequence (under mu_)
   mutable std::mutex mu_;
   std::map<std::thread::id, int> tids_;
+  std::map<std::thread::id, SpanContext> contexts_;
   std::vector<Event> events_;
+};
+
+// RAII installation of a span context on the current thread. Null
+// collector (tracing disabled) is a no-op, matching the null-pointer
+// idiom of every other instrumentation site.
+class ScopedSpanContext {
+ public:
+  ScopedSpanContext(TraceCollector* collector, const SpanContext& context)
+      : collector_(collector) {
+    if (collector_ != nullptr) collector_->SetThreadSpanContext(context);
+  }
+  ~ScopedSpanContext() {
+    if (collector_ != nullptr) collector_->ClearThreadSpanContext();
+  }
+  ScopedSpanContext(const ScopedSpanContext&) = delete;
+  ScopedSpanContext& operator=(const ScopedSpanContext&) = delete;
+
+ private:
+  TraceCollector* collector_;
 };
 
 }  // namespace xmlproj

@@ -403,10 +403,11 @@ class CountingPassthrough : public SaxHandler {
 class TaskWatchdog {
  public:
   TaskWatchdog(uint64_t limit_ns, RunCheckpoint* checkpoint,
-               Counter* fired_total)
+               Counter* fired_total, StructuredLogger* logger)
       : limit_ns_(limit_ns),
         checkpoint_(checkpoint),
         fired_total_(fired_total),
+        logger_(logger),
         thread_([this] { Loop(); }) {}
 
   ~TaskWatchdog() {
@@ -460,6 +461,11 @@ class TaskWatchdog {
       lock.unlock();
       for (size_t task : fired_now) {
         if (fired_total_ != nullptr) fired_total_->Increment();
+        if (logger_ != nullptr) {
+          logger_->Log(LogLevel::kWarn, "pipeline.watchdog",
+                       {{"task", static_cast<uint64_t>(task)},
+                        {"limit_ms", limit_ns_ / 1000000}});
+        }
         if (checkpoint_ != nullptr) {
           CheckpointTaskRecord record;
           record.task = task;
@@ -478,6 +484,7 @@ class TaskWatchdog {
   const uint64_t limit_ns_;
   RunCheckpoint* const checkpoint_;
   Counter* const fired_total_;
+  StructuredLogger* const logger_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::map<size_t, Slot> slots_;
@@ -1047,7 +1054,8 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
     uint64_t limit_ns = static_cast<uint64_t>(
         static_cast<double>(options.budget.deadline_ms) * 1e6 *
         options.watchdog_factor);
-    watchdog.emplace(limit_ns, env.checkpoint, env.metrics.watchdog_total);
+    watchdog.emplace(limit_ns, env.checkpoint, env.metrics.watchdog_total,
+                     options.logger);
     env.watchdog = &*watchdog;
   }
 
@@ -1284,6 +1292,11 @@ Result<PipelineRun> RunPruningPipeline(std::span<const PipelineTask> tasks,
     if (env.metrics.drained_total != nullptr) {
       env.metrics.drained_total->Increment();
     }
+  }
+  if (run.summary.drained > 0 && options.logger != nullptr) {
+    options.logger->Log(LogLevel::kInfo, "pipeline.drain",
+                        {{"drained", static_cast<uint64_t>(run.summary.drained)},
+                         {"tasks", static_cast<uint64_t>(tasks.size())}});
   }
 
   if (resume != nullptr) {

@@ -62,6 +62,7 @@
 #include "common/status.h"
 #include "dtd/dtd.h"
 #include "dtd/name_set.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "projection/chunked.h"
@@ -135,6 +136,10 @@ struct PipelineOptions {
   // instrumentation is compiled in but costs nothing disabled.
   MetricsRegistry* metrics = nullptr;
   TraceCollector* trace = nullptr;
+  // Optional structured log (obs/log.h): drain summaries and watchdog
+  // firings emit one line each — run-level events only, never per-task
+  // or per-event. Borrowed; may be null (the default).
+  StructuredLogger* logger = nullptr;
   // Fault tolerance (see file comment and README "Fault tolerance").
   ErrorPolicy policy = ErrorPolicy::kFailFast;
   RetryOptions retry;

@@ -87,10 +87,12 @@ Result<HttpClientResult> Call(const ProjectionClientOptions& options,
                               const std::string& method,
                               const std::string& target,
                               std::string_view body,
-                              const std::string& content_type) {
+                              const std::string& content_type,
+                              const std::string& traceparent = {}) {
   HttpClientOptions client_options;
   client_options.timeout_ms = options.timeout_ms;
   client_options.max_response_bytes = options.max_response_bytes;
+  client_options.traceparent = traceparent;
   HttpClientResult result;
   std::string error;
   if (!HttpCall(options.port, method, target, body, content_type, &result,
@@ -152,12 +154,18 @@ Result<PruneOutcome> ProjectionClient::Prune(
   }
   XMLPROJ_ASSIGN_OR_RETURN(
       HttpClientResult result,
-      Call(options_, "POST", target, document, "application/xml"));
+      Call(options_, "POST", target, document, "application/xml",
+           options.traceparent));
   if (result.status < 200 || result.status >= 300) {
     return StatusFromHttp(result.status, result.body);
   }
   PruneOutcome outcome;
   outcome.cache_hit = result.Header("x-xmlproj-cache") == "hit";
+  TraceContext trace;
+  if (ParseTraceparent(result.Header("traceparent"), &trace)) {
+    outcome.trace_id = trace.trace_id;
+  }
+  outcome.request_id = result.Header("x-request-id");
   outcome.output = std::move(result.body);
   return outcome;
 }

@@ -44,6 +44,11 @@ struct WorkloadRegistration {
 struct PruneOutcome {
   std::string output;     // the projected document bytes
   bool cache_hit = false; // X-Xmlproj-Cache header
+  // Request identity echoed by the server: the trace id from the
+  // response `traceparent` (the one the caller injected, or the one the
+  // server minted) and the `X-Request-Id` header.
+  std::string trace_id;
+  std::string request_id;
 };
 
 // Optional per-prune knobs, mapped onto the service's query params
@@ -52,6 +57,9 @@ struct PruneRequestOptions {
   bool validate = false;
   size_t max_bytes = 0;      // 0 = server default
   uint64_t deadline_ms = 0;  // 0 = server default
+  // W3C trace context to propagate ("00-<32 hex>-<16 hex>-<2 hex>");
+  // empty sends none and the server mints a fresh trace.
+  std::string traceparent;
 };
 
 class ProjectionClient {

@@ -137,6 +137,18 @@ std::string AsciiLower(std::string_view s) {
   return out;
 }
 
+// Route label for the RED series: the fixed route set keeps the label
+// cardinality bounded no matter what paths clients probe.
+const char* RouteLabel(const std::string& path) {
+  static constexpr const char* kRoutes[] = {
+      "/",       "/dtds",    "/healthz", "/metrics", "/metrics.json",
+      "/prune",  "/statusz", "/tracez",  "/workloads"};
+  for (const char* route : kRoutes) {
+    if (path == route) return route;
+  }
+  return "other";
+}
+
 }  // namespace
 
 // Mutable per-workload state. Identity fields are immutable after
@@ -479,8 +491,17 @@ HttpResponse ProjectionService::HandlePrune(const HttpRequest& request) {
   popts.budget = budget;
   popts.metrics = options_.metrics;
   popts.trace = options_.trace;
+  popts.logger = options_.logger;
   popts.meter_memory = true;  // feeds the journal's peak for auto-tuning
   popts.corpus_label = entry->id;
+
+  // The pipeline runs inline on this worker thread, so a thread-scoped
+  // span context makes its parse/prune/serialize spans children of the
+  // request span the HTTP observer records for this same request.
+  ScopedSpanContext span_scope(
+      request.trace.valid() ? options_.trace : nullptr,
+      SpanContext{request.trace.trace_id, request.trace.span_id,
+                  request.trace.parent_id, entry->id});
 
   Result<PipelineRun> run =
       PruneDocument(request.body, entry->dtd->dtd, **projector, popts);
@@ -490,6 +511,17 @@ HttpResponse ProjectionService::HandlePrune(const HttpRequest& request) {
     int status = PruneErrorHttpStatus(run.status().code(), &server_fault);
     if (options_.breaker != nullptr && server_fault) {
       options_.breaker->RecordFailure();
+    }
+    if (options_.logger != nullptr) {
+      options_.logger->Log(server_fault ? LogLevel::kError : LogLevel::kWarn,
+                           "prune.error",
+                           {{"workload", entry->id},
+                            {"trace_id", request.trace.trace_id},
+                            {"request_id", request.request_id},
+                            {"code", StatusCodeName(run.status().code())},
+                            {"http_status", status},
+                            {"input_bytes",
+                             static_cast<uint64_t>(request.body.size())}});
     }
     JournalPrune(*entry, /*wall_us=*/0, request.body.size(),
                  /*output_bytes=*/0, /*peak_bytes=*/0, /*failed=*/true,
@@ -591,6 +623,53 @@ HttpResponse ProjectionService::HandleListDtds(const HttpRequest&) {
   }
   body.append("]}\n");
   return JsonResponse(200, std::move(body));
+}
+
+void ProjectionService::ObserveRequest(const HttpRequest& request,
+                                       const HttpResponse& response,
+                                       uint64_t start_ns,
+                                       uint64_t duration_ns) {
+  const char* route = RouteLabel(request.path);
+  // Workload attribution: only /prune carries a tenant, and an id lands
+  // in the label set only when it is actually registered — unknown ids
+  // fold to "other" so a client probing random ids cannot mint series.
+  std::string workload = "none";
+  if (request.path == "/prune") {
+    std::string id = request.QueryParam("workload");
+    workload = !id.empty() && FindWorkload(id) != nullptr ? id : "other";
+  }
+  char code[8];
+  std::snprintf(code, sizeof(code), "%d", response.status);
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->GetHistogram(
+            "xmlproj_request_duration_seconds",
+            {{"workload", workload}, {"route", route}, {"code", code}})
+        ->Record(duration_ns);
+  }
+  if (options_.slo != nullptr && request.path == "/prune") {
+    options_.slo->Record(workload, duration_ns, response.status >= 500);
+  }
+  if (options_.trace != nullptr && request.trace.valid()) {
+    options_.trace->AddSpanEvent(
+        request.method + " " + route, "request", start_ns, duration_ns,
+        SpanContext{request.trace.trace_id, request.trace.span_id,
+                    request.trace.parent_id, workload},
+        {{"status", static_cast<int64_t>(response.status)}});
+  }
+  if (options_.logger != nullptr) {
+    options_.logger->Log(
+        response.status >= 500 ? LogLevel::kError : LogLevel::kInfo,
+        "http.access",
+        {{"method", request.method},
+         {"path", request.path},
+         {"status", response.status},
+         {"duration_us", duration_ns / 1000},
+         {"bytes", static_cast<uint64_t>(response.body.size())},
+         {"trace_id", request.trace.trace_id},
+         {"request_id", request.request_id},
+         {"workload", workload}});
+  }
 }
 
 std::vector<WorkloadInfo> ProjectionService::ListWorkloads() const {
@@ -724,6 +803,7 @@ bool ProjectionService::Start(const ProjectionServiceOptions& options,
     ObsServerOptions obs;
     obs.registry = options_.metrics;
     obs.trace = options_.trace;
+    obs.slo = options_.slo;
     if (options_.breaker != nullptr) {
       CircuitBreaker* breaker = options_.breaker;
       obs.circuit_state = [breaker] { return breaker->state_int(); };
@@ -731,6 +811,15 @@ bool ProjectionService::Start(const ProjectionServiceOptions& options,
     MountObsEndpoints(&http_, obs);
     mounted_ = true;
   }
+
+  options_.metrics->SetHelp(
+      "xmlproj_request_duration_seconds",
+      "HTTP request duration by workload, route and status code.");
+  http_.SetObserver([this](const HttpRequest& request,
+                           const HttpResponse& response, uint64_t start_ns,
+                           uint64_t duration_ns) {
+    ObserveRequest(request, response, start_ns, duration_ns);
+  });
 
   HttpServerOptions http_options;
   http_options.port = options_.port;

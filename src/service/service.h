@@ -56,7 +56,9 @@
 #include "dtd/dtd.h"
 #include "dtd/name_set.h"
 #include "obs/journal.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "service/projector_cache.h"
 
@@ -120,6 +122,13 @@ struct ProjectionServiceOptions {
   // Optional admission breaker; must outlive the service. Wired into
   // /healthz via ObsServerOptions::circuit_state automatically.
   CircuitBreaker* breaker = nullptr;
+  // Optional structured log (obs/log.h): one "http.access" line per
+  // parsed request, "prune.error" on failed prunes. Borrowed.
+  StructuredLogger* logger = nullptr;
+  // Optional per-workload SLO tracker (obs/slo.h): every /prune response
+  // feeds it (5xx burns availability budget), and /statusz gains the
+  // "slo" block. Borrowed.
+  SloTracker* slo = nullptr;
   // Optional journal directory ("" = no journal).
   std::string journal_dir;
   ServiceLimits limits;
@@ -179,6 +188,12 @@ class ProjectionService {
 
   std::shared_ptr<const DtdEntry> FindDtd(const std::string& name) const;
   std::shared_ptr<WorkloadEntry> FindWorkload(const std::string& id) const;
+
+  // The HttpServer observer: per-request RED histogram sample, SLO
+  // record (/prune only), request span, and the access-log line.
+  void ObserveRequest(const HttpRequest& request,
+                      const HttpResponse& response, uint64_t start_ns,
+                      uint64_t duration_ns);
 
   HttpResponse HandleRegisterDtd(const HttpRequest& request);
   HttpResponse HandleRegisterWorkload(const HttpRequest& request);

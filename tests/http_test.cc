@@ -3,7 +3,10 @@
 // bodies (round-trip, 413 over the cap, Expect: 100-continue), protocol
 // errors (malformed request line, chunked transfer → 501), concurrent
 // requests across worker threads, prompt stop with an open connection,
-// and the capped blocking client.
+// the capped blocking client, and W3C trace context: strict traceparent
+// parsing (hostile headers mint fresh, never 500, never propagate),
+// request/response trace echo, request-id hygiene, and the per-request
+// observer hook.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -254,6 +257,201 @@ TEST_F(HttpTest, ClientTimesOutOnSilentServer) {
       std::chrono::steady_clock::now() - start);
   EXPECT_LT(elapsed.count(), 2000);
   ::close(fd);
+}
+
+// --------------------------------------------------------------------
+// W3C trace context.
+
+constexpr char kGoodTraceparent[] =
+    "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+
+bool IsLowerHexString(const std::string& s) {
+  for (char c : s) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return !s.empty();
+}
+
+TEST(TraceparentTest, ParsesTheCanonicalHeader) {
+  TraceContext context;
+  ASSERT_TRUE(ParseTraceparent(kGoodTraceparent, &context));
+  EXPECT_EQ(context.trace_id, "4bf92f3577b34da6a3ce929d0e0e4736");
+  // The header's span id is the *caller's* span: it lands in parent_id,
+  // and span_id stays empty for the receiver to mint.
+  EXPECT_EQ(context.parent_id, "00f067aa0ba902b7");
+  EXPECT_TRUE(context.span_id.empty());
+  EXPECT_TRUE(context.sampled);
+
+  TraceContext unsampled;
+  ASSERT_TRUE(ParseTraceparent(
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00", &unsampled));
+  EXPECT_FALSE(unsampled.sampled);
+}
+
+TEST(TraceparentTest, RejectsHostileHeadersWithoutTouchingOut) {
+  const char* hostile[] = {
+      "",
+      "garbage",
+      // Wrong version: unknown and the reserved "ff".
+      "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+      // Short / long trace id.
+      "00-4bf92f3577b34da6-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736ab-00f067aa0ba902b7-01",
+      // Short span id.
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa-01",
+      // All-zero ids are explicitly invalid in the spec.
+      "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+      // Uppercase hex is a violation, not a variant.
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+      // Oversized: one trailing byte past the 55.
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x",
+      // Wrong separators.
+      "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01",
+      // Missing flags field.
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+  };
+  for (const char* header : hostile) {
+    TraceContext context;
+    context.trace_id = "sentinel";
+    EXPECT_FALSE(ParseTraceparent(header, &context)) << header;
+    EXPECT_EQ(context.trace_id, "sentinel") << header;
+  }
+}
+
+TEST(TraceparentTest, MintAndFormatRoundTrip) {
+  TraceContext minted = MintTraceContext();
+  EXPECT_EQ(minted.trace_id.size(), 32u);
+  EXPECT_EQ(minted.span_id.size(), 16u);
+  EXPECT_TRUE(IsLowerHexString(minted.trace_id));
+  EXPECT_TRUE(IsLowerHexString(minted.span_id));
+  EXPECT_NE(minted.trace_id, std::string(32, '0'));
+  EXPECT_NE(MintTraceId(), MintTraceId());
+
+  std::string header = FormatTraceparent(minted);
+  EXPECT_EQ(header.size(), 55u);
+  TraceContext parsed;
+  ASSERT_TRUE(ParseTraceparent(header, &parsed));
+  EXPECT_EQ(parsed.trace_id, minted.trace_id);
+  EXPECT_EQ(parsed.parent_id, minted.span_id);
+}
+
+TEST_F(HttpTest, ValidTraceparentIsContinuedNotCopied) {
+  StartServer();
+  HttpClientOptions options;
+  options.traceparent = kGoodTraceparent;
+  HttpClientResult result;
+  ASSERT_TRUE(HttpCall(server_.port(), "GET", "/hello", {}, {}, &result,
+                       options));
+  EXPECT_EQ(result.status, 200);
+
+  TraceContext echoed;
+  ASSERT_TRUE(
+      ParseTraceparent(result.Header("traceparent"), &echoed));
+  // Same trace, new span: the response's span id is the server's, not a
+  // copy of ours.
+  EXPECT_EQ(echoed.trace_id, "4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_NE(echoed.parent_id, "00f067aa0ba902b7");
+  // Without a client x-request-id, the request id is the server span.
+  EXPECT_EQ(result.Header("x-request-id"), echoed.parent_id);
+}
+
+TEST_F(HttpTest, HostileTraceparentMintsFreshAndNever500s) {
+  StartServer();
+  const char* hostile[] = {
+      "00-00000000000000000000000000000000-0000000000000000-01",
+      "00-4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01",
+      "zz-not-a-trace-at-all",
+  };
+  for (const char* header : hostile) {
+    std::string response = RawRequest(
+        server_.port(), std::string("GET /hello HTTP/1.1\r\ntraceparent: ") +
+                            header + "\r\n\r\n");
+    // Hostile telemetry must not affect the request outcome...
+    EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos) << header;
+    // ...and must not echo back: the response carries a fresh, valid,
+    // unrelated context.
+    size_t at = response.find("traceparent: ");
+    ASSERT_NE(at, std::string::npos) << header;
+    std::string echoed = response.substr(at + 13, 55);
+    TraceContext context;
+    ASSERT_TRUE(ParseTraceparent(echoed, &context)) << echoed;
+    EXPECT_EQ(response.find("00000000000000000000000000000000"),
+              std::string::npos)
+        << header;
+  }
+  // The oversized case: 4 KiB of traceparent must not break parsing.
+  std::string big(4096, 'a');
+  std::string response = RawRequest(
+      server_.port(),
+      "GET /hello HTTP/1.1\r\ntraceparent: " + big + "\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200"), std::string::npos);
+}
+
+TEST_F(HttpTest, RequestIdIsEchoedWhenSaneReplacedWhenNot) {
+  StartServer();
+  std::string response = RawRequest(
+      server_.port(),
+      "GET /hello HTTP/1.1\r\nX-Request-Id: req-42.alpha_7\r\n\r\n");
+  EXPECT_NE(response.find("X-Request-Id: req-42.alpha_7"), std::string::npos);
+
+  // Hostile ids (header-injection bytes, oversized) are replaced by the
+  // server's span id, never echoed.
+  std::string hostile = RawRequest(
+      server_.port(),
+      "GET /hello HTTP/1.1\r\nX-Request-Id: evil id\twith spaces\r\n\r\n");
+  EXPECT_EQ(hostile.find("evil"), std::string::npos);
+  EXPECT_NE(hostile.find("X-Request-Id: "), std::string::npos);
+
+  std::string oversized = RawRequest(
+      server_.port(), "GET /hello HTTP/1.1\r\nX-Request-Id: " +
+                          std::string(200, 'a') + "\r\n\r\n");
+  EXPECT_EQ(oversized.find(std::string(200, 'a')), std::string::npos);
+  EXPECT_NE(oversized.find("X-Request-Id: "), std::string::npos);
+}
+
+TEST_F(HttpTest, ErrorResponsesCarryTheTraceContextToo) {
+  StartServer();
+  HttpClientOptions options;
+  options.traceparent = kGoodTraceparent;
+  HttpClientResult result;
+  ASSERT_TRUE(HttpCall(server_.port(), "GET", "/nope", {}, {}, &result,
+                       options));
+  EXPECT_EQ(result.status, 404);
+  TraceContext echoed;
+  ASSERT_TRUE(ParseTraceparent(result.Header("traceparent"), &echoed));
+  EXPECT_EQ(echoed.trace_id, "4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_FALSE(result.Header("x-request-id").empty());
+}
+
+TEST_F(HttpTest, ObserverSeesEveryRequestWithItsTrace) {
+  std::mutex mu;
+  std::vector<std::string> seen;  // "path status trace_id"
+  server_.SetObserver([&](const HttpRequest& request,
+                          const HttpResponse& response, uint64_t start_ns,
+                          uint64_t duration_ns) {
+    EXPECT_GT(start_ns, 0u);
+    EXPECT_TRUE(request.trace.valid());
+    EXPECT_EQ(request.trace.span_id.size(), 16u);
+    (void)duration_ns;  // may be 0 on a coarse clock; no assertion
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(request.path + " " + std::to_string(response.status) +
+                   " " + request.trace.trace_id);
+  });
+  StartServer();
+
+  HttpClientOptions options;
+  options.traceparent = kGoodTraceparent;
+  HttpClientResult result;
+  ASSERT_TRUE(HttpCall(server_.port(), "GET", "/hello", {}, {}, &result,
+                       options));
+  ASSERT_TRUE(HttpCall(server_.port(), "GET", "/missing", {}, {}, &result));
+
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "/hello 200 4bf92f3577b34da6a3ce929d0e0e4736");
+  EXPECT_EQ(seen[1].substr(0, 13), "/missing 404 ");
 }
 
 TEST_F(HttpTest, StartIsRetriableAfterPortConflict) {

@@ -1,0 +1,172 @@
+// Tests for the structured logger (obs/log.h): level parsing, line
+// shape (reserved keys, string/number fields, JSON escaping of hostile
+// bytes), min-level filtering, the per-second rate limiter with its
+// error-level bypass, and open/close lifecycle.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/log.h"
+
+namespace xmlproj {
+namespace {
+
+std::string ReadFileText(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/xmlproj_log_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    path_ = dir_ + "/test.log";
+  }
+
+  void TearDown() override {
+    std::remove(path_.c_str());
+    ::rmdir(dir_.c_str());
+  }
+
+  std::string dir_;
+  std::string path_;
+};
+
+TEST(LogLevelTest, ParsesAllLevels) {
+  LogLevel level;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+}
+
+TEST_F(LogTest, WritesOneJsonObjectPerLine) {
+  StructuredLogger logger;
+  std::string error;
+  ASSERT_TRUE(logger.Open(path_, &error)) << error;
+  logger.Log(LogLevel::kInfo, "http.access",
+             {{"method", "POST"},
+              {"path", "/prune"},
+              {"status", 200},
+              {"bytes", uint64_t{1234}}});
+  logger.Close();
+
+  std::string text = ReadFileText(path_);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_NE(text.find("\"ts_unix_ms\":"), std::string::npos);
+  EXPECT_NE(text.find("\"level\":\"info\""), std::string::npos);
+  EXPECT_NE(text.find("\"event\":\"http.access\""), std::string::npos);
+  EXPECT_NE(text.find("\"method\":\"POST\""), std::string::npos);
+  EXPECT_NE(text.find("\"status\":200"), std::string::npos);
+  EXPECT_NE(text.find("\"bytes\":1234"), std::string::npos);
+  // One line only.
+  EXPECT_EQ(text.find('\n'), text.size() - 1);
+}
+
+TEST_F(LogTest, EscapesHostileBytes) {
+  StructuredLogger logger;
+  std::string error;
+  ASSERT_TRUE(logger.Open(path_, &error)) << error;
+  logger.Log(LogLevel::kInfo, "evil",
+             {{"value", std::string("a\"b\\c\nd\x01" "e")}});
+  logger.Close();
+
+  std::string text = ReadFileText(path_);
+  EXPECT_NE(text.find("a\\\"b\\\\c\\nd\\u0001e"), std::string::npos);
+  // The raw newline must not have split the line.
+  EXPECT_EQ(text.find('\n'), text.size() - 1);
+}
+
+TEST_F(LogTest, MinLevelFiltersAndEnabledIsCheap) {
+  StructuredLogger logger;
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));  // not open yet
+  StructuredLoggerOptions options;
+  options.min_level = LogLevel::kWarn;
+  std::string error;
+  ASSERT_TRUE(logger.Open(path_, options, &error)) << error;
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+
+  logger.Log(LogLevel::kDebug, "dropped.debug", {});
+  logger.Log(LogLevel::kInfo, "dropped.info", {});
+  logger.Log(LogLevel::kWarn, "kept.warn", {});
+  logger.Close();
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));  // closed again
+
+  std::string text = ReadFileText(path_);
+  EXPECT_EQ(text.find("dropped."), std::string::npos);
+  EXPECT_NE(text.find("kept.warn"), std::string::npos);
+  EXPECT_EQ(logger.lines_written(), 1u);
+}
+
+TEST_F(LogTest, RateLimiterDropsButErrorsBypass) {
+  StructuredLogger logger;
+  StructuredLoggerOptions options;
+  options.max_lines_per_second = 1;
+  std::string error;
+  ASSERT_TRUE(logger.Open(path_, options, &error)) << error;
+  for (int i = 0; i < 50; ++i) logger.Log(LogLevel::kInfo, "flood", {});
+  for (int i = 0; i < 5; ++i) logger.Log(LogLevel::kError, "boom", {});
+  // 50 info lines in (at most a couple of) wall seconds against a
+  // 1-line/s budget: nearly all drop. Errors always land.
+  EXPECT_GE(logger.lines_dropped(), 40u);
+  logger.Close();
+
+  std::string text = ReadFileText(path_);
+  size_t errors = 0;
+  for (size_t at = text.find("\"event\":\"boom\""); at != std::string::npos;
+       at = text.find("\"event\":\"boom\"", at + 1)) {
+    ++errors;
+  }
+  EXPECT_EQ(errors, 5u);
+}
+
+TEST_F(LogTest, ZeroDisablesTheLimiter) {
+  StructuredLogger logger;
+  StructuredLoggerOptions options;
+  options.max_lines_per_second = 0;
+  std::string error;
+  ASSERT_TRUE(logger.Open(path_, options, &error)) << error;
+  for (int i = 0; i < 200; ++i) logger.Log(LogLevel::kInfo, "burst", {});
+  EXPECT_EQ(logger.lines_dropped(), 0u);
+  EXPECT_EQ(logger.lines_written(), 200u);
+}
+
+TEST_F(LogTest, OpenFailsOnUnwritablePath) {
+  StructuredLogger logger;
+  std::string error;
+  EXPECT_FALSE(logger.Open(dir_ + "/no/such/dir/x.log", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+}
+
+TEST(LogStderrTest, StderrDestinationSurvivesClose) {
+  StructuredLogger logger;
+  std::string error;
+  ASSERT_TRUE(logger.Open("stderr", &error)) << error;
+  logger.Close();
+  // stderr must still be usable after Close (never fclosed).
+  std::fflush(stderr);
+  ASSERT_TRUE(logger.Open("stderr", &error)) << error;
+  logger.Close();
+}
+
+}  // namespace
+}  // namespace xmlproj

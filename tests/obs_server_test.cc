@@ -139,6 +139,56 @@ TEST(ObsServer, HealthzStatuszTracezRespond) {
   server.Stop();
 }
 
+// /tracez?trace_id=&workload= restrict the span listing, and a wired
+// SloTracker surfaces as the /statusz "slo" block.
+TEST(ObsServer, TracezFiltersAndStatuszSloBlock) {
+  MetricsRegistry registry;
+  TraceCollector trace;
+  SpanContext a{"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", "1111111111111111", "",
+                "w-a"};
+  SpanContext b{"bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb", "2222222222222222", "",
+                "w-b"};
+  trace.AddSpanEvent("POST /prune", "request", MonotonicNowNs(), 1000, a);
+  trace.AddSpanEvent("POST /prune", "request", MonotonicNowNs(), 1000, b);
+  trace.AddCompleteEvent("anonymous", "stage", MonotonicNowNs(), 100);
+
+  SloTracker slo;
+  slo.Record("w-a", 1000, false);
+
+  ObsServerOptions options;
+  options.port = 0;
+  options.registry = &registry;
+  options.trace = &trace;
+  options.slo = &slo;
+  ObsServer server;
+  std::string error;
+  ASSERT_TRUE(server.Start(options, &error)) << error;
+
+  std::string status_line, body;
+  ASSERT_TRUE(HttpGet(server.port(),
+                      "/tracez?trace_id=aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+                      &status_line, &body));
+  EXPECT_NE(body.find("\"trace_id\":\"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\""),
+            std::string::npos)
+      << body;
+  EXPECT_EQ(body.find("bbbbbbbb"), std::string::npos) << body;
+  EXPECT_EQ(body.find("anonymous"), std::string::npos) << body;
+
+  ASSERT_TRUE(HttpGet(server.port(), "/tracez?workload=w-b", &status_line,
+                      &body));
+  EXPECT_NE(body.find("\"workload\":\"w-b\""), std::string::npos) << body;
+  EXPECT_EQ(body.find("w-a"), std::string::npos) << body;
+
+  // Unfiltered: everything, the anonymous span included.
+  ASSERT_TRUE(HttpGet(server.port(), "/tracez", &status_line, &body));
+  EXPECT_NE(body.find("anonymous"), std::string::npos);
+
+  ASSERT_TRUE(HttpGet(server.port(), "/statusz", &status_line, &body));
+  EXPECT_NE(body.find("\"slo\":{"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"workload\":\"w-a\""), std::string::npos) << body;
+  server.Stop();
+}
+
 TEST(ObsServer, HealthzFollowsTheCircuitStateCallback) {
   MetricsRegistry registry;
   ObsServerOptions options;

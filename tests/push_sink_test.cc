@@ -10,7 +10,10 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -18,6 +21,7 @@
 
 #include "obs/metrics.h"
 #include "obs/push.h"
+#include "obs/trace.h"
 
 namespace xmlproj {
 namespace {
@@ -363,6 +367,88 @@ TEST(PushFlusherTest, StopGuaranteesAFinalFlush) {
   EXPECT_GE(flusher.flushes(), 1u);
 
   flusher.Stop();  // idempotent
+}
+
+// A flusher configured with only a trace/trace_sink pair (the xmlprojd
+// --trace-export shape) starts without a registry and drains new
+// trace-stamped spans incrementally, including the guaranteed final
+// flush on Stop.
+TEST(PushFlusherTest, TraceOnlyFlusherExportsOtlpIncrementally) {
+  char tmpl[] = "/tmp/xmlproj_trace_export_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  std::string dir = tmpl;
+  std::string path = dir + "/trace.jsonl";
+
+  TraceCollector trace;
+  SpanContext context{"4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7",
+                      "", "w-1"};
+  trace.AddSpanEvent("POST /prune", "request", MonotonicNowNs(), 1000,
+                     context);
+
+  JsonlFileSink sink;
+  std::string error;
+  ASSERT_TRUE(sink.Open(path, &error)) << error;
+  PushFlusher flusher;
+  PushFlusherOptions options;  // no registry, no sinks: trace-only
+  options.trace = &trace;
+  options.trace_sink = &sink;
+  options.interval_ms = 3600 * 1000;
+  ASSERT_TRUE(flusher.Start(options, &error)) << error;
+  ASSERT_TRUE(flusher.FlushNow());
+  // Nothing new: the cursor advanced past the first span.
+  ASSERT_TRUE(flusher.FlushNow());
+
+  // A second span lands only in the final flush on Stop.
+  SpanContext child{"4bf92f3577b34da6a3ce929d0e0e4736", "1111111111111111",
+                    "00f067aa0ba902b7", "w-1"};
+  trace.AddSpanEvent("parse", "stage", MonotonicNowNs(), 500, child);
+  flusher.Stop();
+
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  // The 64-bit nano timestamps ride as quoted digit strings; a
+  // truncated fragment (missing closing quote) breaks every JSONL
+  // consumer, so check the shape, not just the key.
+  for (const std::string& l : lines) {
+    for (const char* key :
+         {"\"startTimeUnixNano\":\"", "\"endTimeUnixNano\":\""}) {
+      size_t at = l.find(key);
+      ASSERT_NE(at, std::string::npos) << l;
+      size_t digits = at + std::strlen(key);
+      size_t end = l.find('"', digits);
+      ASSERT_NE(end, std::string::npos);
+      EXPECT_GT(end, digits) << l;
+      for (size_t i = digits; i < end; ++i) {
+        EXPECT_TRUE(l[i] >= '0' && l[i] <= '9') << l.substr(at, 48);
+      }
+    }
+  }
+  EXPECT_NE(lines[0].find("\"resourceSpans\""), std::string::npos);
+  EXPECT_NE(lines[0].find(
+                "\"traceId\":\"4bf92f3577b34da6a3ce929d0e0e4736\""),
+            std::string::npos);
+  EXPECT_NE(lines[0].find("\"name\":\"POST /prune\""), std::string::npos);
+  EXPECT_EQ(lines[0].find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(lines[1].find(
+                "\"parentSpanId\":\"00f067aa0ba902b7\""),
+            std::string::npos);
+
+  std::remove(path.c_str());
+  ::rmdir(dir.c_str());
+}
+
+TEST(PushFlusherTest, TracePairMustBeComplete) {
+  PushFlusher flusher;
+  std::string error;
+  PushFlusherOptions options;
+  TraceCollector trace;
+  options.trace = &trace;  // trace without a trace_sink: not a valid pair
+  EXPECT_FALSE(flusher.Start(options, &error));
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(PushFlusherTest, SinkErrorsAreCountedNotFatal) {

@@ -6,8 +6,13 @@
 // GET /workloads content, journal batch flushing, and concurrent prunes
 // over distinct workloads (the TSan target).
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -17,7 +22,10 @@
 #include "common/circuit.h"
 #include "common/http/http.h"
 #include "obs/journal.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 #include "projection/pipeline.h"
 #include "service/client.h"
 #include "service/service.h"
@@ -400,6 +408,129 @@ TEST_F(ServiceTest, ConcurrentPruneDistinctWorkloads) {
   EXPECT_EQ(service_.cache()->misses(), 4u);
   EXPECT_GE(service_.cache()->hits(),
             static_cast<uint64_t>(lanes.size() * kPrunesPerLane));
+}
+
+// The acceptance path for request-scoped observability: a client
+// traceparent on POST /prune yields a request span parenting the
+// pipeline stage spans, retrievable via /tracez?trace_id=, present in
+// the OTLP export, and joinable by trace id to an access-log line —
+// with the RED series, the /statusz SLO block, and unknown-workload
+// label folding along for the ride.
+TEST_F(ServiceTest, TraceparentJoinsSpansExportLogsAndSlo) {
+  char tmpl[] = "/tmp/xmlproj_svc_obs_XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl), nullptr);
+  std::string dir = tmpl;
+  std::string log_path = dir + "/svc.log";
+
+  TraceCollector trace;
+  StructuredLogger logger;
+  std::string error;
+  ASSERT_TRUE(logger.Open(log_path, &error)) << error;
+  SloTracker slo;
+
+  ProjectionServiceOptions options;
+  options.trace = &trace;
+  options.logger = &logger;
+  options.slo = &slo;
+  StartService(options);
+  ProjectionClient client = Client();
+
+  auto registration =
+      client.RegisterWorkload(SpecFor({XMarkDashboardWorkload()[1]}));
+  ASSERT_TRUE(registration.ok()) << registration.status().ToString();
+
+  XMarkCorpusOptions corpus_options;
+  corpus_options.documents = 1;
+  std::string doc = GenerateXMarkCorpus(corpus_options)[0];
+
+  constexpr char kTraceId[] = "4bf92f3577b34da6a3ce929d0e0e4736";
+  PruneRequestOptions prune_options;
+  prune_options.traceparent =
+      "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01";
+  auto outcome = client.Prune(registration->id, doc, prune_options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(outcome->trace_id, kTraceId);
+  EXPECT_FALSE(outcome->request_id.empty());
+
+  // An unknown workload 404s — and must fold to workload="other" in the
+  // label set rather than minting a per-probe series.
+  auto missing = client.Prune("w-nope", doc, prune_options);
+  EXPECT_FALSE(missing.ok());
+
+  // /tracez filtered by the trace id: the request span plus the stage
+  // spans it parents, all stamped with the workload.
+  auto tracez = client.Get(std::string("/tracez?trace_id=") + kTraceId);
+  ASSERT_TRUE(tracez.ok()) << tracez.status().ToString();
+  EXPECT_NE(tracez->find("\"name\":\"POST /prune\""), std::string::npos)
+      << *tracez;
+  EXPECT_NE(tracez->find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(tracez->find("\"name\":\"serialize\""), std::string::npos);
+  EXPECT_NE(tracez->find("\"workload\":\"" + registration->id + "\""),
+            std::string::npos);
+  // Stage spans parent under *some* span of this trace; the request
+  // span's own id came back to the client in the response traceparent.
+  EXPECT_NE(tracez->find("\"parent_id\":"), std::string::npos);
+  // A trace id that never happened filters down to nothing.
+  auto empty = client.Get(
+      "/tracez?trace_id=ffffffffffffffffffffffffffffffff");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->find("\"name\":"), std::string::npos);
+
+  // The OTLP export carries the same trace.
+  size_t cursor = 0;
+  std::string otlp;
+  ASSERT_TRUE(trace.AppendOtlpSpansJson(&cursor, &otlp));
+  EXPECT_NE(otlp.find("\"resourceSpans\""), std::string::npos);
+  EXPECT_NE(otlp.find(std::string("\"traceId\":\"") + kTraceId + "\""),
+            std::string::npos);
+
+  // The RED series and the SLO plane saw the prunes.
+  auto metrics_json = client.Get("/metrics.json");
+  ASSERT_TRUE(metrics_json.ok());
+  EXPECT_NE(metrics_json->find("xmlproj_request_duration_seconds{"),
+            std::string::npos);
+  EXPECT_NE(metrics_json->find("workload=\\\"" + registration->id + "\\\""),
+            std::string::npos);
+  EXPECT_NE(metrics_json->find(
+                "code=\\\"404\\\",route=\\\"/prune\\\",workload=\\\"other\\\""),
+            std::string::npos)
+      << *metrics_json;
+
+  auto statusz = client.Get("/statusz");
+  ASSERT_TRUE(statusz.ok());
+  EXPECT_NE(statusz->find("\"slo\":"), std::string::npos);
+  EXPECT_NE(statusz->find("\"workload\":\"" + registration->id + "\""),
+            std::string::npos);
+  EXPECT_EQ(slo.Burn(registration->id, 5).requests, 1u);
+  EXPECT_EQ(slo.Burn("other", 5).requests, 1u);
+
+  // The access log joins the trace by trace_id — stop first so the
+  // observer has certainly run and the line is flushed.
+  service_.Stop();
+  logger.Close();
+  std::ifstream in(log_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string log_text = buffer.str();
+  bool joined = false;
+  std::istringstream lines(log_text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find("\"event\":\"http.access\"") != std::string::npos &&
+        line.find(std::string("\"trace_id\":\"") + kTraceId + "\"") !=
+            std::string::npos &&
+        line.find("\"path\":\"/prune\"") != std::string::npos) {
+      joined = true;
+      EXPECT_NE(line.find("\"status\":200"), std::string::npos);
+      EXPECT_NE(line.find("\"workload\":\"" + registration->id + "\""),
+                std::string::npos);
+      break;
+    }
+  }
+  EXPECT_TRUE(joined) << log_text;
+
+  std::remove(log_path.c_str());
+  ::rmdir(dir.c_str());
 }
 
 }  // namespace

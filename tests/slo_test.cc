@@ -1,0 +1,156 @@
+// Tests for the per-workload SLO tracker (obs/slo.h): burn-rate math
+// for both objectives, the fast/slow window split under an injected
+// clock, ring-slot staleness across hours, the bounded-workload fold to
+// "other", the burn gauges, and the /statusz JSON block.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/slo.h"
+
+namespace xmlproj {
+namespace {
+
+// SloOptions takes a plain function pointer, so the injected clock rides
+// in a file-scope variable.
+uint64_t g_now_ms = 0;
+uint64_t TestNowMs() { return g_now_ms; }
+
+constexpr uint64_t kMs = 1;
+constexpr uint64_t kMinuteMs = 60000;
+
+SloOptions BaseOptions() {
+  SloOptions options;
+  options.latency_threshold_ms = 100;
+  options.availability_objective = 0.9;  // budget 0.1
+  options.latency_objective = 0.9;       // budget 0.1
+  options.now_ms = TestNowMs;
+  return options;
+}
+
+TEST(SloTest, BurnRatesFollowTheBudget) {
+  g_now_ms = 10 * kMinuteMs;
+  SloTracker tracker(BaseOptions());
+  // 10 requests, 1 error, 2 slow: error fraction 0.1 against a 0.1
+  // budget burns at exactly 1.0; slow fraction 0.2 burns at 2.0.
+  for (int i = 0; i < 7; ++i) {
+    tracker.Record("w1", 50 * kMs * 1000000, /*error=*/false);
+  }
+  tracker.Record("w1", 500 * kMs * 1000000, false);
+  tracker.Record("w1", 500 * kMs * 1000000, false);
+  tracker.Record("w1", 50 * kMs * 1000000, /*error=*/true);
+
+  SloTracker::WindowBurn burn = tracker.Burn("w1", 5);
+  EXPECT_EQ(burn.requests, 10u);
+  EXPECT_EQ(burn.errors, 1u);
+  EXPECT_EQ(burn.slow, 2u);
+  EXPECT_NEAR(burn.availability_burn, 1.0, 1e-9);
+  EXPECT_NEAR(burn.latency_burn, 2.0, 1e-9);
+}
+
+TEST(SloTest, ExactThresholdIsNotSlow) {
+  g_now_ms = kMinuteMs;
+  SloTracker tracker(BaseOptions());
+  tracker.Record("w", 100ull * 1000000, false);  // exactly the threshold
+  tracker.Record("w", 100ull * 1000000 + 1000000, false);  // one ms past
+  SloTracker::WindowBurn burn = tracker.Burn("w", 5);
+  EXPECT_EQ(burn.slow, 1u);
+}
+
+TEST(SloTest, FastWindowForgetsWhatTheSlowWindowKeeps) {
+  g_now_ms = 10 * kMinuteMs;
+  SloTracker tracker(BaseOptions());
+  tracker.Record("w", 1, /*error=*/true);
+
+  // Eight minutes later the failure is outside the 5m window but well
+  // inside the 1h window.
+  g_now_ms += 8 * kMinuteMs;
+  tracker.Record("w", 1, false);
+
+  SloTracker::WindowBurn fast = tracker.Burn("w", 5);
+  EXPECT_EQ(fast.requests, 1u);
+  EXPECT_EQ(fast.errors, 0u);
+  SloTracker::WindowBurn slow = tracker.Burn("w", 60);
+  EXPECT_EQ(slow.requests, 2u);
+  EXPECT_EQ(slow.errors, 1u);
+}
+
+TEST(SloTest, StaleRingSlotsFromAPriorHourAreIgnored) {
+  g_now_ms = 10 * kMinuteMs;
+  SloTracker tracker(BaseOptions());
+  tracker.Record("w", 1, true);
+
+  // 61 minutes later the old bucket's slot would alias in the ring; the
+  // stored minute stamp must disqualify it.
+  g_now_ms += 61 * kMinuteMs;
+  tracker.Record("w", 1, false);
+  SloTracker::WindowBurn slow = tracker.Burn("w", 60);
+  EXPECT_EQ(slow.requests, 1u);
+  EXPECT_EQ(slow.errors, 0u);
+}
+
+TEST(SloTest, WorkloadsPastTheCapFoldToOther) {
+  g_now_ms = kMinuteMs;
+  SloOptions options = BaseOptions();
+  options.max_workloads = 2;
+  SloTracker tracker(options);
+  tracker.Record("w1", 1, false);
+  tracker.Record("w2", 1, false);
+  tracker.Record("w3", 1, true);
+  tracker.Record("w4", 1, true);
+
+  EXPECT_EQ(tracker.Burn("w1", 5).requests, 1u);
+  EXPECT_EQ(tracker.Burn("w3", 5).requests, 0u);
+  EXPECT_EQ(tracker.Burn("other", 5).requests, 2u);
+  EXPECT_EQ(tracker.Burn("other", 5).errors, 2u);
+}
+
+TEST(SloTest, PublishesBurnGaugesInMilliUnits) {
+  g_now_ms = kMinuteMs;
+  MetricsRegistry metrics;
+  SloOptions options = BaseOptions();
+  options.metrics = &metrics;
+  SloTracker tracker(options);
+  for (int i = 0; i < 9; ++i) tracker.Record("w1", 1, false);
+  tracker.Record("w1", 1, /*error=*/true);  // 0.1/0.1 → burn 1.0 → 1000
+
+  Gauge* gauge = metrics.GetGauge(
+      "xmlproj_slo_burn_milli",
+      {{"slo", "availability"}, {"window", "5m"}, {"workload", "w1"}});
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->Value(), 1000);
+  Gauge* latency = metrics.GetGauge(
+      "xmlproj_slo_burn_milli",
+      {{"slo", "latency"}, {"window", "1h"}, {"workload", "w1"}});
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->Value(), 0);
+}
+
+TEST(SloTest, JsonBlockListsWorkloadsAndObjectives) {
+  g_now_ms = kMinuteMs;
+  SloTracker tracker(BaseOptions());
+  tracker.Record("w1", 1, false);
+  tracker.Record("w1", 1, true);
+
+  std::string json;
+  tracker.AppendSloJson(&json);
+  EXPECT_NE(json.find("\"latency_threshold_ms\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"availability_objective\":0.900"), std::string::npos);
+  EXPECT_NE(json.find("\"workload\":\"w1\""), std::string::npos);
+  EXPECT_NE(json.find("\"5m\":{\"requests\":2,\"errors\":1"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"1h\":"), std::string::npos);
+}
+
+TEST(SloTest, EmptyTrackerRendersEmptyWorkloadList) {
+  SloTracker tracker;
+  std::string json;
+  tracker.AppendSloJson(&json);
+  EXPECT_NE(json.find("\"workloads\":[]"), std::string::npos);
+  EXPECT_EQ(tracker.Burn("nope", 5).requests, 0u);
+}
+
+}  // namespace
+}  // namespace xmlproj
